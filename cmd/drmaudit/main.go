@@ -1,0 +1,276 @@
+// Command drmaudit runs the geometric offline aggregate validation over a
+// corpus document and an issuance log (the files cmd/drmgen writes, or any
+// files in the same formats).
+//
+// Usage:
+//
+//	drmaudit -corpus corpus.json -log log.jsonl [-workers 4] [-compare]
+//
+// It prints the grouping, the theoretical gain, per-stage timings, and any
+// violated validation equations. With -compare it also runs the original
+// undivided validator and reports the measured speed-up (refusing when N
+// exceeds -max-original). The exit status is 2 when violations are found.
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/overlap"
+	"repro/internal/signature"
+	"repro/internal/vtree"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drmaudit:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("drmaudit", flag.ContinueOnError)
+	var (
+		corpusPath  = fs.String("corpus", "corpus.json", "corpus document path")
+		logPath     = fs.String("log", "log.jsonl", "issuance log path")
+		workers     = fs.Int("workers", 1, "parallel group validations")
+		compare     = fs.Bool("compare", false, "also run the undivided 2^N-1 equation validator")
+		maxOriginal = fs.Int("max-original", 24, "largest N for which -compare is allowed")
+		explain     = fs.Bool("explain", false, "decompose each violated equation into contributions and budgets")
+		capacity    = fs.Bool("capacity", false, "print per-license headrooms and group utilization")
+		forecastAx  = fs.String("forecast", "", "project the validation plan across expiries along this interval axis")
+		dotPath     = fs.String("dot", "", "write the overlap graph (Graphviz DOT) to this path")
+		jsonOut     = fs.Bool("json", false, "emit the audit as a JSON document instead of text")
+		signed      = fs.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
+		issuerKey   = fs.String("issuer", "", "pinned issuer public key (base64; with -signed)")
+		compactLog  = fs.Bool("compact", false, "compact the log file in place after reading it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+
+	cf, err := os.Open(*corpusPath)
+	if err != nil {
+		return 0, err
+	}
+	var corpus *license.Corpus
+	if *signed {
+		var trusted ed25519.PublicKey
+		if *issuerKey != "" {
+			trusted, err = signature.KeyFromString(*issuerKey)
+			if err != nil {
+				cf.Close()
+				return 0, err
+			}
+		}
+		var pub ed25519.PublicKey
+		corpus, pub, err = signature.ReadSignedCorpus(cf, trusted)
+		cf.Close()
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "issuer:      verified (%s)\n", signature.KeyToString(pub))
+	} else {
+		corpus, err = license.DecodeCorpus(cf)
+		cf.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	log := logstore.NewMem(0)
+	if err := logstore.ReadFile(*logPath, log.Append); err != nil {
+		return 0, err
+	}
+
+	aud, err := core.NewAuditor(corpus, log)
+	if err != nil {
+		return 0, err
+	}
+	aud.Workers = *workers
+	rep, err := aud.Audit()
+	if err != nil {
+		return 0, err
+	}
+
+	if *jsonOut {
+		return writeJSONReport(out, corpus, log, aud, rep)
+	}
+
+	gr := aud.Grouping()
+	tm := aud.Timings()
+	fmt.Fprintf(out, "corpus:      %d licenses, %d log records\n", corpus.Len(), log.Len())
+	fmt.Fprintf(out, "groups:      %d %v\n", gr.NumGroups(), gr)
+	fmt.Fprintf(out, "equations:   %d grouped (vs %.0f undivided)\n",
+		rep.Equations, core.FullEquationCount(corpus.Len()))
+	fmt.Fprintf(out, "gain (eq 3): %.2fx theoretical\n", aud.Gain())
+	fmt.Fprintf(out, "timings:     build C_T=%v  divide D_T=%v  validate V_T=%v\n",
+		tm.Construction, tm.DT(), tm.Validation)
+
+	if *compare {
+		if corpus.Len() > *maxOriginal {
+			fmt.Fprintf(out, "compare:     skipped (N=%d > max-original %d; 2^N equations)\n",
+				corpus.Len(), *maxOriginal)
+		} else {
+			tree, err := vtree.Build(corpus.Len(), log)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			res, err := tree.ValidateAll(corpus.Aggregates())
+			if err != nil {
+				return 0, err
+			}
+			orig := time.Since(start)
+			speedup := float64(orig) / float64(tm.Validation)
+			fmt.Fprintf(out, "compare:     undivided V_T=%v over %d equations (%.1fx measured speed-up)\n",
+				orig, res.Equations, speedup)
+			if res.OK() != rep.OK() {
+				return 0, fmt.Errorf("validators disagree: grouped OK=%v, undivided OK=%v", rep.OK(), res.OK())
+			}
+		}
+	}
+
+	if *forecastAx != "" {
+		steps, err := forecast.Timeline(corpus, *forecastAx)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintln(out, "forecast (expiry timeline):")
+		tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "time\texpired\tactive\tgroups\tequations\tgain\tsplit\t")
+		for _, st := range steps {
+			split := ""
+			if st.Split {
+				split = "SPLIT"
+			}
+			fmt.Fprintf(tw, "%d\t%v\t%d\t%d\t%d\t%.1fx\t%s\t\n",
+				st.Time, st.Expired, st.Active.Len(), len(st.Groups), st.Equations, st.Gain, split)
+		}
+		if err := tw.Flush(); err != nil {
+			return 0, err
+		}
+	}
+
+	if *dotPath != "" {
+		df, err := os.Create(*dotPath)
+		if err != nil {
+			return 0, err
+		}
+		adj := overlap.BuildAdjacency(corpus)
+		names := make([]string, corpus.Len())
+		for i := range names {
+			names[i] = corpus.License(i).Name
+		}
+		if err := overlap.WriteDOT(df, adj, gr, names); err != nil {
+			df.Close()
+			return 0, err
+		}
+		if err := df.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "graph:       wrote %s\n", *dotPath)
+	}
+
+	if *compactLog {
+		before, after, err := logstore.CompactFile(*logPath)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "compacted:   %s: %d -> %d records\n", *logPath, before, after)
+	}
+
+	if *capacity {
+		capRep, err := core.Capacity(aud.Trees())
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintln(out, "capacity:")
+		if err := capRep.Write(out); err != nil {
+			return 0, err
+		}
+		cuts := overlap.CutLicenses(overlap.BuildAdjacency(corpus))
+		if !cuts.Empty() {
+			fmt.Fprintf(out, "cut licenses: %v — expiry of any of these splits its group and cheapens validation\n", cuts)
+		}
+	}
+
+	if rep.OK() {
+		fmt.Fprintln(out, "result:      OK — no aggregate violations")
+		return 0, nil
+	}
+	fmt.Fprintf(out, "result:      %d VIOLATED equations\n", len(rep.Violations))
+	if *explain {
+		exps, err := core.ExplainReport(aud.Trees(), rep)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range exps {
+			fmt.Fprint(out, e)
+		}
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "  %s\n", v)
+		}
+	}
+	return 2, nil
+}
+
+// jsonReport is the machine-readable audit document -json emits.
+type jsonReport struct {
+	Licenses   int      `json:"licenses"`
+	LogRecords int      `json:"log_records"`
+	Groups     [][]int  `json:"groups"` // one-based license numbers
+	Equations  int64    `json:"equations"`
+	Gain       float64  `json:"gain"`
+	OK         bool     `json:"ok"`
+	Violations []string `json:"violations,omitempty"`
+	TimingsNS  struct {
+		Construction int64 `json:"construction"`
+		Division     int64 `json:"division"`
+		Validation   int64 `json:"validation"`
+	} `json:"timings_ns"`
+}
+
+func writeJSONReport(out io.Writer, corpus *license.Corpus, log *logstore.Mem, aud *core.Auditor, rep core.Report) (int, error) {
+	doc := jsonReport{
+		Licenses:   corpus.Len(),
+		LogRecords: log.Len(),
+		Equations:  rep.Equations,
+		Gain:       aud.Gain(),
+		OK:         rep.OK(),
+	}
+	for _, g := range aud.Grouping().Groups {
+		var ids []int
+		g.Members.ForEach(func(j int) bool { ids = append(ids, j+1); return true })
+		doc.Groups = append(doc.Groups, ids)
+	}
+	for _, v := range rep.Violations {
+		doc.Violations = append(doc.Violations, v.String())
+	}
+	tm := aud.Timings()
+	doc.TimingsNS.Construction = tm.Construction.Nanoseconds()
+	doc.TimingsNS.Division = tm.DT().Nanoseconds()
+	doc.TimingsNS.Validation = tm.Validation.Nanoseconds()
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return 0, err
+	}
+	if rep.OK() {
+		return 0, nil
+	}
+	return 2, nil
+}

@@ -1,0 +1,203 @@
+// Command drmbench regenerates the paper's evaluation figures (§5) on
+// synthetic workloads and prints each as an aligned text table.
+//
+// Usage:
+//
+//	drmbench                 # all figures, N = 1..35
+//	drmbench -fig 7 -max 20  # one figure, shorter sweep
+//
+// Figure index (see DESIGN.md / EXPERIMENTS.md):
+//
+//	6  number of disconnected groups vs N
+//	7  validation time: original vs proposed (V_T, V_T + D_T)
+//	8  theoretical (eq 3) vs experimental gain
+//	9  single-record insertion time vs tree-division time
+//	10 storage: original tree vs divided trees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("drmbench", flag.ContinueOnError)
+	var (
+		fig         = fs.Int("fig", 0, "figure to regenerate (6..10, 11 = policy-loss extension; 0 = all)")
+		maxN        = fs.Int("max", 35, "largest N in the sweep")
+		maxOriginal = fs.Int("max-original", bench.DefaultMaxOriginalN,
+			"largest N at which the undivided validator runs (2^N equations)")
+		seed   = fs.Int64("seed", 1, "workload seed")
+		format = fs.String("format", "table", "output format: table or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *maxN < 1 || *maxN > 64 {
+		return fmt.Errorf("max must be in [1,64], got %d", *maxN)
+	}
+	csvOut := false
+	switch *format {
+	case "table":
+	case "csv":
+		csvOut = true
+	default:
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+	ns := make([]int, 0, *maxN)
+	for n := 1; n <= *maxN; n++ {
+		ns = append(ns, n)
+	}
+
+	want := func(f int) bool { return *fig == 0 || *fig == f }
+	ran := false
+
+	if want(6) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Fig 6: variation of number of groups ==")
+		}
+		rows, err := bench.Fig6(ns, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WriteFig6
+		if csvOut {
+			write = bench.WriteFig6CSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if want(7) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Fig 7: validation time complexity ==")
+		}
+		rows, err := bench.Fig7(ns, *maxOriginal, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WriteFig7
+		if csvOut {
+			write = bench.WriteFig7CSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if want(8) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Fig 8: theoretical vs experimental gain ==")
+		}
+		rows, err := bench.Fig8(ns, *maxOriginal, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WriteFig8
+		if csvOut {
+			write = bench.WriteFig8CSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if want(9) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Fig 9: insertion time vs division time ==")
+		}
+		rows, err := bench.Fig9(ns, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WriteFig9
+		if csvOut {
+			write = bench.WriteFig9CSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if want(10) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Fig 10: storage space complexity ==")
+		}
+		rows, err := bench.Fig10(ns, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WriteFig10
+		if csvOut {
+			write = bench.WriteFig10CSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if want(11) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Extension: issuance-policy loss (Example 1 at scale) ==")
+		}
+		// A sparse sweep suffices: the effect is per-corpus, not per-N.
+		// Online headroom checks are exponential in the belongs-to group's
+		// size, so the sweep stays at modest N.
+		var pns []int
+		for _, n := range []int{4, 8, 12, 16, 20} {
+			if n <= *maxN {
+				pns = append(pns, n)
+			}
+		}
+		if len(pns) == 0 {
+			pns = ns
+		}
+		rows, err := bench.Policies(pns, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WritePolicies
+		if csvOut {
+			write = bench.WritePoliciesCSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %d (valid: 6..11, 0 for all; 11 = policy-loss extension)", *fig)
+	}
+	return nil
+}

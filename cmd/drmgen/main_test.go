@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/signature"
+)
+
+func TestRunWritesCorpusAndLog(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "c.json")
+	logPath := filepath.Join(dir, "l.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "8", "-groups", "3", "-seed", "7",
+		"-records-per-license", "25",
+		"-corpus", corpus, "-log", logPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "8 licenses") ||
+		!strings.Contains(out.String(), "3 groups planted, 3 found") {
+		t.Errorf("output = %q", out.String())
+	}
+	// The corpus file decodes.
+	f, err := os.Open(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := license.DecodeCorpus(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 8 {
+		t.Errorf("corpus len = %d", c.Len())
+	}
+	// The log replays with the right cardinality.
+	count := 0
+	if err := logstore.ReadFile(logPath, func(logstore.Record) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 200 {
+		t.Errorf("log records = %d, want 200", count)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-n", "4", "-corpus", filepath.Join(t.TempDir(), "nodir", "x.json")}, &out); err == nil {
+		t.Error("unwritable corpus path accepted")
+	}
+}
+
+func TestRunWritesRelNotation(t *testing.T) {
+	dir := t.TempDir()
+	relPath := filepath.Join(dir, "c.rel")
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "4", "-seed", "2", "-records-per-license", "5",
+		"-corpus", filepath.Join(dir, "c.json"),
+		"-log", filepath.Join(dir, "l.jsonl"),
+		"-rel", relPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "L_D^1: (K; Play; C0=[") {
+		t.Errorf("rel output = %q", s)
+	}
+	if got := strings.Count(s, "\n"); got != 4 {
+		t.Errorf("rel lines = %d, want 4", got)
+	}
+}
+
+func TestRunWritesSignedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	signedPath := filepath.Join(dir, "c.signed")
+	keyPath := filepath.Join(dir, "issuer.pub")
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "4", "-seed", "2", "-records-per-license", "5",
+		"-corpus", filepath.Join(dir, "c.json"),
+		"-log", filepath.Join(dir, "l.jsonl"),
+		"-signed", signedPath, "-issuer-key", keyPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyText, err := os.ReadFile(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := signature.KeyFromString(strings.TrimSpace(string(keyText)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Open(signedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	corpus, _, err := signature.ReadSignedCorpus(sf, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 4 {
+		t.Errorf("corpus len = %d", corpus.Len())
+	}
+}

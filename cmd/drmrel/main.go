@@ -1,0 +1,92 @@
+// Command drmrel converts license corpora between the JSON document format
+// (cmd/drmgen's output) and the paper's rights-expression notation
+// ("(K; Play; T=[10/03/09, 20/03/09], R=[Asia, Europe]; A=2000)").
+//
+// Usage:
+//
+//	drmrel -to rel  -in corpus.json -out corpus.rel
+//	drmrel -to json -in corpus.rel  -out corpus.json
+//
+// The .rel side uses the paper dialect: a "period" interval axis tagged T
+// (rendered as dd/mm/yy dates) and a "region" set axis tagged R resolved
+// against the built-in world taxonomy. JSON corpora with other schemas
+// can be rendered to .rel with generated tags, but only the paper schema
+// round-trips regions by name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/license"
+	"repro/internal/region"
+	"repro/internal/rel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drmrel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("drmrel", flag.ContinueOnError)
+	var (
+		to      = fs.String("to", "rel", "target format: rel or json")
+		inPath  = fs.String("in", "", "input corpus path")
+		outPath = fs.String("out", "", "output path (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	in, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch *to {
+	case "rel":
+		corpus, err := license.DecodeCorpus(in)
+		if err != nil {
+			return err
+		}
+		dialect, err := rel.GenericDialect(corpus.Schema(), region.World())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# converted from %s\n", *inPath)
+		for _, l := range corpus.Licenses() {
+			fmt.Fprintf(out, "%s: %s\n", l.Name, dialect.FormatLicense(l))
+		}
+		return nil
+	case "json":
+		dialect, _, err := rel.PaperDialect(region.World())
+		if err != nil {
+			return err
+		}
+		corpus, err := dialect.ParseCorpus(in)
+		if err != nil {
+			return err
+		}
+		return license.EncodeCorpus(out, corpus)
+	default:
+		return fmt.Errorf("unknown target format %q (want rel or json)", *to)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/license"
+)
+
+const ex1rel = `# Example 1
+L_D^1: (K; Play; T=[10/03/09, 20/03/09], R=[Asia, Europe]; A=2000)
+L_D^2: (K; Play; T=[15/03/09, 25/03/09], R=[Asia]; A=1000)
+L_D^3: (K; Play; T=[15/03/09, 30/03/09], R=[America]; A=3000)
+L_D^4: (K; Play; T=[15/03/09, 15/04/09], R=[Europe]; A=4000)
+L_D^5: (K; Play; T=[25/03/09, 10/04/09], R=[America]; A=2000)
+`
+
+func TestRelToJSONToRelRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	relPath := filepath.Join(dir, "ex1.rel")
+	jsonPath := filepath.Join(dir, "ex1.json")
+	if err := os.WriteFile(relPath, []byte(ex1rel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-to", "json", "-in", relPath, "-out", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The JSON decodes to the fixture's corpus.
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := license.DecodeCorpus(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := license.NewExample1().Corpus
+	if corpus.Len() != want.Len() {
+		t.Fatalf("len = %d", corpus.Len())
+	}
+	for i := 0; i < corpus.Len(); i++ {
+		if corpus.License(i).Rect.String() != want.License(i).Rect.String() {
+			t.Errorf("license %d rect differs", i)
+		}
+	}
+	// Back to .rel on stdout: licenses reappear in paper notation.
+	out.Reset()
+	if err := run([]string{"-to", "rel", "-in", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, wantLine := range []string{
+		"L_D^1: (K; Play; T=[10/03/09, 20/03/09], R=[Asia, Europe]; A=2000)",
+		"L_D^5: (K; Play; T=[25/03/09, 10/04/09], R=[America]; A=2000)",
+	} {
+		if !strings.Contains(s, wantLine) {
+			t.Errorf("rel output missing %q:\n%s", wantLine, s)
+		}
+	}
+}
+
+func TestGenericSchemaRendersWithAxisTags(t *testing.T) {
+	// A non-paper schema renders with generated tags (axis names).
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "generic.json")
+	doc := `{"version":1,"content":"K","permission":"play",
+	 "axes":[{"name":"c0","kind":"interval"},{"name":"c1","kind":"interval"}],
+	 "licenses":[{"name":"L1","aggregate":10,"values":[{"lo":0,"hi":5},{"lo":2,"hi":9}]}]}`
+	if err := os.WriteFile(jsonPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-to", "rel", "-in", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "C0=[0, 5], C1=[2, 9]") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent"}, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	relPath := filepath.Join(dir, "x.rel")
+	if err := os.WriteFile(relPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-to", "json", "-in", relPath}, &out); err == nil {
+		t.Error("garbage .rel accepted")
+	}
+	if err := run([]string{"-to", "weird", "-in", relPath}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

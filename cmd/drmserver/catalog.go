@@ -1,0 +1,81 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/license"
+)
+
+// catalogServer is the multi-content mode: every catalog entry is served
+// at /v1/c/{content}/{perm}/..., plus a listing endpoint. One mutex covers
+// the whole catalog (entries share log files only per entry, but the
+// simplicity is worth more than per-entry locking at this scale).
+type catalogServer struct {
+	mu  sync.Mutex
+	cat *catalog.Catalog
+}
+
+func newCatalogServer(cat *catalog.Catalog) *catalogServer {
+	return &catalogServer{cat: cat}
+}
+
+func (s *catalogServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	mux.HandleFunc("GET /v1/contents", s.handleContents)
+	mux.HandleFunc("GET /v1/c/{content}/{perm}/corpus", s.entry(corpusAPI.handleCorpus))
+	mux.HandleFunc("GET /v1/c/{content}/{perm}/groups", s.entry(corpusAPI.handleGroups))
+	mux.HandleFunc("POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
+	mux.HandleFunc("GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
+	mux.HandleFunc("GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
+	return mux
+}
+
+// entry resolves the path's (content, perm) to a corpusAPI and dispatches,
+// or 404s.
+func (s *catalogServer) entry(h func(corpusAPI, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		content := r.PathValue("content")
+		perm := license.Permission(r.PathValue("perm"))
+		s.mu.Lock()
+		e := s.cat.Get(content, perm)
+		s.mu.Unlock()
+		if e == nil {
+			writeJSON(w, http.StatusNotFound, errorBody{
+				Error: "no corpus for (" + content + ", " + string(perm) + ")",
+			})
+			return
+		}
+		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist}, w, r)
+	}
+}
+
+type contentsBody struct {
+	Contents []contentEntry `json:"contents"`
+}
+
+type contentEntry struct {
+	Content    string `json:"content"`
+	Permission string `json:"permission"`
+	Licenses   int    `json:"licenses"`
+	Groups     int    `json:"groups"`
+	LogRecords int    `json:"log_records"`
+}
+
+func (s *catalogServer) handleContents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var body contentsBody
+	for _, e := range s.cat.Entries() {
+		body.Contents = append(body.Contents, contentEntry{
+			Content:    e.Content,
+			Permission: string(e.Permission),
+			Licenses:   e.Corpus.Len(),
+			Groups:     e.Dist.NumGroups(),
+			LogRecords: e.Log.Len(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}

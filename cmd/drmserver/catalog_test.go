@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/license"
+)
+
+// newCatalogTestServer builds a catalog with Example 1 under two contents.
+func newCatalogTestServer(t *testing.T) (*httptest.Server, *license.Example1) {
+	t.Helper()
+	cat, err := catalog.Open(t.TempDir(), engine.ModeOnline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	ex := license.NewExample1()
+	if _, err := cat.Add(ex.Corpus); err != nil { // content "K", play
+		t.Fatal(err)
+	}
+	// A second content with a different corpus: just L_D^1's shape.
+	other := license.NewCorpus(ex.Schema)
+	cp := *ex.Corpus.License(0)
+	cp.Content = "K2"
+	if _, err := other.Add(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newCatalogServer(cat).routes())
+	t.Cleanup(ts.Close)
+	return ts, ex
+}
+
+func TestCatalogContentsListing(t *testing.T) {
+	ts, _ := newCatalogTestServer(t)
+	var body contentsBody
+	if code := getJSON(t, ts.URL+"/v1/contents", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Contents) != 2 {
+		t.Fatalf("contents = %+v", body.Contents)
+	}
+	// Sorted by content: K before K2.
+	if body.Contents[0].Content != "K" || body.Contents[1].Content != "K2" {
+		t.Errorf("order = %+v", body.Contents)
+	}
+	if body.Contents[0].Licenses != 5 || body.Contents[0].Groups != 2 {
+		t.Errorf("K entry = %+v", body.Contents[0])
+	}
+}
+
+func TestCatalogPerContentRoutes(t *testing.T) {
+	ts, ex := newCatalogTestServer(t)
+	// Groups of K match fig 3; groups of K2 are trivially one.
+	var g groupsBody
+	if code := getJSON(t, ts.URL+"/v1/c/K/play/groups", &g); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(g.Groups) != 2 {
+		t.Errorf("K groups = %v", g.Groups)
+	}
+	if code := getJSON(t, ts.URL+"/v1/c/K2/play/groups", &g); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(g.Groups) != 1 {
+		t.Errorf("K2 groups = %v", g.Groups)
+	}
+	// Issue against K and audit it; K2 must stay untouched.
+	req := issueRequest{Values: usageValues(ex), Count: 700}
+	var ir issueResponse
+	if code := postJSON(t, ts.URL+"/v1/c/K/play/issue", req, &ir); code != http.StatusOK {
+		t.Fatalf("issue status = %d", code)
+	}
+	if fmt.Sprint(ir.BelongsTo) != "[1 2]" {
+		t.Errorf("belongs = %v", ir.BelongsTo)
+	}
+	var audit auditResponse
+	if code := getJSON(t, ts.URL+"/v1/c/K/play/audit", &audit); code != http.StatusOK || !audit.OK {
+		t.Errorf("K audit = %d %+v", code, audit)
+	}
+	if code := getJSON(t, ts.URL+"/v1/c/K2/play/audit", &audit); code != http.StatusOK || audit.Equations != 1 {
+		t.Errorf("K2 audit = %d %+v", code, audit)
+	}
+}
+
+func TestCatalogUnknownContent404(t *testing.T) {
+	ts, _ := newCatalogTestServer(t)
+	var e errorBody
+	if code := getJSON(t, ts.URL+"/v1/c/NOPE/play/groups", &e); code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+	if e.Error == "" {
+		t.Error("empty error body")
+	}
+	if code := getJSON(t, ts.URL+"/v1/c/K/copy/audit", &e); code != http.StatusNotFound {
+		t.Fatalf("wrong-permission status = %d, want 404", code)
+	}
+}
+
+func TestCatalogCorpusEndpoint(t *testing.T) {
+	ts, _ := newCatalogTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/c/K/play/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	corpus, err := license.DecodeCorpus(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 5 {
+		t.Errorf("corpus len = %d", corpus.Len())
+	}
+}

@@ -1,0 +1,347 @@
+// Command drmserver exposes one distributor's license corpus as an HTTP
+// validation service: consumers request issuances, the server runs
+// instance validation (R-tree containment) and — in online mode —
+// aggregate validation (equation headroom), logging every accepted
+// issuance; auditors fetch offline validation reports.
+//
+// Usage:
+//
+//	drmserver -corpus corpus.json -log issued.jsonl -addr :8080 -mode online
+//	drmserver -catalog ./catalog-dir -addr :8080 -mode online
+//
+// Single-corpus endpoints:
+//
+//	GET  /v1/corpus  → the corpus document (as written by drmgen)
+//	GET  /v1/groups  → overlap grouping and theoretical gain
+//	POST /v1/issue   → {"values":[{"lo":..,"hi":..}|{"set":[..]}, ...],
+//	                    "count": 25, "kind": "usage"}
+//	GET  /v1/audit   → grouped offline validation report
+//	GET  /v1/healthz → liveness
+//
+// Catalog mode serves many (content, permission) corpora from a directory
+// (see internal/catalog for the layout):
+//
+//	GET  /v1/contents                        → entry listing
+//	GET  /v1/c/{content}/{perm}/corpus       (and /groups, /audit)
+//	POST /v1/c/{content}/{perm}/issue
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/overlap"
+	"repro/internal/signature"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drmserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		corpusPath  = flag.String("corpus", "corpus.json", "corpus document path (single-corpus mode)")
+		logPath     = flag.String("log", "issued.jsonl", "durable issuance log path (single-corpus mode)")
+		catalogPath = flag.String("catalog", "", "catalog directory (multi-content mode; overrides -corpus/-log)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		mode        = flag.String("mode", "online", "validation mode: online or offline")
+		signed      = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
+		issuerKey   = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
+	)
+	flag.Parse()
+
+	var m engine.Mode
+	switch *mode {
+	case "online":
+		m = engine.ModeOnline
+	case "offline":
+		m = engine.ModeOffline
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	if *catalogPath != "" {
+		cat, err := catalog.Open(*catalogPath, m)
+		if err != nil {
+			return err
+		}
+		defer cat.Close()
+		srv := newCatalogServer(cat)
+		log.Printf("drmserver: catalog %s with %d entries, mode %s, listening on %s",
+			*catalogPath, cat.Len(), m, *addr)
+		return serve(*addr, srv.routes())
+	}
+
+	cf, err := os.Open(*corpusPath)
+	if err != nil {
+		return err
+	}
+	var corpus *license.Corpus
+	if *signed {
+		var trusted ed25519.PublicKey
+		if *issuerKey != "" {
+			trusted, err = signature.KeyFromString(*issuerKey)
+			if err != nil {
+				cf.Close()
+				return err
+			}
+		}
+		var pub ed25519.PublicKey
+		corpus, pub, err = signature.ReadSignedCorpus(cf, trusted)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("drmserver: corpus signature verified (issuer %s)", signature.KeyToString(pub))
+	} else {
+		corpus, err = license.DecodeCorpus(cf)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	store, err := logstore.OpenFile(*logPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	srv, err := newServer(corpus, store, m)
+	if err != nil {
+		return err
+	}
+	log.Printf("drmserver: %d licenses, mode %s, listening on %s", corpus.Len(), m, *addr)
+	return serve(*addr, srv.routes())
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests before returning, so deferred log/catalog closes always run
+// and buffered issuance records reach disk.
+func serve(addr string, handler http.Handler) error {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Print("drmserver: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("drmserver: shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// corpusAPI serves one (content, permission) corpus. A single mutex
+// serialises issuance and audit: Distributor is not concurrency-safe. In
+// catalog mode all entries share the catalog's mutex.
+type corpusAPI struct {
+	mu     *sync.Mutex
+	corpus *license.Corpus
+	dist   *engine.Distributor
+}
+
+// server is the single-corpus mode: one corpusAPI at fixed routes.
+type server struct {
+	api corpusAPI
+}
+
+func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode) (*server, error) {
+	d := engine.NewDistributor("drmserver", corpus.Schema(), mode, store)
+	for _, l := range corpus.Licenses() {
+		cp := *l
+		if _, err := d.AddRedistribution(&cp); err != nil {
+			return nil, err
+		}
+	}
+	return &server{api: corpusAPI{mu: &sync.Mutex{}, corpus: corpus, dist: d}}, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", handleHealthz)
+	mux.HandleFunc("GET /v1/corpus", s.api.handleCorpus)
+	mux.HandleFunc("GET /v1/groups", s.api.handleGroups)
+	mux.HandleFunc("POST /v1/issue", s.api.handleIssue)
+	mux.HandleFunc("GET /v1/audit", s.api.handleAudit)
+	mux.HandleFunc("GET /v1/stats", s.api.handleStats)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("drmserver: encoding response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s corpusAPI) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := license.EncodeCorpus(w, s.corpus); err != nil {
+		log.Printf("drmserver: encoding corpus: %v", err)
+	}
+}
+
+type groupsBody struct {
+	Groups [][]int `json:"groups"` // one-based license numbers per group
+	Gain   float64 `json:"gain"`
+}
+
+func (s corpusAPI) handleGroups(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gr := overlap.GroupsOf(s.corpus)
+	body := groupsBody{Gain: core.Gain(gr)}
+	for _, g := range gr.Groups {
+		var ids []int
+		g.Members.ForEach(func(j int) bool { ids = append(ids, j+1); return true })
+		body.Groups = append(body.Groups, ids)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+type issueRequest struct {
+	Values []license.ValueDoc `json:"values"`
+	Count  int64              `json:"count"`
+	Kind   string             `json:"kind"` // "usage" (default) or "redistribution"
+}
+
+type issueResponse struct {
+	Name      string `json:"name"`
+	BelongsTo []int  `json:"belongs_to"` // one-based license numbers
+	Count     int64  `json:"count"`
+}
+
+func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
+	var req issueRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	kind := license.Usage
+	switch req.Kind {
+	case "", "usage":
+	case "redistribution":
+		kind = license.Redistribution
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown kind " + req.Kind})
+		return
+	}
+	rect, err := license.BuildRect(s.corpus.Schema(), req.Values)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	issued, err := s.dist.Issue(kind, rect, req.Count)
+	var belongs []int
+	if err == nil {
+		s.dist.BelongsTo(rect).ForEach(func(j int) bool {
+			belongs = append(belongs, j+1)
+			return true
+		})
+	}
+	s.mu.Unlock()
+	switch {
+	case errors.Is(err, engine.ErrInstanceInvalid):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+	case errors.Is(err, engine.ErrAggregateExhausted):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, issueResponse{
+			Name:      issued.Name,
+			BelongsTo: belongs,
+			Count:     issued.Aggregate,
+		})
+	}
+}
+
+type statsResponse struct {
+	Licenses          int   `json:"licenses"`
+	Groups            int   `json:"groups"`
+	Issued            int   `json:"issued"`
+	IssuedCounts      int64 `json:"issued_counts"`
+	RejectedInstance  int   `json:"rejected_instance"`
+	RejectedAggregate int   `json:"rejected_aggregate"`
+}
+
+func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.dist.Stats()
+	body := statsResponse{
+		Licenses:          s.corpus.Len(),
+		Groups:            s.dist.NumGroups(),
+		Issued:            st.Issued,
+		IssuedCounts:      st.IssuedCounts,
+		RejectedInstance:  st.RejectedInstance,
+		RejectedAggregate: st.RejectedAggregate,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+type auditResponse struct {
+	OK         bool     `json:"ok"`
+	Groups     int      `json:"groups"`
+	Equations  int64    `json:"equations"`
+	Gain       float64  `json:"gain"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+func (s corpusAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rep, aud, err := s.dist.Audit(1)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	body := auditResponse{
+		OK:        rep.OK(),
+		Groups:    aud.Grouping().NumGroups(),
+		Equations: rep.Equations,
+		Gain:      aud.Gain(),
+	}
+	for _, v := range rep.Violations {
+		body.Violations = append(body.Violations, v.String())
+	}
+	writeJSON(w, http.StatusOK, body)
+}

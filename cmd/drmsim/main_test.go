@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-tiers", "2", "-width", "2", "-contents", "1",
+		"-days", "4", "-requests", "50", "-audit-every", "2", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"simulated 4 days", "audits:", "distributor", "tier1/d1", "total:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Online mode: zero violated equations.
+	if !strings.Contains(s, "audits: 4 passes, 0 violated equations") &&
+		!strings.Contains(s, " 0 violated equations") {
+		t.Errorf("online run reported violations:\n%s", s)
+	}
+}
+
+func TestRunOfflineMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-tiers", "1", "-width", "1", "-contents", "1", "-grants", "2",
+		"-days", "30", "-requests", "300", "-audit-every", "15",
+		"-mode", "offline", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "offline mode") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "weird"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-tiers", "-2"}, &out); err == nil {
+		t.Error("negative tiers accepted")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

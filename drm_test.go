@@ -1,0 +1,176 @@
+package drm_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	drm "repro"
+)
+
+// TestFacadeEndToEnd drives the whole public API the way the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	ex := drm.Example1()
+	log := drm.NewMemLog()
+	for _, e := range ex.Log {
+		if err := log.Append(drm.Record{Set: e.Set, Count: e.Count}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aud, err := drm.NewAuditor(ex.Corpus, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := aud.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Equations != 10 {
+		t.Errorf("report = %+v", rep)
+	}
+	if g := aud.Gain(); math.Abs(g-3.1) > 0.001 {
+		t.Errorf("gain = %v, want 3.1", g)
+	}
+	if gr := drm.GroupsOf(ex.Corpus); gr.NumGroups() != 2 {
+		t.Errorf("groups = %d, want 2", gr.NumGroups())
+	}
+}
+
+func TestFacadeSchemaAndEngine(t *testing.T) {
+	tax := drm.World()
+	schema, err := drm.NewSchema(
+		drm.Axis{Name: "period", Kind: drm.KindInterval},
+		drm.Axis{Name: "region", Kind: drm.KindSet, Universe: tax.NumLeaves()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := drm.DateRange("01/06/26", "30/06/26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := drm.NewRect(schema,
+		drm.IntervalValue(period),
+		drm.SetValue(tax.MustResolve("Asia")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := drm.NewDistributor("d", schema, drm.ModeOnline, drm.NewMemLog())
+	if _, err := d.AddRedistribution(&drm.License{
+		Name: "L1", Kind: drm.Redistribution, Content: "K",
+		Permission: drm.Play, Rect: rect, Aggregate: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	usage, err := drm.NewRect(schema,
+		drm.IntervalValue(drm.NewInterval(period.Lo, period.Lo+3)),
+		drm.SetValue(tax.MustResolve("Japan")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Issue(drm.Usage, usage, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Issue(drm.Usage, usage, 60); !errors.Is(err, drm.ErrAggregateExhausted) {
+		t.Errorf("err = %v, want ErrAggregateExhausted", err)
+	}
+	rep, _, err := d.Audit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+func TestFacadeWorkloadAndCodec(t *testing.T) {
+	cfg := drm.DefaultWorkload(6)
+	cfg.Groups = 2
+	cfg.RecordsPerLicense = 20
+	w, err := drm.GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := drm.EncodeCorpus(&buf, w.Corpus); err != nil {
+		t.Fatal(err)
+	}
+	back, err := drm.DecodeCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 6 {
+		t.Errorf("decoded corpus len = %d", back.Len())
+	}
+	if gr := drm.GroupsOf(back); gr.NumGroups() != 2 {
+		t.Errorf("groups after round-trip = %d, want 2", gr.NumGroups())
+	}
+}
+
+func TestFacadeEquationAllocator(t *testing.T) {
+	alloc, err := drm.NewEquationAllocator([]int64{2000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 1's motivating sequence.
+	if err := alloc.Allocate(drm.Mask(0b11), 800); err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Allocate(drm.Mask(0b10), 400); err != nil {
+		t.Errorf("equation allocator rejected L_U^2: %v", err)
+	}
+}
+
+func TestFacadeForecastAndCuts(t *testing.T) {
+	ex := drm.Example1()
+	// L1 is the only cut license (fig 3's star centre).
+	if cuts := drm.CutLicenses(ex.Corpus); cuts != drm.Mask(0b00001) {
+		t.Errorf("CutLicenses = %v, want {1}", cuts)
+	}
+	steps, err := drm.ExpiryTimeline(ex.Corpus, "period")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 6 {
+		t.Fatalf("steps = %d, want 6", len(steps))
+	}
+	if !steps[1].Split {
+		t.Error("L1's expiry must split its group")
+	}
+}
+
+func TestFacadeSignatures(t *testing.T) {
+	pub, priv, err := drm.GenerateIssuerKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := drm.Example1()
+	l := ex.Corpus.License(0)
+	sig, err := drm.SignLicense(l, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drm.VerifyLicense(l, pub, sig); err != nil {
+		t.Fatal(err)
+	}
+	tampered := *l
+	tampered.Aggregate++
+	if err := drm.VerifyLicense(&tampered, pub, sig); !errors.Is(err, drm.ErrBadSignature) {
+		t.Errorf("tampered license verified: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := drm.WriteSignedCorpus(&buf, ex.Corpus, priv); err != nil {
+		t.Fatal(err)
+	}
+	corpus, _, err := drm.ReadSignedCorpus(&buf, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 5 {
+		t.Errorf("corpus len = %d", corpus.Len())
+	}
+}

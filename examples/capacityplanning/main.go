@@ -1,0 +1,63 @@
+// Capacityplanning shows the operator analyses the validation equations
+// make possible beyond auditing: how many more counts each license can
+// still sell (equation headroom), which licenses hold expensive groups
+// together (cut licenses), and how the validation plan relaxes as
+// licenses expire (the forecast timeline).
+//
+// Run with: go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	drm "repro"
+)
+
+func main() {
+	ex := drm.Example1()
+	store := drm.NewMemLog()
+	for _, e := range ex.Log {
+		if err := store.Append(drm.Record{Set: e.Set, Count: e.Count}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	auditor, err := drm.NewAuditor(ex.Corpus, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := auditor.Audit(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Capacity: headroom per license, utilization per group ==")
+	capacity, err := drm.Capacity(auditor.Trees())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := capacity.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Structural risk: cut licenses ==")
+	cuts := drm.CutLicenses(ex.Corpus)
+	fmt.Printf("licenses whose expiry splits their group: %v\n", cuts)
+	fmt.Println("(splitting is good news for the validator: fewer, smaller equations)")
+
+	fmt.Println("\n== Forecast: the validation plan across expiries ==")
+	steps, err := drm.ExpiryTimeline(ex.Corpus, "period")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range steps {
+		marker := ""
+		if st.Split {
+			marker = "  <- group split"
+		}
+		fmt.Printf("t=%d  expired=%v  active=%d  groups=%d  equations=%d  gain=%.1fx%s\n",
+			st.Time, st.Expired, st.Active.Len(), len(st.Groups), st.Equations, st.Gain, marker)
+	}
+	fmt.Println("\nAudit scheduling hint: the expensive audits are the early ones;")
+	fmt.Println("after the first split the equation count drops from 10 to 5.")
+}

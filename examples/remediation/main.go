@@ -1,0 +1,79 @@
+// Remediation walks the violation-handling loop a validation authority
+// runs after an offline audit flags a distributor: find the violated
+// equations (geometric grouped validation), decompose each into its
+// contributing issuances and budgets (core.Explain), apply the minimal
+// budget top-up, and re-audit to a clean report.
+//
+// Run with: go run ./examples/remediation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	drm "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	ex := drm.Example1()
+
+	// An offline distributor over-issues against L_D^2: three 400-count
+	// issuances that only L_D^2 (budget 1000) covers, on top of the joint
+	// 800-count issuance.
+	d := drm.NewDistributor("D1", ex.Schema, drm.ModeOffline, drm.NewMemLog())
+	for _, l := range ex.Corpus.Licenses() {
+		cp := *l
+		if _, err := d.AddRedistribution(&cp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := d.Issue(drm.Usage, ex.Usage1.Rect, 800); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Issue(drm.Usage, ex.Usage2.Rect, 400); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. Audit finds the violations.
+	report, auditor, err := d.Audit(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit: %d equations, %d violated\n\n", report.Equations, len(report.Violations))
+
+	// 2. Explain them: which issuances, which budgets, how much is missing.
+	explanations, err := core.ExplainReport(auditor.Trees(), report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worstPerLicense := map[int]int64{}
+	for _, e := range explanations {
+		fmt.Print(e)
+		// The minimal fix: raise any one member's budget by the deficit.
+		// Attribute it to the smallest member license of each set.
+		j := e.Set.Min()
+		if e.Remediation() > worstPerLicense[j] {
+			worstPerLicense[j] = e.Remediation()
+		}
+	}
+
+	// 3. Top up and re-audit.
+	fmt.Println("\nremediation:")
+	for j, extra := range worstPerLicense {
+		fmt.Printf("  top up %s by %d counts\n", d.Corpus().License(j).Name, extra)
+		if err := d.TopUp(j, extra); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report, _, err = d.Audit(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-audit: ok=%v (%d violations)\n", report.OK(), len(report.Violations))
+	if !report.OK() {
+		log.Fatal("remediation insufficient — this is a bug")
+	}
+}

@@ -1,0 +1,74 @@
+// Streaming demonstrates the fig-6 dynamics the paper discusses: as a
+// distributor acquires redistribution licenses one at a time, the number
+// of disconnected groups may stay, rise, or collapse — and each change
+// moves the theoretical validation gain (eq 3). The engine tracks groups
+// incrementally (union-find) so no acquisition recomputes from scratch.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	drm "repro"
+)
+
+func main() {
+	tax := drm.World()
+	schema, err := drm.NewSchema(
+		drm.Axis{Name: "period", Kind: drm.KindInterval},
+		drm.Axis{Name: "region", Kind: drm.KindSet, Universe: tax.NumLeaves()},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := drm.NewDistributor("acquirer", schema, drm.ModeOffline, drm.NewMemLog())
+
+	mk := func(name, from, to string, regions ...string) *drm.License {
+		period, err := drm.DateRange(from, to)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := drm.NewRect(schema,
+			drm.IntervalValue(period), drm.SetValue(tax.MustResolve(regions...)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &drm.License{
+			Name: name, Kind: drm.Redistribution, Content: "K",
+			Permission: drm.Play, Rect: r, Aggregate: 1000,
+		}
+	}
+
+	// The acquisition sequence is scripted to show all three fig-6 cases:
+	// group count rising (disjoint license), staying (extends one group),
+	// and collapsing (a license bridging two groups).
+	acquisitions := []struct {
+		l    *drm.License
+		note string
+	}{
+		{mk("L1", "01/01/26", "31/01/26", "Asia"), "first license"},
+		{mk("L2", "01/03/26", "31/03/26", "Europe"), "disjoint in time+region → new group"},
+		{mk("L3", "15/01/26", "15/02/26", "India"), "overlaps L1 → joins its group"},
+		{mk("L4", "01/06/26", "30/06/26", "America"), "disjoint → new group"},
+		{mk("L5", "20/01/26", "20/03/26", "Asia", "Europe"), "bridges L1's and L2's groups → merge"},
+	}
+	fmt.Println("acquisition                                      groups  gain (eq 3)")
+	for _, a := range acquisitions {
+		if _, err := d.AddRedistribution(a.l); err != nil {
+			log.Fatal(err)
+		}
+		grouping := drm.GroupsOf(d.Corpus())
+		fmt.Printf("%-6s %-42s %2d     %8.1fx\n",
+			a.l.Name, a.note, d.NumGroups(), drm.Gain(grouping))
+		if d.NumGroups() != grouping.NumGroups() {
+			log.Fatal("incremental and batch grouping disagree — this is a bug")
+		}
+	}
+
+	fmt.Println("\nfinal grouping:", drm.GroupsOf(d.Corpus()))
+	fmt.Println("\nEach merge makes validation costlier (bigger 2^{N_k} term);")
+	fmt.Println("each split makes it cheaper. The auditor always re-derives the")
+	fmt.Println("grouping from geometry, so acquisitions need no revalidation.")
+}

@@ -1,0 +1,80 @@
+package drm_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every runnable example end-to-end via `go run`,
+// guarding them against API drift and runtime regressions. The examples
+// are deterministic, so spot-checked output lines are stable.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are subprocess-heavy; skipped with -short")
+	}
+	expects := map[string][]string{
+		"quickstart": {
+			"2 groups: [{1,2,4} {3,5}]",
+			"evaluated 10 equations",
+			"equation validator accepted L_U^2",
+		},
+		"multidistributor": {
+			"asia-media's corpus has 2 disconnected groups",
+			"Offline audits (geometric validator)",
+		},
+		"audit": {
+			"theoretical gain (eq 3):",
+			"measured gain:",
+		},
+		"streaming": {
+			"bridges L1's and L2's groups → merge",
+			"final grouping: [{1,2,3,5} {4}]",
+		},
+		"paperlicenses": {
+			"groups: [{1,2,4} {3,5}]   gain: 3.1x",
+			"after acquiring L_D^6",
+		},
+		"remediation": {
+			"top up L_D^2 by 200 counts",
+			"re-audit: ok=true",
+		},
+		"federation": {
+			"federated audit matches the single-authority audit exactly",
+		},
+		"capacityplanning": {
+			"licenses whose expiry splits their group: {1}",
+			"equation count drops from 10 to 5",
+		},
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range entries {
+		if !entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		want, ok := expects[name]
+		if !ok {
+			t.Errorf("example %q has no smoke expectations — add them here", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, w := range want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}

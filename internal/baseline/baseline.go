@@ -1,0 +1,270 @@
+// Package baseline implements the comparison points the paper argues
+// against or builds upon:
+//
+//   - online single-license allocators (RandomPick, FirstFit, BestFit) that
+//     pick ONE redistribution license from the belongs-to set and decrement
+//     its budget — the naive strategy whose pitfall Example 1 demonstrates;
+//   - the equation-based online validator (Headroom over the validation
+//     tree), which accepts an issuance iff no validation equation can ever
+//     be violated by it — the loss-free strategy the equations enable;
+//   - offline equation evaluators that bypass the validation tree: Direct
+//     (per-equation log scan) and SOS (a 2^N subset-sum dynamic program),
+//     used as ablations of the tree's pruned traversal.
+//
+// All offline evaluators agree exactly with vtree.ValidateAll; the property
+// tests in this package pin that down.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/logstore"
+	"repro/internal/vtree"
+)
+
+// ErrRejected is returned by allocators when an issuance cannot be granted.
+var ErrRejected = errors.New("baseline: issuance rejected")
+
+// Allocator is an online issuance policy: offered the belongs-to set of a
+// new license and its permission count, it either accepts (recording the
+// consumption) or rejects. Implementations are stateful.
+type Allocator interface {
+	// Allocate processes one issuance request. It returns ErrRejected (or
+	// a wrapping error) when the request cannot be granted; state is
+	// unchanged on rejection.
+	Allocate(belongsTo bitset.Mask, count int64) error
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// pickAllocator is the common machinery of the single-license policies:
+// per-license remaining budgets plus a pluggable choice function over the
+// affordable candidates.
+type pickAllocator struct {
+	name      string
+	remaining []int64
+	choose    func(candidates []int) int
+}
+
+// Allocate implements Allocator: it restricts the belongs-to set to
+// licenses that can still afford the count, asks the policy to choose one,
+// and decrements that license's budget.
+func (p *pickAllocator) Allocate(belongsTo bitset.Mask, count int64) error {
+	if count <= 0 {
+		return fmt.Errorf("baseline: non-positive count %d", count)
+	}
+	var candidates []int
+	belongsTo.ForEach(func(j int) bool {
+		if j < len(p.remaining) && p.remaining[j] >= count {
+			candidates = append(candidates, j)
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return fmt.Errorf("%w: no license in %v can afford %d", ErrRejected, belongsTo, count)
+	}
+	p.remaining[p.choose(candidates)] -= count
+	return nil
+}
+
+// Name implements Allocator.
+func (p *pickAllocator) Name() string { return p.name }
+
+// Remaining exposes the per-license budgets left (for tests and reports).
+func (p *pickAllocator) Remaining() []int64 {
+	return append([]int64(nil), p.remaining...)
+}
+
+// PickAllocator is the interface satisfied by the single-license policies,
+// adding budget introspection to Allocator.
+type PickAllocator interface {
+	Allocator
+	Remaining() []int64
+}
+
+// NewRandomPick returns the policy Example 1 warns about: choose uniformly
+// at random (seeded, reproducible) among the affordable licenses of the
+// belongs-to set.
+func NewRandomPick(aggregates []int64, seed int64) PickAllocator {
+	r := rand.New(rand.NewSource(seed))
+	return &pickAllocator{
+		name:      "random-pick",
+		remaining: append([]int64(nil), aggregates...),
+		choose:    func(c []int) int { return c[r.Intn(len(c))] },
+	}
+}
+
+// NewFirstFit returns the lowest-index policy: always consume from the
+// first affordable license.
+func NewFirstFit(aggregates []int64) PickAllocator {
+	return &pickAllocator{
+		name:      "first-fit",
+		remaining: append([]int64(nil), aggregates...),
+		choose:    func(c []int) int { return c[0] },
+	}
+}
+
+// NewBestFit returns the most-remaining policy: consume from the affordable
+// license with the largest remaining budget, a sensible greedy heuristic
+// that still loses to the equation approach on adversarial sequences.
+func NewBestFit(aggregates []int64) PickAllocator {
+	p := &pickAllocator{
+		name:      "best-fit",
+		remaining: append([]int64(nil), aggregates...),
+	}
+	p.choose = func(c []int) int {
+		best := c[0]
+		for _, j := range c[1:] {
+			if p.remaining[j] > p.remaining[best] {
+				best = j
+			}
+		}
+		return best
+	}
+	return p
+}
+
+// EquationAllocator is the loss-free online policy enabled by the
+// validation equations: accept an issuance iff its count fits within the
+// Headroom of its belongs-to set, i.e. iff no validation equation is
+// violated now or implied to be violated later. Accepted issuances are
+// recorded in the validation tree.
+type EquationAllocator struct {
+	tree       *vtree.Tree
+	aggregates []int64
+}
+
+// NewEquationAllocator builds the policy over n licenses with their
+// aggregate budgets.
+func NewEquationAllocator(aggregates []int64) (*EquationAllocator, error) {
+	t, err := vtree.New(len(aggregates))
+	if err != nil {
+		return nil, err
+	}
+	return &EquationAllocator{tree: t, aggregates: append([]int64(nil), aggregates...)}, nil
+}
+
+// Allocate implements Allocator.
+func (e *EquationAllocator) Allocate(belongsTo bitset.Mask, count int64) error {
+	room, err := e.tree.Headroom(belongsTo, e.aggregates)
+	if err != nil {
+		return err
+	}
+	if count > room {
+		return fmt.Errorf("%w: count %d exceeds headroom %d for %v", ErrRejected, count, room, belongsTo)
+	}
+	return e.tree.Insert(belongsTo, count)
+}
+
+// Name implements Allocator.
+func (e *EquationAllocator) Name() string { return "equation" }
+
+// Tree exposes the underlying validation tree (read-only use).
+func (e *EquationAllocator) Tree() *vtree.Tree { return e.tree }
+
+// Replay feeds a sequence of (set, count) requests to an allocator and
+// reports how many were accepted and the total permission counts granted.
+func Replay(a Allocator, requests []logstore.Record) (accepted int, granted int64) {
+	for _, r := range requests {
+		if err := a.Allocate(r.Set, r.Count); err == nil {
+			accepted++
+			granted += r.Count
+		}
+	}
+	return accepted, granted
+}
+
+// DirectValidate evaluates all 2^N−1 validation equations straight off the
+// log, without building a validation tree — the pre-[10] strawman used as
+// the tree's ablation baseline. Records must all be within [0, n).
+func DirectValidate(n int, records []logstore.Record, a []int64) (vtree.Result, error) {
+	if n < 0 || n > bitset.MaxMaskElems {
+		return vtree.Result{}, fmt.Errorf("baseline: invalid n %d", n)
+	}
+	if len(a) != n {
+		return vtree.Result{}, fmt.Errorf("baseline: aggregate array has %d entries, want %d", len(a), n)
+	}
+	full := bitset.FullMask(n)
+	for _, r := range records {
+		if !r.Set.SubsetOf(full) {
+			return vtree.Result{}, fmt.Errorf("baseline: record set %v outside universe", r.Set)
+		}
+	}
+	if n == 0 {
+		return vtree.Result{}, nil
+	}
+	var res vtree.Result
+	for s := bitset.Mask(1); ; s++ {
+		var cv int64
+		for _, r := range records {
+			if r.Set.SubsetOf(s) {
+				cv += r.Count
+			}
+		}
+		var av int64
+		s.ForEach(func(e int) bool { av += a[e]; return true })
+		res.Equations++
+		if cv > av {
+			res.Violations = append(res.Violations, vtree.Violation{Set: s, CV: cv, AV: av})
+		}
+		if s == full {
+			break
+		}
+	}
+	return res, nil
+}
+
+// maxSOSBits caps the subset-sum DP's 2^N table at 512 MiB of int64s.
+const maxSOSBits = 26
+
+// SOSValidate evaluates all validation equations with a sum-over-subsets
+// dynamic program (zeta transform): O(N·2^N) time, O(2^N) memory. It is
+// asymptotically optimal when most of the 2^N sets occur in the log, and an
+// interesting ablation of the tree's pruned traversal, but its memory makes
+// it unusable past N ≈ 26 — one reason the paper's tree + grouping approach
+// matters.
+func SOSValidate(n int, records []logstore.Record, a []int64) (vtree.Result, error) {
+	if n < 0 || n > maxSOSBits {
+		return vtree.Result{}, fmt.Errorf("baseline: SOS supports n in [0,%d], got %d", maxSOSBits, n)
+	}
+	if len(a) != n {
+		return vtree.Result{}, fmt.Errorf("baseline: aggregate array has %d entries, want %d", len(a), n)
+	}
+	size := 1 << uint(n)
+	full := bitset.Mask(size - 1)
+	cv := make([]int64, size)
+	for _, r := range records {
+		if !r.Set.SubsetOf(full) {
+			return vtree.Result{}, fmt.Errorf("baseline: record set %v outside universe", r.Set)
+		}
+		cv[r.Set] += r.Count
+	}
+	// Zeta transform: after pass j, cv[s] sums counts over subsets that
+	// may differ from s only in bits <= j.
+	for j := 0; j < n; j++ {
+		bit := 1 << uint(j)
+		for s := 0; s < size; s++ {
+			if s&bit != 0 {
+				cv[s] += cv[s^bit]
+			}
+		}
+	}
+	av := make([]int64, size)
+	for s := 1; s < size; s++ {
+		low := s & (-s)
+		av[s] = av[s^low] + a[bitset.Mask(low).Min()]
+	}
+	var res vtree.Result
+	for s := 1; s < size; s++ {
+		res.Equations++
+		if cv[s] > av[s] {
+			res.Violations = append(res.Violations, vtree.Violation{
+				Set: bitset.Mask(s), CV: cv[s], AV: av[s],
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,297 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/logstore"
+	"repro/internal/vtree"
+)
+
+// example1Aggregates is A = (2000, 1000, 3000, 4000, 2000).
+func example1Aggregates() []int64 {
+	return []int64{2000, 1000, 3000, 4000, 2000}
+}
+
+func TestExample1RandomPickPitfall(t *testing.T) {
+	// Example 1: L_U^1 (800 counts, belongs {L1,L2}) then L_U^2 (400,
+	// belongs {L2}). If the authority picks L2 for the first request, the
+	// second must be rejected — the loss the paper motivates with.
+	agg := example1Aggregates()
+
+	// Find a seed that picks L2 first (both candidates afford 800).
+	var lossy PickAllocator
+	for seed := int64(0); seed < 64; seed++ {
+		a := NewRandomPick(agg, seed)
+		if err := a.Allocate(bitset.MaskOf(0, 1), 800); err != nil {
+			t.Fatal(err)
+		}
+		if a.Remaining()[1] == 200 { // it consumed L2
+			lossy = a
+			break
+		}
+	}
+	if lossy == nil {
+		t.Fatal("no seed picked L2 — broken RNG plumbing")
+	}
+	err := lossy.Allocate(bitset.MaskOf(1), 400)
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("random-pick should reject L_U^2 after consuming L2, got %v", err)
+	}
+
+	// The equation allocator accepts both, regardless of order.
+	eq, err := NewEquationAllocator(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eq.Allocate(bitset.MaskOf(0, 1), 800); err != nil {
+		t.Errorf("equation allocator rejected L_U^1: %v", err)
+	}
+	if err := eq.Allocate(bitset.MaskOf(1), 400); err != nil {
+		t.Errorf("equation allocator rejected L_U^2: %v", err)
+	}
+}
+
+func TestFirstFitAndBestFit(t *testing.T) {
+	agg := []int64{100, 500}
+	ff := NewFirstFit(agg)
+	if err := ff.Allocate(bitset.MaskOf(0, 1), 60); err != nil {
+		t.Fatal(err)
+	}
+	if rem := ff.Remaining(); rem[0] != 40 || rem[1] != 500 {
+		t.Errorf("first-fit remaining = %v", rem)
+	}
+	// First-fit skips licenses that cannot afford the count.
+	if err := ff.Allocate(bitset.MaskOf(0, 1), 90); err != nil {
+		t.Fatal(err)
+	}
+	if rem := ff.Remaining(); rem[0] != 40 || rem[1] != 410 {
+		t.Errorf("first-fit skip remaining = %v", rem)
+	}
+
+	bf := NewBestFit(agg)
+	if err := bf.Allocate(bitset.MaskOf(0, 1), 60); err != nil {
+		t.Fatal(err)
+	}
+	if rem := bf.Remaining(); rem[0] != 100 || rem[1] != 440 {
+		t.Errorf("best-fit remaining = %v", rem)
+	}
+}
+
+func TestAllocatorRejection(t *testing.T) {
+	for _, a := range []Allocator{
+		NewFirstFit([]int64{10}),
+		NewBestFit([]int64{10}),
+		NewRandomPick([]int64{10}, 1),
+	} {
+		if err := a.Allocate(bitset.MaskOf(0), 11); !errors.Is(err, ErrRejected) {
+			t.Errorf("%s: oversized request not rejected: %v", a.Name(), err)
+		}
+		if err := a.Allocate(bitset.MaskOf(0), 0); err == nil {
+			t.Errorf("%s: zero count accepted", a.Name())
+		}
+		// Rejection must not mutate state.
+		if err := a.Allocate(bitset.MaskOf(0), 10); err != nil {
+			t.Errorf("%s: affordable request rejected after failed ones: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestEquationAllocatorNeverOvercommits(t *testing.T) {
+	// Whatever it accepts must keep every validation equation satisfied.
+	r := rand.New(rand.NewSource(11))
+	agg := []int64{300, 200, 250, 400}
+	eq, err := NewEquationAllocator(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := bitset.FullMask(4)
+	for i := 0; i < 400; i++ {
+		set := bitset.Mask(r.Int63()) & full
+		if set.Empty() {
+			continue
+		}
+		_ = eq.Allocate(set, int64(1+r.Intn(40))) // rejections are fine
+	}
+	res, err := eq.Tree().ValidateAll(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("equation allocator admitted a violation: %v", res.Violations)
+	}
+}
+
+func TestEquationDominatesPickPolicies(t *testing.T) {
+	// The equation policy is loss-free w.r.t. equations, so on any request
+	// sequence it grants at least as many total counts as... not provable
+	// per-sequence in general, but overwhelmingly in practice; we assert it
+	// on random workloads as a regression guard against Headroom bugs.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(4)
+		agg := make([]int64, n)
+		for i := range agg {
+			agg[i] = int64(100 + r.Intn(400))
+		}
+		var requests []logstore.Record
+		for i := 0; i < 200; i++ {
+			set := bitset.Mask(r.Int63()) & bitset.FullMask(n)
+			if set.Empty() {
+				continue
+			}
+			requests = append(requests, logstore.Record{Set: set, Count: int64(1 + r.Intn(30))})
+		}
+		eq, err := NewEquationAllocator(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, grantedEq := Replay(eq, requests)
+		_, grantedRnd := Replay(NewRandomPick(agg, int64(trial)), requests)
+		if grantedRnd > grantedEq {
+			t.Errorf("trial %d: random-pick granted %d > equation %d", trial, grantedRnd, grantedEq)
+		}
+	}
+}
+
+func randomRecords(r *rand.Rand, n, count int) []logstore.Record {
+	full := bitset.FullMask(n)
+	var out []logstore.Record
+	for i := 0; i < count; i++ {
+		set := bitset.Mask(r.Int63()) & full
+		if set.Empty() {
+			continue
+		}
+		out = append(out, logstore.Record{Set: set, Count: int64(1 + r.Intn(25))})
+	}
+	return out
+}
+
+func TestDirectValidateMatchesTreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		records := randomRecords(r, n, 150)
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = int64(r.Intn(1200))
+		}
+		tree, err := vtree.BuildRecords(n, records)
+		if err != nil {
+			return false
+		}
+		want, err := tree.ValidateAll(a)
+		if err != nil {
+			return false
+		}
+		got, err := DirectValidate(n, records, a)
+		if err != nil {
+			return false
+		}
+		return resultsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSOSValidateMatchesTreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(11)
+		records := randomRecords(r, n, 200)
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = int64(r.Intn(1500))
+		}
+		tree, err := vtree.BuildRecords(n, records)
+		if err != nil {
+			return false
+		}
+		want, err := tree.ValidateAll(a)
+		if err != nil {
+			return false
+		}
+		got, err := SOSValidate(n, records, a)
+		if err != nil {
+			return false
+		}
+		return resultsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func resultsEqual(a, b vtree.Result) bool {
+	if a.Equations != b.Equations || len(a.Violations) != len(b.Violations) {
+		return false
+	}
+	for i := range a.Violations {
+		if a.Violations[i] != b.Violations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOfflineValidatorErrors(t *testing.T) {
+	recs := []logstore.Record{{Set: bitset.MaskOf(0), Count: 1}}
+	if _, err := DirectValidate(-1, nil, nil); err == nil {
+		t.Error("DirectValidate n=-1 accepted")
+	}
+	if _, err := DirectValidate(2, recs, []int64{1}); err == nil {
+		t.Error("DirectValidate wrong arity accepted")
+	}
+	if _, err := DirectValidate(1, []logstore.Record{{Set: bitset.MaskOf(3), Count: 1}}, []int64{1}); err == nil {
+		t.Error("DirectValidate out-of-universe record accepted")
+	}
+	if _, err := SOSValidate(27, nil, make([]int64, 27)); err == nil {
+		t.Error("SOSValidate n=27 accepted")
+	}
+	if _, err := SOSValidate(2, recs, []int64{1}); err == nil {
+		t.Error("SOSValidate wrong arity accepted")
+	}
+	if _, err := SOSValidate(1, []logstore.Record{{Set: bitset.MaskOf(3), Count: 1}}, []int64{1}); err == nil {
+		t.Error("SOSValidate out-of-universe record accepted")
+	}
+	// n = 0 edge cases.
+	if res, err := DirectValidate(0, nil, nil); err != nil || res.Equations != 0 {
+		t.Errorf("DirectValidate(0) = %+v, %v", res, err)
+	}
+	if res, err := SOSValidate(0, nil, nil); err != nil || res.Equations != 0 {
+		t.Errorf("SOSValidate(0) = %+v, %v", res, err)
+	}
+}
+
+func TestReplayCounts(t *testing.T) {
+	agg := []int64{50}
+	ff := NewFirstFit(agg)
+	requests := []logstore.Record{
+		{Set: bitset.MaskOf(0), Count: 30},
+		{Set: bitset.MaskOf(0), Count: 30}, // rejected: only 20 left
+		{Set: bitset.MaskOf(0), Count: 20},
+	}
+	accepted, granted := Replay(ff, requests)
+	if accepted != 2 || granted != 50 {
+		t.Errorf("Replay = (%d, %d), want (2, 50)", accepted, granted)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewFirstFit(nil).Name() != "first-fit" ||
+		NewBestFit(nil).Name() != "best-fit" ||
+		NewRandomPick(nil, 0).Name() != "random-pick" {
+		t.Error("allocator names wrong")
+	}
+	eq, err := NewEquationAllocator([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Name() != "equation" {
+		t.Error("equation name wrong")
+	}
+}

@@ -1,0 +1,320 @@
+// Package bench drives the paper's evaluation (§5): one runner per figure,
+// each returning typed rows that cmd/drmbench renders and the repository's
+// top-level benchmarks exercise. All runners consume the synthetic §5
+// workloads from internal/workload, so every experiment is seeded and
+// reproducible.
+//
+// Scope notes recorded in EXPERIMENTS.md:
+//
+//   - the original (undivided) validator evaluates 2^N−1 equations, so the
+//     fig 7/8 runners cap the N at which they run it (MaxOriginalN) exactly
+//     as wall-clock forced the authors onto a log-scale axis;
+//   - absolute times are this machine's, not the paper's 2009 Java
+//     testbed; the comparisons reproduce shapes and ratios.
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/overlap"
+	"repro/internal/vtree"
+	"repro/internal/workload"
+)
+
+// DefaultNs is the sweep the paper's x-axes cover (N = 1..35).
+func DefaultNs() []int {
+	ns := make([]int, 0, 35)
+	for n := 1; n <= 35; n++ {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// DefaultMaxOriginalN bounds the undivided 2^N−1-equation validator in the
+// comparative figures. 2^22 ≈ 4.2M equations keeps a full sweep in seconds;
+// beyond it the original validator's cost is extrapolable as ×2 per step.
+const DefaultMaxOriginalN = 22
+
+// instance bundles everything the runners need for one N.
+type instance struct {
+	w        *workload.Workload
+	tree     *vtree.Tree // undivided tree (kept intact)
+	grouping overlap.Grouping
+	trees    []*core.GroupTree
+	buildNs  time.Duration // C_T for the whole log
+	groupNs  time.Duration // grouping part of D_T
+	divideNs time.Duration // division part of D_T
+}
+
+// prepare generates the workload for n and stages both validators.
+func prepare(n int, seed int64) (*instance, error) {
+	cfg := workload.Default(n)
+	cfg.Seed = seed
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{w: w}
+
+	start := time.Now()
+	tree, err := vtree.BuildRecords(n, w.Records)
+	if err != nil {
+		return nil, err
+	}
+	inst.buildNs = time.Since(start)
+	inst.tree = tree
+
+	start = time.Now()
+	inst.grouping = overlap.GroupsOf(w.Corpus)
+	inst.groupNs = time.Since(start)
+
+	start = time.Now()
+	trees, err := core.Divide(tree.Clone(), inst.grouping, w.Corpus.Aggregates())
+	if err != nil {
+		return nil, err
+	}
+	inst.divideNs = time.Since(start)
+	inst.trees = trees
+	return inst, nil
+}
+
+// Fig6Row is one point of "Variation of number of groups" (fig 6).
+type Fig6Row struct {
+	N      int
+	Groups int
+}
+
+// Fig6 sweeps N and reports the number of disconnected groups the overlap
+// machinery finds on the §5 workloads.
+func Fig6(ns []int, seed int64) ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 0, len(ns))
+	for _, n := range ns {
+		cfg := workload.Default(n)
+		cfg.Seed = seed
+		// Group discovery only needs the corpus; a light log suffices.
+		cfg.RecordsPerLicense = 1
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gr := overlap.GroupsOf(w.Corpus)
+		rows = append(rows, Fig6Row{N: n, Groups: gr.NumGroups()})
+	}
+	return rows, nil
+}
+
+// Fig7Row is one point of "Validation Time Complexity" (fig 7): V_T for
+// the original validator, V_T and V_T + D_T for the proposed one.
+type Fig7Row struct {
+	N int
+	// Original is the undivided validator's V_T; zero when skipped.
+	Original time.Duration
+	// OriginalSkipped marks rows where N exceeded MaxOriginalN.
+	OriginalSkipped bool
+	// Proposed is the grouped validator's V_T.
+	Proposed time.Duration
+	// Division is D_T (grouping + tree division), the one-time overhead
+	// plotted as V_T + D_T.
+	Division time.Duration
+	// Groups echoes the group count (context for the row).
+	Groups int
+}
+
+// validationRepeats is how many times each timed validation runs; the
+// minimum is reported, suppressing scheduler and allocator noise on
+// microsecond-scale measurements.
+const validationRepeats = 5
+
+// minTime runs fn repeats times and returns the fastest wall-clock run.
+func minTime(repeats int, fn func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Fig7 sweeps N, timing both validators on identical workloads.
+func Fig7(ns []int, maxOriginalN int, seed int64) ([]Fig7Row, error) {
+	rows := make([]Fig7Row, 0, len(ns))
+	for _, n := range ns {
+		inst, err := prepare(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{
+			N:        n,
+			Division: inst.groupNs + inst.divideNs,
+			Groups:   inst.grouping.NumGroups(),
+		}
+		row.Proposed, err = minTime(validationRepeats, func() error {
+			_, err := core.Validate(inst.trees)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		if n <= maxOriginalN {
+			// The original validator is expensive; repeat only while cheap.
+			repeats := validationRepeats
+			if n > 18 {
+				repeats = 1
+			}
+			row.Original, err = minTime(repeats, func() error {
+				_, err := inst.tree.ValidateAll(inst.w.Corpus.Aggregates())
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			row.OriginalSkipped = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig8Row is one point of "Theoretical Vs. Experimental Gain" (fig 8).
+type Fig8Row struct {
+	N int
+	// Theoretical is eq. 3's G.
+	Theoretical float64
+	// Experimental is original V_T / proposed V_T; zero when the original
+	// run was skipped.
+	Experimental float64
+	Skipped      bool
+}
+
+// Fig8 computes theoretical and measured gains on the fig 7 sweep.
+func Fig8(ns []int, maxOriginalN int, seed int64) ([]Fig8Row, error) {
+	f7, err := Fig7(ns, maxOriginalN, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, 0, len(f7))
+	for _, r := range f7 {
+		cfg := workload.Default(r.N)
+		cfg.Seed = seed
+		cfg.RecordsPerLicense = 1
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{N: r.N, Theoretical: core.Gain(overlap.GroupsOf(w.Corpus))}
+		if r.OriginalSkipped || r.Proposed <= 0 {
+			row.Skipped = true
+		} else {
+			row.Experimental = float64(r.Original) / float64(r.Proposed)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9Row is one point of "Insertion time complexity" (fig 9): the cost of
+// inserting a single log record into the validation tree versus the
+// one-time cost of dividing it.
+type Fig9Row struct {
+	N int
+	// Records is the log size the construction amortises over.
+	Records int
+	// InsertPerRecord is C_T divided by the number of log records.
+	InsertPerRecord time.Duration
+	// Construction is C_T, the full log replay.
+	Construction time.Duration
+	// Division is D_T.
+	Division time.Duration
+	// Ratio is Division / InsertPerRecord. The paper reports 3–4× on its
+	// Java testbed; the absolute ratio is implementation-dependent, but
+	// the conclusion it supports — division costs a vanishing fraction of
+	// building the tree — is checked via Division ≪ Construction.
+	Ratio float64
+}
+
+// Fig9 sweeps N measuring per-record insertion versus division cost. Both
+// measurements are min-of-repeats: a single division takes microseconds,
+// well inside scheduler-noise territory.
+func Fig9(ns []int, seed int64) ([]Fig9Row, error) {
+	rows := make([]Fig9Row, 0, len(ns))
+	for _, n := range ns {
+		inst, err := prepare(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		build, err := minTime(validationRepeats, func() error {
+			_, err := vtree.BuildRecords(n, inst.w.Records)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Division consumes its tree, so clone outside the timed region.
+		clones := make([]*vtree.Tree, validationRepeats)
+		for i := range clones {
+			clones[i] = inst.tree.Clone()
+		}
+		next := 0
+		div, err := minTime(validationRepeats, func() error {
+			gr := overlap.GroupsOf(inst.w.Corpus)
+			_, err := core.Divide(clones[next], gr, inst.w.Corpus.Aggregates())
+			next++
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		per := build / time.Duration(len(inst.w.Records))
+		row := Fig9Row{
+			N:               n,
+			Records:         len(inst.w.Records),
+			InsertPerRecord: per,
+			Construction:    build,
+			Division:        div,
+		}
+		if per > 0 {
+			row.Ratio = float64(div) / float64(per)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10Row is one point of "Storage space complexity" (fig 10): bytes and
+// nodes of the original tree versus the sum over divided trees.
+type Fig10Row struct {
+	N             int
+	OriginalNodes int
+	DividedNodes  int
+	OriginalBytes int64
+	DividedBytes  int64
+}
+
+// Fig10 sweeps N comparing storage before and after division.
+func Fig10(ns []int, seed int64) ([]Fig10Row, error) {
+	rows := make([]Fig10Row, 0, len(ns))
+	for _, n := range ns {
+		inst, err := prepare(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{N: n}
+		st := inst.tree.Stats()
+		row.OriginalNodes, row.OriginalBytes = st.Nodes, st.Bytes
+		for _, gt := range inst.trees {
+			st := gt.Tree.Stats()
+			row.DividedNodes += st.Nodes
+			row.DividedBytes += st.Bytes
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

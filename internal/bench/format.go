@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+	"time"
+)
+
+// fmtDur renders durations compactly for table cells.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+}
+
+// WriteFig6 renders fig 6 rows as an aligned text table.
+func WriteFig6(w io.Writer, rows []Fig6Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\tgroups\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t\n", r.N, r.Groups)
+	}
+	return tw.Flush()
+}
+
+// WriteFig7 renders fig 7 rows: original V_T, proposed V_T, V_T + D_T.
+func WriteFig7(w io.Writer, rows []Fig7Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\tgroups\toriginal V_T\tproposed V_T\tproposed V_T+D_T\t")
+	for _, r := range rows {
+		orig := fmtDur(r.Original)
+		if r.OriginalSkipped {
+			orig = "skipped"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%s\t\n",
+			r.N, r.Groups, orig, fmtDur(r.Proposed), fmtDur(r.Proposed+r.Division))
+	}
+	return tw.Flush()
+}
+
+// WriteFig8 renders fig 8 rows: theoretical vs experimental gain.
+func WriteFig8(w io.Writer, rows []Fig8Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\ttheoretical G\texperimental G\t")
+	for _, r := range rows {
+		exp := "skipped"
+		if !r.Skipped {
+			exp = fmt.Sprintf("%.2f", r.Experimental)
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%s\t\n", r.N, r.Theoretical, exp)
+	}
+	return tw.Flush()
+}
+
+// WriteFig9 renders fig 9 rows: per-record insertion vs division time.
+func WriteFig9(w io.Writer, rows []Fig9Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\trecords\tinsert 1 record\tbuild C_T\tdivision D_T\tD_T/insert\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%s\t%.1fx\t\n",
+			r.N, r.Records, fmtDur(r.InsertPerRecord), fmtDur(r.Construction),
+			fmtDur(r.Division), r.Ratio)
+	}
+	return tw.Flush()
+}
+
+// WriteFig10 renders fig 10 rows: storage before and after division.
+func WriteFig10(w io.Writer, rows []Fig10Row) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\toriginal nodes\tdivided nodes\toriginal bytes\tdivided bytes\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t\n",
+			r.N, r.OriginalNodes, r.DividedNodes, r.OriginalBytes, r.DividedBytes)
+	}
+	return tw.Flush()
+}
+
+// csvWriter emits one experiment as RFC-4180 CSV via encoding/csv, for
+// plotting pipelines (drmbench -format csv).
+func csvWriter(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV renders fig 6 rows as CSV.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{strconv.Itoa(r.N), strconv.Itoa(r.Groups)}
+	}
+	return csvWriter(w, []string{"n", "groups"}, out)
+}
+
+// WriteFig7CSV renders fig 7 rows as CSV (times in nanoseconds; empty
+// original cell when skipped).
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		orig := ""
+		if !r.OriginalSkipped {
+			orig = strconv.FormatInt(r.Original.Nanoseconds(), 10)
+		}
+		out[i] = []string{
+			strconv.Itoa(r.N), strconv.Itoa(r.Groups), orig,
+			strconv.FormatInt(r.Proposed.Nanoseconds(), 10),
+			strconv.FormatInt(r.Division.Nanoseconds(), 10),
+		}
+	}
+	return csvWriter(w, []string{"n", "groups", "original_ns", "proposed_ns", "division_ns"}, out)
+}
+
+// WriteFig8CSV renders fig 8 rows as CSV (empty experimental cell when
+// skipped).
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		exp := ""
+		if !r.Skipped {
+			exp = strconv.FormatFloat(r.Experimental, 'f', 4, 64)
+		}
+		out[i] = []string{
+			strconv.Itoa(r.N),
+			strconv.FormatFloat(r.Theoretical, 'f', 4, 64),
+			exp,
+		}
+	}
+	return csvWriter(w, []string{"n", "theoretical_gain", "experimental_gain"}, out)
+}
+
+// WriteFig9CSV renders fig 9 rows as CSV (times in nanoseconds).
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.N), strconv.Itoa(r.Records),
+			strconv.FormatInt(int64(r.InsertPerRecord), 10),
+			strconv.FormatInt(int64(r.Construction), 10),
+			strconv.FormatInt(int64(r.Division), 10),
+		}
+	}
+	return csvWriter(w, []string{"n", "records", "insert_per_record_ns", "construction_ns", "division_ns"}, out)
+}
+
+// WriteFig10CSV renders fig 10 rows as CSV.
+func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.N),
+			strconv.Itoa(r.OriginalNodes), strconv.Itoa(r.DividedNodes),
+			strconv.FormatInt(r.OriginalBytes, 10), strconv.FormatInt(r.DividedBytes, 10),
+		}
+	}
+	return csvWriter(w, []string{"n", "original_nodes", "divided_nodes", "original_bytes", "divided_bytes"}, out)
+}
+
+// WritePoliciesCSV renders the policy experiment as CSV.
+func WritePoliciesCSV(w io.Writer, rows []PolicyRow) error {
+	header := []string{"n", "requests"}
+	header = append(header, policyOrder...)
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		row := []string{strconv.Itoa(r.N), strconv.Itoa(r.Requests)}
+		for _, p := range policyOrder {
+			row = append(row, strconv.FormatInt(r.Granted[p], 10))
+		}
+		out[i] = row
+	}
+	return csvWriter(w, header, out)
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPoliciesEquationNeverLoses(t *testing.T) {
+	rows, err := Policies([]int{4, 8, 12}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		eq := r.Granted["equation"]
+		if eq <= 0 {
+			t.Fatalf("N=%d: equation policy granted nothing", r.N)
+		}
+		for _, p := range []string{"random-pick", "first-fit", "best-fit"} {
+			if r.Granted[p] > eq {
+				t.Errorf("N=%d: %s granted %d > equation %d", r.N, p, r.Granted[p], eq)
+			}
+			if r.Accepted[p] == 0 {
+				t.Errorf("N=%d: %s accepted nothing", r.N, p)
+			}
+		}
+	}
+}
+
+func TestPoliciesPressureExists(t *testing.T) {
+	// The tightened budgets must actually exhaust: the equation policy
+	// should reject some requests too, otherwise the comparison is vacuous.
+	rows, err := Policies([]int{8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Accepted["equation"] == r.Requests {
+		t.Error("no exhaustion pressure: every request accepted")
+	}
+}
+
+func TestWritePolicies(t *testing.T) {
+	rows, err := Policies([]int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePolicies(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"equation", "random-pick", "worst loss", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package bitset provides the set algebra used throughout the validator.
+//
+// Two representations are provided:
+//
+//   - Mask: a set over a universe of at most 64 elements, backed by a single
+//     uint64. License sets (the "S" of the validation equations) use Mask,
+//     since the validation-equation machinery enumerates subsets of S and is
+//     only tractable for small universes anyway.
+//   - Set: an arbitrary-width bitset backed by a []uint64 word slice. Region
+//     constraint values (sets of leaf regions in a taxonomy) use Set, since a
+//     realistic region universe easily exceeds 64 leaves.
+//
+// Both are value types with no hidden sharing surprises: Mask is a plain
+// integer; Set methods that mutate do so on the receiver and say so.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Mask is a subset of a universe of at most 64 elements. Element i is a
+// member iff bit i is set. The zero Mask is the empty set.
+//
+// In the validator, element i corresponds to the redistribution license with
+// zero-based index i; the paper's one-based L_D^j maps to element j-1.
+type Mask uint64
+
+// MaxMaskElems is the largest universe a Mask can represent.
+const MaxMaskElems = 64
+
+// MaskOf returns the Mask containing exactly the given elements.
+// It panics if any element is outside [0, 64).
+func MaskOf(elems ...int) Mask {
+	var m Mask
+	for _, e := range elems {
+		m = m.With(e)
+	}
+	return m
+}
+
+// FullMask returns the set {0, 1, ..., n-1}. It panics unless 0 <= n <= 64.
+func FullMask(n int) Mask {
+	if n < 0 || n > MaxMaskElems {
+		panic("bitset: FullMask size out of range: " + strconv.Itoa(n))
+	}
+	if n == MaxMaskElems {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// With returns m with element e added. It panics if e is outside [0, 64).
+func (m Mask) With(e int) Mask {
+	if e < 0 || e >= MaxMaskElems {
+		panic("bitset: Mask element out of range: " + strconv.Itoa(e))
+	}
+	return m | 1<<uint(e)
+}
+
+// Without returns m with element e removed. It panics if e is outside [0, 64).
+func (m Mask) Without(e int) Mask {
+	if e < 0 || e >= MaxMaskElems {
+		panic("bitset: Mask element out of range: " + strconv.Itoa(e))
+	}
+	return m &^ (1 << uint(e))
+}
+
+// Has reports whether element e is a member of m.
+// Elements outside [0, 64) are never members.
+func (m Mask) Has(e int) bool {
+	if e < 0 || e >= MaxMaskElems {
+		return false
+	}
+	return m&(1<<uint(e)) != 0
+}
+
+// Empty reports whether m is the empty set.
+func (m Mask) Empty() bool { return m == 0 }
+
+// Len returns the number of elements in m.
+func (m Mask) Len() int { return bits.OnesCount64(uint64(m)) }
+
+// Union returns m ∪ o.
+func (m Mask) Union(o Mask) Mask { return m | o }
+
+// Intersect returns m ∩ o.
+func (m Mask) Intersect(o Mask) Mask { return m & o }
+
+// Diff returns m \ o.
+func (m Mask) Diff(o Mask) Mask { return m &^ o }
+
+// Intersects reports whether m ∩ o is non-empty.
+func (m Mask) Intersects(o Mask) bool { return m&o != 0 }
+
+// SubsetOf reports whether every element of m is also in o.
+// The empty set is a subset of every set.
+func (m Mask) SubsetOf(o Mask) bool { return m&^o == 0 }
+
+// Min returns the smallest element of m, or -1 if m is empty.
+func (m Mask) Min() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(m))
+}
+
+// Max returns the largest element of m, or -1 if m is empty.
+func (m Mask) Max() int {
+	if m == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(m))
+}
+
+// Elems returns the elements of m in increasing order.
+func (m Mask) Elems() []int {
+	out := make([]int, 0, m.Len())
+	for w := uint64(m); w != 0; w &= w - 1 {
+		out = append(out, bits.TrailingZeros64(w))
+	}
+	return out
+}
+
+// ForEach calls fn for each element of m in increasing order.
+// It stops early if fn returns false.
+func (m Mask) ForEach(fn func(e int) bool) {
+	for w := uint64(m); w != 0; w &= w - 1 {
+		if !fn(bits.TrailingZeros64(w)) {
+			return
+		}
+	}
+}
+
+// Subsets calls fn for every non-empty subset of m, in an unspecified order.
+// It stops early if fn returns false. A set of k elements has 2^k−1 non-empty
+// subsets, exactly the summation range of the paper's validation equation
+// (eq. 1), so this is the primitive behind brute-force LHS evaluation.
+func (m Mask) Subsets(fn func(sub Mask) bool) {
+	if m == 0 {
+		return
+	}
+	// Standard sub-mask enumeration: walks all submasks of m descending.
+	for sub := m; ; sub = (sub - 1) & m {
+		if sub != 0 && !fn(sub) {
+			return
+		}
+		if sub == 0 {
+			return
+		}
+	}
+}
+
+// String renders m like "{1,3,4}" using one-based element names, matching the
+// paper's L_D^j numbering. The empty set renders as "{}".
+func (m Mask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	m.ForEach(func(e int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", e+1)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

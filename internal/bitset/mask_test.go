@@ -1,0 +1,240 @@
+package bitset
+
+import (
+	"math/bits"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskOfAndHas(t *testing.T) {
+	m := MaskOf(0, 2, 5)
+	for e := 0; e < 8; e++ {
+		want := e == 0 || e == 2 || e == 5
+		if got := m.Has(e); got != want {
+			t.Errorf("Has(%d) = %v, want %v", e, got, want)
+		}
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d, want 3", m.Len())
+	}
+}
+
+func TestMaskHasOutOfRange(t *testing.T) {
+	m := ^Mask(0)
+	if m.Has(-1) || m.Has(64) || m.Has(1000) {
+		t.Error("out-of-range elements must never be members")
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Mask
+	}{
+		{0, 0},
+		{1, 1},
+		{3, 0b111},
+		{64, ^Mask(0)},
+	}
+	for _, c := range cases {
+		if got := FullMask(c.n); got != c.want {
+			t.Errorf("FullMask(%d) = %x, want %x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFullMaskPanics(t *testing.T) {
+	for _, n := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FullMask(%d) did not panic", n)
+				}
+			}()
+			FullMask(n)
+		}()
+	}
+}
+
+func TestMaskWithWithout(t *testing.T) {
+	m := Mask(0).With(3).With(7).Without(3)
+	if m != MaskOf(7) {
+		t.Errorf("got %v, want {8}", m)
+	}
+	// Without of an absent element is a no-op.
+	if m.Without(5) != m {
+		t.Error("Without(absent) changed the mask")
+	}
+}
+
+func TestMaskElemPanics(t *testing.T) {
+	for _, e := range []int{-1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("With(%d) did not panic", e)
+				}
+			}()
+			Mask(0).With(e)
+		}()
+	}
+}
+
+func TestMaskMinMax(t *testing.T) {
+	if Mask(0).Min() != -1 || Mask(0).Max() != -1 {
+		t.Error("empty mask Min/Max should be -1")
+	}
+	m := MaskOf(3, 17, 60)
+	if m.Min() != 3 {
+		t.Errorf("Min = %d, want 3", m.Min())
+	}
+	if m.Max() != 60 {
+		t.Errorf("Max = %d, want 60", m.Max())
+	}
+}
+
+func TestMaskElemsOrdered(t *testing.T) {
+	m := MaskOf(9, 1, 33, 2)
+	got := m.Elems()
+	want := []int{1, 2, 9, 33}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaskForEachEarlyStop(t *testing.T) {
+	m := FullMask(10)
+	n := 0
+	m.ForEach(func(e int) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Errorf("visited %d elements, want 4", n)
+	}
+}
+
+func TestMaskSubsetsCount(t *testing.T) {
+	// A k-element set has exactly 2^k - 1 non-empty subsets.
+	for k := 0; k <= 12; k++ {
+		m := FullMask(k)
+		count := 0
+		m.Subsets(func(sub Mask) bool {
+			if sub.Empty() {
+				t.Fatal("Subsets yielded the empty set")
+			}
+			if !sub.SubsetOf(m) {
+				t.Fatalf("Subsets yielded %v not within %v", sub, m)
+			}
+			count++
+			return true
+		})
+		want := 1<<uint(k) - 1
+		if count != want {
+			t.Errorf("k=%d: %d subsets, want %d", k, count, want)
+		}
+	}
+}
+
+func TestMaskSubsetsDistinct(t *testing.T) {
+	m := MaskOf(0, 3, 5, 9)
+	seen := map[Mask]bool{}
+	m.Subsets(func(sub Mask) bool {
+		if seen[sub] {
+			t.Fatalf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 15 {
+		t.Errorf("got %d distinct subsets, want 15", len(seen))
+	}
+}
+
+func TestMaskSubsetsEarlyStop(t *testing.T) {
+	n := 0
+	FullMask(20).Subsets(func(Mask) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("visited %d subsets, want 5", n)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if got := MaskOf(0, 1, 3).String(); got != "{1,2,4}" {
+		t.Errorf("String = %q, want {1,2,4} (one-based)", got)
+	}
+	if got := Mask(0).String(); got != "{}" {
+		t.Errorf("empty String = %q, want {}", got)
+	}
+}
+
+func TestMaskAlgebraQuick(t *testing.T) {
+	// De Morgan within a fixed 64-element universe, plus subset laws.
+	u := ^Mask(0)
+	laws := func(a, b uint64) bool {
+		x, y := Mask(a), Mask(b)
+		if u.Diff(x.Union(y)) != u.Diff(x).Intersect(u.Diff(y)) {
+			return false
+		}
+		if u.Diff(x.Intersect(y)) != u.Diff(x).Union(u.Diff(y)) {
+			return false
+		}
+		if !x.Intersect(y).SubsetOf(x) || !x.SubsetOf(x.Union(y)) {
+			return false
+		}
+		if x.Intersects(y) != !x.Intersect(y).Empty() {
+			return false
+		}
+		if x.Union(y).Len() != x.Len()+y.Len()-x.Intersect(y).Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(laws, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskLenMatchesPopcount(t *testing.T) {
+	f := func(a uint64) bool {
+		return Mask(a).Len() == bits.OnesCount64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskElemsRoundTripQuick(t *testing.T) {
+	f := func(a uint64) bool {
+		m := Mask(a)
+		elems := m.Elems()
+		if !sort.IntsAreSorted(elems) {
+			return false
+		}
+		return MaskOf(elems...) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMaskSubsets20(b *testing.B) {
+	m := FullMask(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		m.Subsets(func(Mask) bool { n++; return true })
+		if n != 1<<20-1 {
+			b.Fatal("bad count")
+		}
+	}
+}

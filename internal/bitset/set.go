@@ -1,0 +1,226 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is an arbitrary-width bitset over elements [0, n). Unlike Mask it can
+// represent universes wider than 64 elements; the region taxonomy's leaf sets
+// use it. The zero value is an empty set over an empty universe.
+//
+// All binary operations require both operands to share the same universe
+// width; they panic otherwise, since mixing universes is always a bug in this
+// codebase (constraint values are only ever combined within one schema axis).
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// NewSet returns an empty set over the universe [0, n). It panics if n < 0.
+func NewSet(n int) Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// SetOf returns a set over [0, n) containing exactly the given elements.
+func SetOf(n int, elems ...int) Set {
+	s := NewSet(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// FullSet returns the set {0, ..., n-1} over the universe [0, n).
+func FullSet(n int) Set {
+	s := NewSet(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if len(s.words) == 0 {
+		return
+	}
+	if r := s.n % wordBits; r != 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Universe returns the universe width n.
+func (s Set) Universe() int { return s.n }
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{n: s.n, words: w}
+}
+
+// Add inserts element e. It panics if e is outside [0, n).
+func (s Set) Add(e int) {
+	s.check(e)
+	s.words[e/wordBits] |= 1 << uint(e%wordBits)
+}
+
+// Remove deletes element e. It panics if e is outside [0, n).
+func (s Set) Remove(e int) {
+	s.check(e)
+	s.words[e/wordBits] &^= 1 << uint(e%wordBits)
+}
+
+func (s Set) check(e int) {
+	if e < 0 || e >= s.n {
+		panic(fmt.Sprintf("bitset: element %d outside universe [0,%d)", e, s.n))
+	}
+}
+
+// Has reports whether e is a member. Elements outside the universe are never
+// members.
+func (s Set) Has(e int) bool {
+	if e < 0 || e >= s.n {
+		return false
+	}
+	return s.words[e/wordBits]&(1<<uint(e%wordBits)) != 0
+}
+
+// Empty reports whether s has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func (s Set) same(o Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// Union returns a new set s ∪ o.
+func (s Set) Union(o Set) Set {
+	s.same(o)
+	out := s.Clone()
+	for i, w := range o.words {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// Intersect returns a new set s ∩ o.
+func (s Set) Intersect(o Set) Set {
+	s.same(o)
+	out := s.Clone()
+	for i, w := range o.words {
+		out.words[i] &= w
+	}
+	return out
+}
+
+// Diff returns a new set s \ o.
+func (s Set) Diff(o Set) Set {
+	s.same(o)
+	out := s.Clone()
+	for i, w := range o.words {
+		out.words[i] &^= w
+	}
+	return out
+}
+
+// Intersects reports whether s ∩ o is non-empty.
+func (s Set) Intersects(o Set) bool {
+	s.same(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s Set) SubsetOf(o Set) bool {
+	s.same(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain the same elements over the same
+// universe.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elems returns the elements in increasing order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(e int) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// ForEach calls fn for each element in increasing order, stopping early if fn
+// returns false.
+func (s Set) ForEach(fn func(e int) bool) {
+	for i, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			if !fn(i*wordBits + bits.TrailingZeros64(w)) {
+				return
+			}
+		}
+	}
+}
+
+// String renders the set like "{0,5,17}" (zero-based; Set elements are
+// internal indexes, not paper license numbers).
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", e)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetEmpty(t *testing.T) {
+	s := NewSet(130)
+	if !s.Empty() || s.Len() != 0 {
+		t.Error("new set should be empty")
+	}
+	if s.Universe() != 130 {
+		t.Errorf("Universe = %d, want 130", s.Universe())
+	}
+}
+
+func TestSetAddRemoveHas(t *testing.T) {
+	s := NewSet(200)
+	for _, e := range []int{0, 63, 64, 127, 128, 199} {
+		s.Add(e)
+	}
+	for _, e := range []int{0, 63, 64, 127, 128, 199} {
+		if !s.Has(e) {
+			t.Errorf("Has(%d) = false after Add", e)
+		}
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Has(64) after Remove")
+	}
+	if s.Has(-1) || s.Has(200) {
+		t.Error("out-of-universe Has must be false")
+	}
+}
+
+func TestSetAddPanicsOutside(t *testing.T) {
+	s := NewSet(10)
+	for _, e := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", e)
+				}
+			}()
+			s.Add(e)
+		}()
+	}
+}
+
+func TestFullSetTrim(t *testing.T) {
+	s := FullSet(70)
+	if s.Len() != 70 {
+		t.Errorf("FullSet(70).Len = %d, want 70", s.Len())
+	}
+	if s.Has(70) || s.Has(127) {
+		t.Error("FullSet contains elements beyond the universe")
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	a := SetOf(100, 5, 50)
+	b := a.Clone()
+	b.Add(99)
+	if a.Has(99) {
+		t.Error("mutating clone affected original")
+	}
+	if !b.Has(5) || !b.Has(50) {
+		t.Error("clone lost members")
+	}
+}
+
+func TestSetBinaryOps(t *testing.T) {
+	a := SetOf(128, 1, 2, 3, 100)
+	b := SetOf(128, 3, 4, 100, 127)
+	if got := a.Intersect(b); !got.Equal(SetOf(128, 3, 100)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got.Len() != 6 {
+		t.Errorf("Union.Len = %d, want 6", got.Len())
+	}
+	if got := a.Diff(b); !got.Equal(SetOf(128, 1, 2)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersects(SetOf(128, 7, 8)) {
+		t.Error("Intersects disjoint = true")
+	}
+	if !SetOf(128, 3).SubsetOf(a) {
+		t.Error("SubsetOf = false, want true")
+	}
+	if a.SubsetOf(b) {
+		t.Error("SubsetOf = true, want false")
+	}
+}
+
+func TestSetUniverseMismatchPanics(t *testing.T) {
+	a, b := NewSet(64), NewSet(65)
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-universe op did not panic")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestSetEqualDifferentUniverse(t *testing.T) {
+	if NewSet(10).Equal(NewSet(11)) {
+		t.Error("sets over different universes must not be Equal")
+	}
+}
+
+func TestSetElemsAndString(t *testing.T) {
+	s := SetOf(300, 256, 0, 70)
+	got := s.Elems()
+	want := []int{0, 70, 256}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	if str := s.String(); str != "{0,70,256}" {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestSetForEachEarlyStop(t *testing.T) {
+	s := FullSet(200)
+	n := 0
+	s.ForEach(func(int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("visited %d, want 10", n)
+	}
+}
+
+// randomSet draws a reproducible random set over [0,n).
+func randomSet(r *rand.Rand, n int) Set {
+	s := NewSet(n)
+	for e := 0; e < n; e++ {
+		if r.Intn(2) == 1 {
+			s.Add(e)
+		}
+	}
+	return s
+}
+
+func TestSetAlgebraQuick(t *testing.T) {
+	const n = 150
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rr, n), randomSet(rr, n)
+		u := FullSet(n)
+		// De Morgan.
+		if !u.Diff(a.Union(b)).Equal(u.Diff(a).Intersect(u.Diff(b))) {
+			return false
+		}
+		// Inclusion-exclusion on cardinality.
+		if a.Union(b).Len() != a.Len()+b.Len()-a.Intersect(b).Len() {
+			return false
+		}
+		// Subset laws.
+		if !a.Intersect(b).SubsetOf(a) || !a.SubsetOf(a.Union(b)) {
+			return false
+		}
+		return a.Intersects(b) == !a.Intersect(b).Empty()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package catalog manages a directory of license corpora and their
+// issuance logs — the persistent, multi-content store behind a validation
+// authority that serves more than one content item.
+//
+// Layout: for every (content, permission) pair the catalog keeps two
+// files in its directory,
+//
+//	<escape(content)>__<escape(permission)>.corpus.json
+//	<escape(content)>__<escape(permission)>.log.jsonl
+//
+// in the formats of internal/license (EncodeCorpus) and internal/logstore
+// (JSONL records). Open scans the directory and wires every pair into an
+// engine.Distributor, so issuance, instance validation, and geometric
+// auditing work per content out of the box. Reopening a catalog resumes
+// exactly where it left off — logs are append-only and corpora immutable
+// on disk (license acquisition rewrites the corpus file atomically).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/license"
+	"repro/internal/logstore"
+)
+
+// Entry is one (content, permission) corpus with its distributor state.
+type Entry struct {
+	// Content and Permission identify the corpus.
+	Content    string
+	Permission license.Permission
+	// Corpus is the redistribution-license set.
+	Corpus *license.Corpus
+	// Dist wraps the corpus for issuance and audits.
+	Dist *engine.Distributor
+	// Log is the durable issuance log backing Dist.
+	Log *logstore.File
+}
+
+// Catalog is a directory of entries. It is not safe for concurrent use;
+// callers serialise access (cmd/drmserver wraps it in a mutex).
+type Catalog struct {
+	dir     string
+	mode    engine.Mode
+	entries map[string]*Entry
+}
+
+const (
+	corpusSuffix = ".corpus.json"
+	logSuffix    = ".log.jsonl"
+)
+
+// key builds the map key and file stem for a pair.
+func key(content string, perm license.Permission) string {
+	return url.PathEscape(content) + "__" + url.PathEscape(string(perm))
+}
+
+// Open loads every corpus in dir (creating dir if needed) and prepares a
+// distributor per entry in the given validation mode.
+func Open(dir string, mode engine.Mode) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: creating %s: %w", dir, err)
+	}
+	c := &Catalog{dir: dir, mode: mode, entries: make(map[string]*Entry)}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+corpusSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: scanning %s: %w", dir, err)
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		if err := c.load(path); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load wires one corpus file (and its log) into the catalog.
+func (c *Catalog) load(corpusPath string) error {
+	f, err := os.Open(corpusPath)
+	if err != nil {
+		return fmt.Errorf("catalog: open %s: %w", corpusPath, err)
+	}
+	corpus, err := license.DecodeCorpus(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("catalog: %s: %w", corpusPath, err)
+	}
+	if corpus.Len() == 0 {
+		return fmt.Errorf("catalog: %s holds no licenses", corpusPath)
+	}
+	stem := strings.TrimSuffix(corpusPath, corpusSuffix)
+	return c.wire(corpus, stem)
+}
+
+// wire builds the Entry for a decoded corpus whose files share stem.
+func (c *Catalog) wire(corpus *license.Corpus, stem string) error {
+	first := corpus.License(0)
+	k := key(first.Content, first.Permission)
+	if _, dup := c.entries[k]; dup {
+		return fmt.Errorf("catalog: duplicate corpus for (%s, %s)", first.Content, first.Permission)
+	}
+	log, err := logstore.OpenFile(stem + logSuffix)
+	if err != nil {
+		return err
+	}
+	dist := engine.NewDistributor(first.Content, corpus.Schema(), c.mode, log)
+	for _, l := range corpus.Licenses() {
+		cp := *l
+		if _, err := dist.AddRedistribution(&cp); err != nil {
+			log.Close()
+			return fmt.Errorf("catalog: wiring (%s, %s): %w", first.Content, first.Permission, err)
+		}
+	}
+	c.entries[k] = &Entry{
+		Content:    first.Content,
+		Permission: first.Permission,
+		Corpus:     dist.Corpus(),
+		Dist:       dist,
+		Log:        log,
+	}
+	return nil
+}
+
+// Add registers a new corpus, persisting it to disk. The corpus'
+// (content, permission) pair must not exist yet.
+func (c *Catalog) Add(corpus *license.Corpus) (*Entry, error) {
+	if corpus.Len() == 0 {
+		return nil, errors.New("catalog: cannot add an empty corpus")
+	}
+	first := corpus.License(0)
+	stem := filepath.Join(c.dir, key(first.Content, first.Permission))
+	if err := writeCorpusAtomic(stem+corpusSuffix, corpus); err != nil {
+		return nil, err
+	}
+	if err := c.wire(corpus, stem); err != nil {
+		return nil, err
+	}
+	return c.entries[key(first.Content, first.Permission)], nil
+}
+
+// writeCorpusAtomic writes the corpus document via a temp file + rename.
+func writeCorpusAtomic(path string, corpus *license.Corpus) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".corpus-*")
+	if err != nil {
+		return fmt.Errorf("catalog: temp file: %w", err)
+	}
+	if err := license.EncodeCorpus(tmp, corpus); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("catalog: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("catalog: installing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Acquire appends a redistribution license to an existing entry's corpus,
+// rewrites the corpus file, and updates the live distributor (groups
+// included, incrementally).
+func (c *Catalog) Acquire(content string, perm license.Permission, l *license.License) error {
+	e := c.Get(content, perm)
+	if e == nil {
+		return fmt.Errorf("catalog: no corpus for (%s, %s)", content, perm)
+	}
+	if _, err := e.Dist.AddRedistribution(l); err != nil {
+		return err
+	}
+	stem := filepath.Join(c.dir, key(content, perm))
+	return writeCorpusAtomic(stem+corpusSuffix, e.Corpus)
+}
+
+// Get returns the entry for (content, perm), or nil.
+func (c *Catalog) Get(content string, perm license.Permission) *Entry {
+	return c.entries[key(content, perm)]
+}
+
+// Entries returns all entries sorted by (content, permission).
+func (c *Catalog) Entries() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Content != out[j].Content {
+			return out[i].Content < out[j].Content
+		}
+		return out[i].Permission < out[j].Permission
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// AuditAll runs the geometric audit over every entry.
+func (c *Catalog) AuditAll(workers int) (map[*Entry]core.Report, error) {
+	out := make(map[*Entry]core.Report, len(c.entries))
+	for _, e := range c.entries {
+		rep, _, err := e.Dist.Audit(workers)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: auditing (%s, %s): %w", e.Content, e.Permission, err)
+		}
+		out[e] = rep
+	}
+	return out, nil
+}
+
+// Flush forces all issuance logs to the OS.
+func (c *Catalog) Flush() error {
+	for _, e := range c.entries {
+		if err := e.Log.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every log. The catalog is unusable afterwards.
+func (c *Catalog) Close() error {
+	var firstErr error
+	for _, e := range c.entries {
+		if err := e.Log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.entries = nil
+	return firstErr
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/overlap"
+	"repro/internal/vtree"
+)
+
+// Auditor bundles the full offline aggregate-validation pipeline:
+// log replay → validation tree → overlap grouping → tree division →
+// per-group validation. It also records how long each stage took, which is
+// what the paper's fig 7/9 cost decomposition (C_T, D_T, V_T) measures.
+type Auditor struct {
+	corpus   *license.Corpus
+	grouping overlap.Grouping
+	trees    []*GroupTree
+
+	// Workers bounds validation parallelism; 1 (the default) reproduces
+	// the paper's serial algorithm exactly.
+	Workers int
+
+	timings Timings
+}
+
+// Timings records per-stage wall-clock durations of the last Prepare/Audit.
+type Timings struct {
+	// Construction is C_T: building the undivided validation tree from
+	// the log.
+	Construction time.Duration
+	// Grouping is the overlap-graph + component-finding time (part of the
+	// paper's D_T).
+	Grouping time.Duration
+	// Division is the tree division + index modification time (the rest
+	// of D_T).
+	Division time.Duration
+	// Validation is V_T: evaluating all per-group equations.
+	Validation time.Duration
+}
+
+// DT returns the paper's D_T: grouping plus division.
+func (t Timings) DT() time.Duration { return t.Grouping + t.Division }
+
+// NewAuditor prepares an auditor for the corpus by replaying the log and
+// dividing the resulting tree. The log must only contain belongs-to sets
+// over the corpus' indexes.
+func NewAuditor(corpus *license.Corpus, log logstore.Store) (*Auditor, error) {
+	a := &Auditor{corpus: corpus, Workers: 1}
+	if err := a.prepare(log); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Auditor) prepare(log logstore.Store) error {
+	start := time.Now()
+	tree, err := vtree.Build(a.corpus.Len(), log)
+	if err != nil {
+		return fmt.Errorf("core: building validation tree: %w", err)
+	}
+	a.timings.Construction = time.Since(start)
+
+	start = time.Now()
+	a.grouping = overlap.GroupsOf(a.corpus)
+	a.timings.Grouping = time.Since(start)
+
+	start = time.Now()
+	trees, err := Divide(tree, a.grouping, a.corpus.Aggregates())
+	if err != nil {
+		return err
+	}
+	a.timings.Division = time.Since(start)
+	a.trees = trees
+	return nil
+}
+
+// Grouping returns the overlap grouping of the corpus.
+func (a *Auditor) Grouping() overlap.Grouping { return a.grouping }
+
+// Trees returns the divided per-group validation trees.
+func (a *Auditor) Trees() []*GroupTree { return a.trees }
+
+// Gain returns the theoretical gain of eq. 3 for this corpus.
+func (a *Auditor) Gain() float64 { return Gain(a.grouping) }
+
+// Timings returns stage durations of the last Prepare/Audit.
+func (a *Auditor) Timings() Timings { return a.timings }
+
+// Audit runs the grouped validation and returns the merged report.
+func (a *Auditor) Audit() (Report, error) {
+	start := time.Now()
+	var rep Report
+	var err error
+	if a.Workers > 1 {
+		rep, err = ValidateParallel(a.trees, a.Workers)
+	} else {
+		rep, err = Validate(a.trees)
+	}
+	a.timings.Validation = time.Since(start)
+	return rep, err
+}

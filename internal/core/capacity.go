@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/bitset"
+)
+
+// CapacityRow reports the issuance capacity left against one
+// redistribution license: how many more counts could be granted to
+// licenses that belong to {j} alone, given every equation of its group.
+type CapacityRow struct {
+	// Index is the global corpus index; Group its overlap group.
+	Index, Group int
+	// Budget is A[j].
+	Budget int64
+	// Consumed is C[{j}] — counts already attributed to exactly {j}.
+	Consumed int64
+	// Headroom is the group-local equation headroom for base {j}: the
+	// largest count a new {j}-only issuance could carry.
+	Headroom int64
+}
+
+// GroupUtilization aggregates one group's budget consumption.
+type GroupUtilization struct {
+	// Group indexes the GroupTree slice.
+	Group int
+	// Members is the group's license set (global indexes).
+	Members bitset.Mask
+	// Budget is A[S] for the whole group; Consumed is C⟨S⟩.
+	Budget, Consumed int64
+}
+
+// Utilization returns Consumed/Budget in [0, ∞) (0 for empty budgets).
+func (g GroupUtilization) Utilization() float64 {
+	if g.Budget == 0 {
+		return 0
+	}
+	return float64(g.Consumed) / float64(g.Budget)
+}
+
+// CapacityReport is the operator-facing "how much can we still sell"
+// summary the validation equations imply.
+type CapacityReport struct {
+	Rows   []CapacityRow
+	Groups []GroupUtilization
+}
+
+// Capacity computes per-license headrooms and per-group utilization over
+// divided trees. Cost is one group-local Headroom per license —
+// Σ_k N_k·2^{N_k−1} equation evaluations, the same regime as an audit.
+func Capacity(trees []*GroupTree) (CapacityReport, error) {
+	var rep CapacityReport
+	for k, gt := range trees {
+		full := bitset.FullMask(gt.Tree.N())
+		var budget int64
+		for _, a := range gt.Aggregates {
+			budget += a
+		}
+		rep.Groups = append(rep.Groups, GroupUtilization{
+			Group:    k,
+			Members:  gt.Group.Members,
+			Budget:   budget,
+			Consumed: gt.Tree.SumSubsets(full),
+		})
+		for p, j := range gt.localToGlobal {
+			room, err := gt.Tree.Headroom(bitset.MaskOf(p), gt.Aggregates)
+			if err != nil {
+				return CapacityReport{}, fmt.Errorf("core: capacity of license %d: %w", j+1, err)
+			}
+			rep.Rows = append(rep.Rows, CapacityRow{
+				Index:    j,
+				Group:    k,
+				Budget:   gt.Aggregates[p],
+				Consumed: gt.Tree.Count(bitset.MaskOf(p)),
+				Headroom: room,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Write renders the report as aligned text tables.
+func (rep CapacityReport) Write(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "license\tgroup\tbudget\tconsumed(exact)\theadroom\t")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "L%d\t%d\t%d\t%d\t%d\t\n",
+			r.Index+1, r.Group+1, r.Budget, r.Consumed, r.Headroom)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	tw = tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "group\tmembers\tbudget\tconsumed\tutilization\t")
+	for _, g := range rep.Groups {
+		fmt.Fprintf(tw, "%d\t%v\t%d\t%d\t%.1f%%\t\n",
+			g.Group+1, g.Members, g.Budget, g.Consumed, 100*g.Utilization())
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,248 @@
+// Package core implements the paper's contribution (§3–§4): removal of
+// redundant validation equations by dividing the validation tree along the
+// disconnected groups of the license overlap graph.
+//
+// The pipeline is:
+//
+//  1. group the corpus with internal/overlap (Algorithm 3);
+//  2. divide the validation tree into one tree per group (Algorithm 4) —
+//     children of the original root are *relinked*, not copied, so no new
+//     nodes are allocated beyond the g root sentinels (the fig 10 storage
+//     claim);
+//  3. rewrite node indexes to dense group-local indexes and derive the
+//     per-group aggregate arrays A_k (Algorithm 5);
+//  4. validate each group tree independently with the unmodified
+//     Algorithm 2 (vtree.ValidateAll), optionally in parallel, and map the
+//     violated sets back to global corpus indexes.
+//
+// Soundness rests on Theorems 1–2: cross-group sets always have zero
+// counts, so every equation spanning ≥2 groups is implied by the per-group
+// equations. Equation count drops from 2^N−1 to Σ_k (2^{N_k}−1); the
+// theoretical gain G of eq. 3 is computed by Gain.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/overlap"
+	"repro/internal/vtree"
+)
+
+// GroupTree is one divided validation tree: the paper's k-th tree with
+// root_k, dense local indexes [0, N_k), and aggregate array A_k.
+type GroupTree struct {
+	// Group is the overlap component this tree covers (global indexes).
+	Group overlap.Group
+	// Tree is the per-group validation tree over local indexes.
+	Tree *vtree.Tree
+	// Aggregates is A_k: Aggregates[p] is the budget of the license with
+	// local index p.
+	Aggregates []int64
+	// localToGlobal maps local index p to the global corpus index
+	// (the inverse of the paper's position_k array).
+	localToGlobal []int
+}
+
+// ToGlobal translates a local-index mask from this group's tree back into
+// global corpus indexes.
+func (gt *GroupTree) ToGlobal(local bitset.Mask) bitset.Mask {
+	var out bitset.Mask
+	local.ForEach(func(p int) bool {
+		out = out.With(gt.localToGlobal[p])
+		return true
+	})
+	return out
+}
+
+// Divide splits t into one validation tree per group — Algorithms 4 and 5.
+//
+// Children of t's root are relinked into the new trees and their subtree
+// indexes rewritten in place, so t is CONSUMED: it must not be used
+// afterwards (Clone it first if you need to keep it). No nodes are copied;
+// only the g new root sentinels are allocated.
+//
+// a is the global aggregate array (a[j] = budget of license j); len(a) must
+// equal t.N(), and the grouping must partition [0, t.N()).
+//
+// A log record whose set spans two groups contradicts Corollary 1.1 — it
+// cannot arise from instance-valid issuance — and makes the division
+// unsound, so Divide detects any such branch and returns an error naming
+// the offending license.
+func Divide(t *vtree.Tree, gr overlap.Grouping, a []int64) ([]*GroupTree, error) {
+	n := t.N()
+	if gr.N != n {
+		return nil, fmt.Errorf("core: grouping over %d licenses, tree over %d", gr.N, n)
+	}
+	if len(a) != n {
+		return nil, fmt.Errorf("core: aggregate array has %d entries, want %d", len(a), n)
+	}
+	if err := gr.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Algorithm 5 prologue: position_k and A_k for every group, computed
+	// once over the global index space. position[j] is the local index of
+	// license j within its own group.
+	position := make([]int, n)
+	out := make([]*GroupTree, len(gr.Groups))
+	for k, g := range gr.Groups {
+		gt := &GroupTree{
+			Group:         g,
+			Aggregates:    make([]int64, 0, g.Size),
+			localToGlobal: make([]int, 0, g.Size),
+		}
+		p := 0
+		g.Members.ForEach(func(j int) bool {
+			position[j] = p
+			gt.Aggregates = append(gt.Aggregates, a[j])
+			gt.localToGlobal = append(gt.localToGlobal, j)
+			p++
+			return true
+		})
+		out[k] = gt
+	}
+
+	// Algorithm 4: route each child of the original root to its group's
+	// new root. Children arrive index-ordered and stay index-ordered within
+	// each group because group-local order is inherited from global order.
+	roots := make([]*vtree.Node, len(gr.Groups))
+	for k := range roots {
+		roots[k] = &vtree.Node{L: -1}
+	}
+	for _, child := range t.Root().Children {
+		k := gr.GroupOf(child.L)
+		roots[k].Children = append(roots[k].Children, child)
+	}
+
+	// Algorithm 5 main step: rewrite subtree indexes to local ones,
+	// verifying that every node in group k's tree belongs to group k.
+	for k, gt := range out {
+		if err := relabel(roots[k], gr, k, position); err != nil {
+			return nil, err
+		}
+		gt.Tree = vtree.NewFromRoot(roots[k], gt.Group.Size)
+	}
+	return out, nil
+}
+
+// relabel rewrites L fields under root to group-local indexes, failing on
+// any node from a foreign group.
+func relabel(root *vtree.Node, gr overlap.Grouping, k int, position []int) error {
+	for _, c := range root.Children {
+		if !gr.Groups[k].Members.Has(c.L) {
+			return fmt.Errorf("core: log record crosses groups: license %d in group-%d tree (impossible under Corollary 1.1 — corrupt or non-instance-validated log)", c.L+1, k+1)
+		}
+		c.L = position[c.L]
+		if err := relabel(c, gr, k, position); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report is the outcome of a grouped validation run.
+type Report struct {
+	// Equations is the total number of equations evaluated: Σ_k (2^{N_k}−1).
+	Equations int64
+	// Violations lists every violated equation with GLOBAL license masks,
+	// ordered by ascending set.
+	Violations []vtree.Violation
+	// PerGroup holds each group's raw result (local masks), index-aligned
+	// with the GroupTree slice.
+	PerGroup []vtree.Result
+}
+
+// OK reports whether no equation was violated.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Validate runs Algorithm 2 on every group tree serially and merges the
+// results, mapping violated sets back to global indexes.
+func Validate(trees []*GroupTree) (Report, error) {
+	results := make([]vtree.Result, len(trees))
+	for k, gt := range trees {
+		res, err := gt.Tree.ValidateAll(gt.Aggregates)
+		if err != nil {
+			return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
+		}
+		results[k] = res
+	}
+	return merge(trees, results), nil
+}
+
+// ValidateParallel runs the per-group validations on up to workers
+// goroutines. Groups are independent by construction (Theorem 2), so this
+// is an embarrassingly parallel variant of Validate; results are identical.
+func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
+	if workers < 1 {
+		return Report{}, fmt.Errorf("core: workers = %d, want >= 1", workers)
+	}
+	results := make([]vtree.Result, len(trees))
+	errs := make([]error, len(trees))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for k, gt := range trees {
+		wg.Add(1)
+		go func(k int, gt *GroupTree) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[k], errs[k] = gt.Tree.ValidateAll(gt.Aggregates)
+		}(k, gt)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
+		}
+	}
+	return merge(trees, results), nil
+}
+
+// merge lifts per-group results to a global report.
+func merge(trees []*GroupTree, results []vtree.Result) Report {
+	rep := Report{PerGroup: results}
+	for k, res := range results {
+		rep.Equations += res.Equations
+		for _, v := range res.Violations {
+			rep.Violations = append(rep.Violations, vtree.Violation{
+				Set: trees[k].ToGlobal(v.Set),
+				CV:  v.CV,
+				AV:  v.AV,
+			})
+		}
+	}
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		return rep.Violations[i].Set < rep.Violations[j].Set
+	})
+	return rep
+}
+
+// EquationCount returns Σ_k (2^{N_k} − 1), the number of equations the
+// grouped validator evaluates.
+func EquationCount(gr overlap.Grouping) int64 {
+	var total int64
+	for _, g := range gr.Groups {
+		total += int64(1)<<uint(g.Size) - 1
+	}
+	return total
+}
+
+// FullEquationCount returns 2^N − 1 as a float64 (N can exceed 62), the
+// equation count of the undivided validator.
+func FullEquationCount(n int) float64 {
+	return math.Pow(2, float64(n)) - 1
+}
+
+// Gain computes the paper's eq. 3: G ≈ (2^N − 1) / Σ_k (2^{N_k} − 1).
+// It is 1 for a single group and (2^N−1)/N when every license is isolated.
+func Gain(gr overlap.Grouping) float64 {
+	denom := float64(EquationCount(gr))
+	if denom == 0 {
+		return 1
+	}
+	return FullEquationCount(gr.N) / denom
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/overlap"
+	"repro/internal/vtree"
+)
+
+// IncrementalAuditor maintains the divided per-group validation trees as
+// issuance records stream in, instead of rebuilding and re-dividing on
+// every audit the way the batch Auditor does. It extends the paper's
+// offline design in two directions the authors leave open:
+//
+//   - records are routed straight into their group's tree (the group is
+//     determined by any member of the belongs-to set — Corollary 1.1
+//     guarantees all members agree), so an audit is always ready;
+//   - corpus growth is handled by Rebase, which regroups and re-divides
+//     using only the trees' compacted records, never the raw log.
+//
+// IncrementalAuditor is not safe for concurrent use.
+type IncrementalAuditor struct {
+	corpus   *license.Corpus
+	grouping overlap.Grouping
+	trees    []*GroupTree
+	// groupOf and position map a global license index to its group and
+	// its local index within that group's tree.
+	groupOf  []int
+	position []int
+	records  int
+}
+
+// NewIncrementalAuditor prepares empty per-group trees for the corpus.
+func NewIncrementalAuditor(corpus *license.Corpus) (*IncrementalAuditor, error) {
+	ia := &IncrementalAuditor{corpus: corpus}
+	if err := ia.rebuild(nil); err != nil {
+		return nil, err
+	}
+	return ia, nil
+}
+
+// rebuild recomputes grouping and divided trees, replaying any existing
+// records (given with GLOBAL masks).
+func (ia *IncrementalAuditor) rebuild(records []logstore.Record) error {
+	n := ia.corpus.Len()
+	ia.grouping = overlap.GroupsOf(ia.corpus)
+	ia.groupOf = make([]int, n)
+	ia.position = make([]int, n)
+	ia.trees = ia.trees[:0]
+	agg := ia.corpus.Aggregates()
+	for k, g := range ia.grouping.Groups {
+		gt := &GroupTree{
+			Group:         g,
+			Tree:          vtree.MustNew(g.Size),
+			Aggregates:    make([]int64, 0, g.Size),
+			localToGlobal: make([]int, 0, g.Size),
+		}
+		p := 0
+		g.Members.ForEach(func(j int) bool {
+			ia.groupOf[j] = k
+			ia.position[j] = p
+			gt.Aggregates = append(gt.Aggregates, agg[j])
+			gt.localToGlobal = append(gt.localToGlobal, j)
+			p++
+			return true
+		})
+		ia.trees = append(ia.trees, gt)
+	}
+	ia.records = 0
+	for _, r := range records {
+		if err := ia.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route translates a global belongs-to mask into (group, local mask). It
+// fails if the mask spans groups (impossible for instance-validated logs).
+func (ia *IncrementalAuditor) route(set bitset.Mask) (int, bitset.Mask, error) {
+	if set.Empty() {
+		return 0, 0, fmt.Errorf("core: empty belongs-to set")
+	}
+	if !set.SubsetOf(bitset.FullMask(ia.corpus.Len())) {
+		return 0, 0, fmt.Errorf("core: set %v outside corpus of %d licenses", set, ia.corpus.Len())
+	}
+	k := ia.groupOf[set.Min()]
+	if !set.SubsetOf(ia.grouping.Groups[k].Members) {
+		return 0, 0, fmt.Errorf("core: record %v crosses groups (Corollary 1.1 violation)", set)
+	}
+	var local bitset.Mask
+	set.ForEach(func(j int) bool {
+		local = local.With(ia.position[j])
+		return true
+	})
+	return k, local, nil
+}
+
+// Append routes one issuance record into its group tree.
+func (ia *IncrementalAuditor) Append(r logstore.Record) error {
+	k, local, err := ia.route(r.Set)
+	if err != nil {
+		return err
+	}
+	if err := ia.trees[k].Tree.Insert(local, r.Count); err != nil {
+		return err
+	}
+	ia.records++
+	return nil
+}
+
+// Records returns the number of records appended since the last rebuild.
+func (ia *IncrementalAuditor) Records() int { return ia.records }
+
+// Grouping returns the current grouping.
+func (ia *IncrementalAuditor) Grouping() overlap.Grouping { return ia.grouping }
+
+// Trees returns the live per-group trees (read-only use).
+func (ia *IncrementalAuditor) Trees() []*GroupTree { return ia.trees }
+
+// Gain returns eq. 3 for the current grouping.
+func (ia *IncrementalAuditor) Gain() float64 { return Gain(ia.grouping) }
+
+// Audit validates every group tree and merges the report (global masks).
+func (ia *IncrementalAuditor) Audit() (Report, error) { return Validate(ia.trees) }
+
+// AuditGroup validates a single group — the cheap path when only one
+// group received new records since the last audit.
+func (ia *IncrementalAuditor) AuditGroup(k int) (vtree.Result, error) {
+	if k < 0 || k >= len(ia.trees) {
+		return vtree.Result{}, fmt.Errorf("core: group %d out of range [0,%d)", k, len(ia.trees))
+	}
+	return ia.trees[k].Tree.ValidateAll(ia.trees[k].Aggregates)
+}
+
+// Headroom returns the largest count issuable against the belongs-to set
+// without violating any equation — evaluated inside the set's group only
+// (2^{N_k−|set|} equations instead of 2^{N−|set|}).
+func (ia *IncrementalAuditor) Headroom(set bitset.Mask) (int64, error) {
+	k, local, err := ia.route(set)
+	if err != nil {
+		return 0, err
+	}
+	return ia.trees[k].Tree.Headroom(local, ia.trees[k].Aggregates)
+}
+
+// TopUp mirrors a corpus budget increase into the cached per-group
+// aggregate arrays, so subsequent Audit/Headroom calls see the new budget
+// without a Rebase. Call corpus.TopUp first (or use engine.Distributor,
+// which does both).
+func (ia *IncrementalAuditor) TopUp(j int, extra int64) error {
+	if j < 0 || j >= ia.corpus.Len() {
+		return fmt.Errorf("core: top-up index %d outside corpus of %d", j, ia.corpus.Len())
+	}
+	if extra <= 0 {
+		return fmt.Errorf("core: top-up of %d; budgets only grow", extra)
+	}
+	ia.trees[ia.groupOf[j]].Aggregates[ia.position[j]] += extra
+	return nil
+}
+
+// Rebase incorporates a grown corpus: it re-groups, re-divides, and
+// re-routes the existing records (compacted from the current trees). The
+// auditor must have been built over the same corpus value that grew —
+// license indexes must be stable.
+func (ia *IncrementalAuditor) Rebase() error {
+	var records []logstore.Record
+	for _, gt := range ia.trees {
+		for _, r := range gt.Tree.Records() {
+			records = append(records, logstore.Record{Set: gt.ToGlobal(r.Set), Count: r.Count})
+		}
+	}
+	return ia.rebuild(records)
+}

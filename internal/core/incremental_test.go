@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/geometry"
+	"repro/internal/interval"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/vtree"
+	"repro/internal/workload"
+)
+
+func TestIncrementalMatchesBatchOnExample1(t *testing.T) {
+	ex := license.NewExample1()
+	ia, err := NewIncrementalAuditor(ex.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ex.Log {
+		if err := ia.Append(logstore.Record{Set: e.Set, Count: e.Count}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ia.Records() != len(ex.Log) {
+		t.Errorf("Records = %d, want %d", ia.Records(), len(ex.Log))
+	}
+	rep, err := ia.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Equations != 10 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// Batch pipeline on the same data must agree.
+	store := logstore.NewMem(0)
+	for _, e := range ex.Log {
+		if err := store.Append(logstore.Record{Set: e.Set, Count: e.Count}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := NewAuditor(ex.Corpus, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRep, err := batch.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchRep.Equations != rep.Equations || len(batchRep.Violations) != len(rep.Violations) {
+		t.Errorf("incremental %+v vs batch %+v", rep, batchRep)
+	}
+}
+
+func TestIncrementalRejectsBadRecords(t *testing.T) {
+	ex := license.NewExample1()
+	ia, err := NewIncrementalAuditor(ex.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ia.Append(logstore.Record{Set: 0, Count: 5}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := ia.Append(logstore.Record{Set: bitset.MaskOf(9), Count: 5}); err == nil {
+		t.Error("out-of-corpus set accepted")
+	}
+	// {L1, L3} crosses the two groups.
+	if err := ia.Append(logstore.Record{Set: bitset.MaskOf(0, 2), Count: 5}); err == nil {
+		t.Error("cross-group record accepted")
+	}
+}
+
+func TestIncrementalHeadroom(t *testing.T) {
+	ex := license.NewExample1()
+	ia, err := NewIncrementalAuditor(ex.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ex.Log {
+		if err := ia.Append(logstore.Record{Set: e.Set, Count: e.Count}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same binding equation as the global Headroom test: {L2} has 600 left.
+	room, err := ia.Headroom(bitset.MaskOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if room != 600 {
+		t.Errorf("Headroom({2}) = %d, want 600", room)
+	}
+	// Group-local headroom must agree with whole-corpus headroom, since
+	// cross-group equations can never bind (their sets' counts are all
+	// within-group anyway).
+	full, err := vtree.BuildRecords(5, toRecords(ex.Log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalRoom, err := full.Headroom(bitset.MaskOf(1), ex.Corpus.Aggregates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if room != globalRoom {
+		t.Errorf("group-local headroom %d != global %d", room, globalRoom)
+	}
+}
+
+func toRecords(entries []license.LogEntry) []logstore.Record {
+	out := make([]logstore.Record, len(entries))
+	for i, e := range entries {
+		out[i] = logstore.Record{Set: e.Set, Count: e.Count}
+	}
+	return out
+}
+
+func TestIncrementalAuditGroup(t *testing.T) {
+	ex := license.NewExample1()
+	ia, err := NewIncrementalAuditor(ex.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow only group 2 ({L3, L5}).
+	if err := ia.Append(logstore.Record{Set: bitset.MaskOf(2, 4), Count: 99999}); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := ia.AuditGroup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.OK() {
+		t.Errorf("group 1 should be clean: %v", res1.Violations)
+	}
+	res2, err := ia.AuditGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.OK() {
+		t.Error("group 2 violation missed")
+	}
+	if _, err := ia.AuditGroup(5); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+}
+
+func TestIncrementalRebaseAfterCorpusGrowth(t *testing.T) {
+	// Start with L1, L2 (one group), log some issuance, then acquire a
+	// disjoint L3 and a bridging L4; Rebase must re-route existing records
+	// and keep audits consistent with a from-scratch batch run.
+	schema := geometry.MustSchema(geometry.Axis{Name: "x", Kind: geometry.KindInterval})
+	mk := func(name string, lo, hi int64, agg int64) *license.License {
+		return &license.License{
+			Name: name, Kind: license.Redistribution, Content: "K",
+			Permission: license.Play,
+			Rect:       geometry.MustRect(schema, geometry.IntervalValue(interval.New(lo, hi))),
+			Aggregate:  agg,
+		}
+	}
+	corpus := license.NewCorpus(schema)
+	corpus.MustAdd(mk("L1", 0, 10, 100))
+	corpus.MustAdd(mk("L2", 5, 15, 100))
+	ia, err := NewIncrementalAuditor(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []logstore.Record
+	add := func(set bitset.Mask, count int64) {
+		t.Helper()
+		r := logstore.Record{Set: set, Count: count}
+		if err := ia.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r)
+	}
+	add(bitset.MaskOf(0, 1), 40)
+	add(bitset.MaskOf(0), 10)
+
+	// Disjoint acquisition: groups 1 → 2.
+	corpus.MustAdd(mk("L3", 100, 110, 100))
+	if err := ia.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	if ia.Grouping().NumGroups() != 2 {
+		t.Fatalf("groups after L3 = %d, want 2", ia.Grouping().NumGroups())
+	}
+	add(bitset.MaskOf(2), 25)
+
+	// Bridging acquisition: groups 2 → 1.
+	corpus.MustAdd(mk("L4", 8, 105, 100))
+	if err := ia.Rebase(); err != nil {
+		t.Fatal(err)
+	}
+	if ia.Grouping().NumGroups() != 1 {
+		t.Fatalf("groups after L4 = %d, want 1", ia.Grouping().NumGroups())
+	}
+	rep, err := ia.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch over the full log and final corpus must agree.
+	store := logstore.NewMem(0)
+	for _, r := range all {
+		if err := store.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := NewAuditor(corpus, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRep, err := batch.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equations != batchRep.Equations || len(rep.Violations) != len(batchRep.Violations) {
+		t.Errorf("incremental %+v vs batch %+v", rep, batchRep)
+	}
+}
+
+func TestIncrementalMatchesBatchQuick(t *testing.T) {
+	// Random workloads: incremental and batch audits agree exactly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := workload.Config{
+			N:                 1 + r.Intn(12),
+			Groups:            1 + r.Intn(4),
+			Seed:              seed,
+			RecordsPerLicense: 30,
+			// Tight budgets so violations occur.
+			AggregateLo: 50, AggregateHi: 400,
+			CountLo: 10, CountHi: 30,
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		ia, err := NewIncrementalAuditor(w.Corpus)
+		if err != nil {
+			return false
+		}
+		for _, rec := range w.Records {
+			if err := ia.Append(rec); err != nil {
+				return false
+			}
+		}
+		incRep, err := ia.Audit()
+		if err != nil {
+			return false
+		}
+		batch, err := NewAuditor(w.Corpus, w.Store())
+		if err != nil {
+			return false
+		}
+		batchRep, err := batch.Audit()
+		if err != nil {
+			return false
+		}
+		if incRep.Equations != batchRep.Equations ||
+			len(incRep.Violations) != len(batchRep.Violations) {
+			return false
+		}
+		for i := range incRep.Violations {
+			if incRep.Violations[i] != batchRep.Violations[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalTopUp(t *testing.T) {
+	ex := license.NewExample1()
+	ia, err := NewIncrementalAuditor(ex.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violate {L2}: 1100 > 1000.
+	if err := ia.Append(logstore.Record{Set: bitset.MaskOf(1), Count: 1100}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ia.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("violation missed")
+	}
+	// Remediate via the cached aggregates (corpus + auditor in lockstep).
+	if err := ex.Corpus.TopUp(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ia.TopUp(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = ia.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("still violated after top-up: %v", rep.Violations)
+	}
+	if err := ia.TopUp(1, 0); err == nil {
+		t.Error("zero top-up accepted")
+	}
+	if err := ia.TopUp(99, 5); err == nil {
+		t.Error("bad index accepted")
+	}
+}

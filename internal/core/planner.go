@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/vtree"
+)
+
+// Strategy selects how one group's validation equations are evaluated.
+// All strategies compute identical results (property-tested); they differ
+// only in cost profile:
+//
+//   - StrategyTree — the paper's Algorithm 2 over the group's validation
+//     tree: no extra memory, cost ≈ equations × tree-walk;
+//   - StrategySOS — the sum-over-subsets DP: O(N_k·2^{N_k}) time and
+//     O(2^{N_k}) memory, the fastest when the group's distinct logged
+//     sets approach 2^{N_k};
+//   - StrategyDirect — per-equation scans over the compacted records:
+//     best for tiny groups where building anything is overhead.
+type Strategy int
+
+const (
+	// StrategyTree evaluates with the divided validation tree.
+	StrategyTree Strategy = iota
+	// StrategySOS evaluates with the subset-sum dynamic program.
+	StrategySOS
+	// StrategyDirect evaluates by scanning compacted records per equation.
+	StrategyDirect
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyTree:
+		return "tree"
+	case StrategySOS:
+		return "sos"
+	case StrategyDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// GroupPlan is the planner's choice for one group.
+type GroupPlan struct {
+	// Group indexes the GroupTree slice.
+	Group int
+	// Strategy is the chosen evaluator.
+	Strategy Strategy
+	// Cost is the model's unit-less estimate for the chosen strategy
+	// (comparable only within one group).
+	Cost float64
+}
+
+// sosMemoryCapBits bounds StrategySOS's 2^N table (must not exceed the
+// evaluator's own cap).
+const sosMemoryCapBits = 26
+
+// Plan chooses an evaluation strategy per group with a simple cost model
+// measured in "record/node touches":
+//
+//	tree:   2^{N_k} × (N_k + nodes/2)   (per-equation pruned walk)
+//	sos:    2^{N_k} × (N_k + 2) + nodes (transform + sweep)
+//	direct: 2^{N_k} × (records + N_k)   (per-equation scan)
+//
+// where nodes is the group tree's node count and records its distinct
+// logged sets. Constants are deliberately crude — the point is picking the
+// right asymptotic regime, and the ablation benchmark shows the regimes
+// differ by orders of magnitude at the extremes.
+func Plan(trees []*GroupTree) []GroupPlan {
+	plans := make([]GroupPlan, len(trees))
+	for k, gt := range trees {
+		n := gt.Tree.N()
+		eqs := float64(int64(1)<<uint(n) - 1)
+		nodes := float64(gt.Tree.Stats().Nodes)
+		records := float64(len(gt.Tree.Records()))
+
+		costTree := eqs * (float64(n) + nodes/2)
+		costSOS := eqs*(float64(n)+2) + nodes
+		costDirect := eqs * (records + float64(n))
+
+		best := GroupPlan{Group: k, Strategy: StrategyTree, Cost: costTree}
+		if costDirect < best.Cost {
+			best = GroupPlan{Group: k, Strategy: StrategyDirect, Cost: costDirect}
+		}
+		if n <= sosMemoryCapBits && costSOS < best.Cost {
+			best = GroupPlan{Group: k, Strategy: StrategySOS, Cost: costSOS}
+		}
+		plans[k] = best
+	}
+	return plans
+}
+
+// ValidateWithPlan evaluates every group with its planned strategy and
+// merges the results exactly like Validate.
+func ValidateWithPlan(trees []*GroupTree, plans []GroupPlan) (Report, error) {
+	if len(plans) != len(trees) {
+		return Report{}, fmt.Errorf("core: %d plans for %d groups", len(plans), len(trees))
+	}
+	results := make([]vtree.Result, len(trees))
+	for k, gt := range trees {
+		var res vtree.Result
+		var err error
+		switch plans[k].Strategy {
+		case StrategyTree:
+			res, err = gt.Tree.ValidateAll(gt.Aggregates)
+		case StrategySOS:
+			res, err = baseline.SOSValidate(gt.Tree.N(), gt.Tree.Records(), gt.Aggregates)
+		case StrategyDirect:
+			res, err = baseline.DirectValidate(gt.Tree.N(), gt.Tree.Records(), gt.Aggregates)
+		default:
+			err = fmt.Errorf("core: unknown strategy %v", plans[k].Strategy)
+		}
+		if err != nil {
+			return Report{}, fmt.Errorf("core: group %d (%v): %w", k+1, plans[k].Strategy, err)
+		}
+		results[k] = res
+	}
+	return merge(trees, results), nil
+}

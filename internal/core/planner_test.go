@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtree"
+)
+
+func TestStrategyString(t *testing.T) {
+	if StrategyTree.String() != "tree" || StrategySOS.String() != "sos" ||
+		StrategyDirect.String() != "direct" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unknown strategy name wrong")
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	trees := explainSetup(t, 0)
+	plans := Plan(trees)
+	if len(plans) != len(trees) {
+		t.Fatalf("plans = %d, want %d", len(plans), len(trees))
+	}
+	for k, p := range plans {
+		if p.Group != k {
+			t.Errorf("plan %d has group %d", k, p.Group)
+		}
+		if p.Cost <= 0 {
+			t.Errorf("plan %d cost = %v", k, p.Cost)
+		}
+	}
+}
+
+func TestPlanPrefersDirectForSparseGroups(t *testing.T) {
+	// Example 1's groups have very few records relative to 2^{N_k}; the
+	// per-equation scan (or the tree) should win, never SOS-with-big-table.
+	trees := explainSetup(t, 0)
+	for _, p := range Plan(trees) {
+		if p.Strategy == StrategySOS {
+			// SOS costs eqs×(n+2)+nodes vs direct eqs×(records+n): with
+			// records ≤ 3, direct is cheaper. If the model says otherwise
+			// something drifted.
+			t.Errorf("group %d planned SOS on a 3-record group", p.Group)
+		}
+	}
+}
+
+func TestValidateWithPlanMatchesValidateQuick(t *testing.T) {
+	// All strategies, as chosen by the planner, agree with the default
+	// tree validation — violations, counts and all.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gr, records, a := randomGroupedInstance(r)
+		tree, err := vtree.BuildRecords(gr.N, records)
+		if err != nil {
+			return false
+		}
+		trees, err := Divide(tree, gr, a)
+		if err != nil {
+			return false
+		}
+		want, err := Validate(trees)
+		if err != nil {
+			return false
+		}
+		got, err := ValidateWithPlan(trees, Plan(trees))
+		if err != nil {
+			return false
+		}
+		if got.Equations != want.Equations || len(got.Violations) != len(want.Violations) {
+			return false
+		}
+		for i := range got.Violations {
+			if got.Violations[i] != want.Violations[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateWithPlanAllStrategiesAgree(t *testing.T) {
+	// Force each strategy on every group of a random instance.
+	r := rand.New(rand.NewSource(77))
+	gr, records, a := randomGroupedInstance(r)
+	tree, err := vtree.BuildRecords(gr.N, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := Divide(tree, gr, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []Report
+	for _, s := range []Strategy{StrategyTree, StrategySOS, StrategyDirect} {
+		plans := make([]GroupPlan, len(trees))
+		for k := range plans {
+			plans[k] = GroupPlan{Group: k, Strategy: s}
+		}
+		rep, err := ValidateWithPlan(trees, plans)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		reports = append(reports, rep)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Equations != reports[0].Equations ||
+			len(reports[i].Violations) != len(reports[0].Violations) {
+			t.Fatalf("strategy %d diverges: %+v vs %+v", i, reports[i], reports[0])
+		}
+		for j := range reports[i].Violations {
+			if reports[i].Violations[j] != reports[0].Violations[j] {
+				t.Fatalf("strategy %d violation %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestValidateWithPlanErrors(t *testing.T) {
+	trees := explainSetup(t, 0)
+	if _, err := ValidateWithPlan(trees, nil); err == nil {
+		t.Error("plan arity mismatch accepted")
+	}
+	bad := make([]GroupPlan, len(trees))
+	for k := range bad {
+		bad[k] = GroupPlan{Group: k, Strategy: Strategy(9)}
+	}
+	if _, err := ValidateWithPlan(trees, bad); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

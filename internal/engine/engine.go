@@ -1,0 +1,307 @@
+// Package engine simulates the DRM distribution chain the paper assumes
+// around its validator: an owner grants redistribution licenses to
+// distributors; distributors issue usage (and sub-redistribution) licenses
+// to consumers; a validation authority instance-validates every issuance,
+// logs its belongs-to set and count, and audits the aggregate constraints
+// offline (§1–§2).
+//
+// A Distributor manages one (content, permission) corpus:
+//
+//   - instance validation uses an R-tree over the corpus rectangles
+//     (internal/rtree);
+//   - in ModeOnline every issuance is additionally aggregate-checked
+//     immediately via the validation tree's Headroom, so violations are
+//     rejected at issue time (loss-free, Example 1's desired behaviour);
+//   - in ModeOffline issuances are only logged — the paper's operating
+//     point, where "violation of aggregate constraints is not a frequent
+//     event" and auditing happens in batch via the geometric validator.
+//
+// A Network is a directory of distributors keyed by (distributor, content,
+// permission), so multi-party scenarios read naturally in the examples.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/overlap"
+	"repro/internal/rtree"
+	"repro/internal/vtree"
+)
+
+// Mode selects when aggregate validation happens.
+type Mode int
+
+const (
+	// ModeOffline logs issuances without aggregate checks; call Audit to
+	// validate in batch (the paper's setting).
+	ModeOffline Mode = iota
+	// ModeOnline rejects issuances that would violate any validation
+	// equation, using Headroom over a live validation tree.
+	ModeOnline
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeOffline:
+		return "offline"
+	case ModeOnline:
+		return "online"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Sentinel errors distinguish the two rejection classes.
+var (
+	// ErrInstanceInvalid marks an issuance whose rectangle is not
+	// contained in any redistribution license (like L_U^2 in fig 2).
+	ErrInstanceInvalid = errors.New("engine: issuance fails instance-based validation")
+	// ErrAggregateExhausted marks an online-mode issuance that would
+	// violate a validation equation.
+	ErrAggregateExhausted = errors.New("engine: issuance would violate an aggregate constraint")
+)
+
+// Stats counts a distributor's issuance outcomes.
+type Stats struct {
+	// Issued counts accepted issuances; IssuedCounts sums their counts.
+	Issued       int
+	IssuedCounts int64
+	// RejectedInstance and RejectedAggregate count the two failure modes.
+	RejectedInstance  int
+	RejectedAggregate int
+}
+
+// Distributor manages one (content, permission) license corpus and its
+// issuance log. It is not safe for concurrent use.
+type Distributor struct {
+	name    string
+	mode    Mode
+	corpus  *license.Corpus
+	grouper *overlap.Grouper
+	index   *rtree.Tree
+	log     logstore.Store
+	// live mirrors the log as a validation tree when mode == ModeOnline.
+	// It is rebuilt lazily (liveDirty) so that loading a corpus license by
+	// license over a pre-existing log — the catalog-reopen path — only
+	// replays the log once the corpus is complete.
+	live      *vtree.Tree
+	liveDirty bool
+	stats     Stats
+	seq       int
+}
+
+// NewDistributor creates a distributor over the schema writing to the given
+// log store (NewMem is a fine default).
+func NewDistributor(name string, schema *geometry.Schema, mode Mode, log logstore.Store) *Distributor {
+	corpus := license.NewCorpus(schema)
+	return &Distributor{
+		name:    name,
+		mode:    mode,
+		corpus:  corpus,
+		grouper: overlap.NewGrouper(corpus),
+		index:   rtree.New(schema, rtree.DefaultMaxEntries),
+		log:     log,
+	}
+}
+
+// Name returns the distributor's name.
+func (d *Distributor) Name() string { return d.name }
+
+// Corpus exposes the redistribution-license corpus (read-only use).
+func (d *Distributor) Corpus() *license.Corpus { return d.corpus }
+
+// Stats returns issuance counters.
+func (d *Distributor) Stats() Stats { return d.stats }
+
+// NumGroups returns the current number of disconnected license groups,
+// maintained incrementally as licenses arrive.
+func (d *Distributor) NumGroups() int { return d.grouper.NumGroups() }
+
+// AddRedistribution registers a redistribution license received from
+// upstream (the owner or a parent distributor) and returns its corpus
+// index. In online mode the live validation tree is re-sized to the new
+// corpus by replaying the log.
+func (d *Distributor) AddRedistribution(l *license.License) (int, error) {
+	idx, err := d.grouper.Add(l) // validates kind/schema and updates groups
+	if err != nil {
+		return 0, err
+	}
+	if err := d.index.Insert(l.Rect, idx); err != nil {
+		return 0, err
+	}
+	if d.mode == ModeOnline {
+		d.liveDirty = true
+	}
+	return idx, nil
+}
+
+// rebuildLive replays the log into a fresh tree sized to the corpus, if a
+// corpus change invalidated the current one.
+func (d *Distributor) rebuildLive() error {
+	if d.live != nil && !d.liveDirty {
+		return nil
+	}
+	t, err := vtree.Build(d.corpus.Len(), d.log)
+	if err != nil {
+		return err
+	}
+	d.live = t
+	d.liveDirty = false
+	return nil
+}
+
+// BelongsTo runs instance validation for a candidate rectangle and returns
+// the belongs-to set as a mask (empty = instance-invalid).
+func (d *Distributor) BelongsTo(rect geometry.Rect) bitset.Mask {
+	var set bitset.Mask
+	for _, j := range d.index.SearchContaining(rect) {
+		set = set.With(j)
+	}
+	return set
+}
+
+// Issue processes one issuance request: a new license of the given kind
+// with constraint rectangle rect and permission count. On success the
+// issued license is returned and the issuance is logged.
+func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
+	if d.corpus.Len() == 0 {
+		return nil, fmt.Errorf("%w: distributor %s holds no redistribution licenses", ErrInstanceInvalid, d.name)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("engine: non-positive count %d", count)
+	}
+	set := d.BelongsTo(rect)
+	if set.Empty() {
+		d.stats.RejectedInstance++
+		return nil, fmt.Errorf("%w: %s not contained in any redistribution license", ErrInstanceInvalid, rect)
+	}
+	if d.mode == ModeOnline {
+		if err := d.rebuildLive(); err != nil {
+			return nil, err
+		}
+		room, err := d.live.Headroom(set, d.corpus.Aggregates())
+		if err != nil {
+			return nil, err
+		}
+		if count > room {
+			d.stats.RejectedAggregate++
+			return nil, fmt.Errorf("%w: requested %d, headroom %d for %v", ErrAggregateExhausted, count, room, set)
+		}
+	}
+	rec := logstore.Record{Set: set, Count: count}
+	if err := d.log.Append(rec); err != nil {
+		return nil, err
+	}
+	if d.mode == ModeOnline {
+		if err := d.live.Insert(set, count); err != nil {
+			return nil, err
+		}
+	}
+	d.stats.Issued++
+	d.stats.IssuedCounts += count
+	d.seq++
+	first := d.corpus.License(0)
+	return &license.License{
+		Name:       fmt.Sprintf("%s/U%d", d.name, d.seq),
+		Kind:       kind,
+		Content:    first.Content,
+		Permission: first.Permission,
+		Rect:       rect,
+		Aggregate:  count,
+	}, nil
+}
+
+// TopUp raises the budget of the redistribution license at corpus index i
+// by extra — the remediation an owner applies when audits show a group
+// running hot. Online-mode headroom reflects the new budget immediately.
+func (d *Distributor) TopUp(i int, extra int64) error {
+	return d.corpus.TopUp(i, extra)
+}
+
+// Audit runs the geometric offline validator over the accumulated log with
+// the given parallelism and returns its report together with the auditor
+// (for gain/timings inspection).
+func (d *Distributor) Audit(workers int) (core.Report, *core.Auditor, error) {
+	aud, err := core.NewAuditor(d.corpus, d.log)
+	if err != nil {
+		return core.Report{}, nil, err
+	}
+	if workers > 1 {
+		aud.Workers = workers
+	}
+	rep, err := aud.Audit()
+	if err != nil {
+		return core.Report{}, nil, err
+	}
+	return rep, aud, nil
+}
+
+// Network is a directory of distributors keyed by (name, content,
+// permission). It lets the owner route redistribution grants and examples
+// read like the paper's multi-party scenarios.
+type Network struct {
+	schema       *geometry.Schema
+	mode         Mode
+	distributors map[string]*Distributor
+}
+
+// NewNetwork creates an empty network whose distributors share a schema
+// and validation mode.
+func NewNetwork(schema *geometry.Schema, mode Mode) *Network {
+	return &Network{schema: schema, mode: mode, distributors: make(map[string]*Distributor)}
+}
+
+// key builds the directory key for one corpus.
+func key(name, content string, perm license.Permission) string {
+	return name + "\x00" + content + "\x00" + string(perm)
+}
+
+// Grant delivers a redistribution license to the named distributor,
+// creating its (content, permission) corpus on first use.
+func (n *Network) Grant(distributor string, l *license.License) (*Distributor, error) {
+	k := key(distributor, l.Content, l.Permission)
+	d, ok := n.distributors[k]
+	if !ok {
+		d = NewDistributor(distributor, n.schema, n.mode, logstore.NewMem(0))
+		n.distributors[k] = d
+	}
+	if _, err := d.AddRedistribution(l); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Distributor looks up the corpus of (name, content, perm), or nil.
+func (n *Network) Distributor(name, content string, perm license.Permission) *Distributor {
+	return n.distributors[key(name, content, perm)]
+}
+
+// Distributors returns all registered corpora in unspecified order.
+func (n *Network) Distributors() []*Distributor {
+	out := make([]*Distributor, 0, len(n.distributors))
+	for _, d := range n.distributors {
+		out = append(out, d)
+	}
+	return out
+}
+
+// AuditAll audits every corpus in the network, returning reports keyed the
+// same way lookups are.
+func (n *Network) AuditAll(workers int) (map[*Distributor]core.Report, error) {
+	out := make(map[*Distributor]core.Report, len(n.distributors))
+	for _, d := range n.distributors {
+		rep, _, err := d.Audit(workers)
+		if err != nil {
+			return nil, fmt.Errorf("engine: auditing %s: %w", d.Name(), err)
+		}
+		out[d] = rep
+	}
+	return out, nil
+}

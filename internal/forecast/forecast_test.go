@@ -1,0 +1,145 @@
+package forecast
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/geometry"
+	"repro/internal/interval"
+	"repro/internal/license"
+	"repro/internal/overlap"
+	"repro/internal/workload"
+)
+
+func TestTimelineExample1(t *testing.T) {
+	// Example 1 expiries (epoch-day Hi): L1 20/03, L2 25/03, L3 30/03,
+	// L4 15/04, L5 10/04 — five distinct waves.
+	ex := license.NewExample1()
+	steps, err := Timeline(ex.Corpus, "period")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 6 { // initial + 5 waves
+		t.Fatalf("steps = %d, want 6", len(steps))
+	}
+	s0 := steps[0]
+	if s0.Active != bitset.FullMask(5) || len(s0.Groups) != 2 || s0.Equations != 10 {
+		t.Errorf("initial step = %+v", s0)
+	}
+	if !s0.Expired.Empty() {
+		t.Error("initial step has expiries")
+	}
+
+	// Wave 1: L1 (the group-1 cut vertex) expires → {L2} and {L4} split.
+	s1 := steps[1]
+	if s1.Expired != bitset.MaskOf(0) {
+		t.Errorf("wave 1 expired = %v, want {1}", s1.Expired)
+	}
+	if len(s1.Groups) != 3 || !s1.Split {
+		t.Errorf("wave 1: groups=%d split=%v, want 3/true", len(s1.Groups), s1.Split)
+	}
+	// Equations: {2},{4} singletons (1 each) + {3,5} (3) = 5.
+	if s1.Equations != 5 {
+		t.Errorf("wave 1 equations = %d, want 5", s1.Equations)
+	}
+
+	// Wave 2: L2 expires — a singleton group vanishes, no split.
+	s2 := steps[2]
+	if s2.Split {
+		t.Error("wave 2 flagged as split")
+	}
+	if len(s2.Groups) != 2 {
+		t.Errorf("wave 2 groups = %d, want 2 ({4} and {3,5})", len(s2.Groups))
+	}
+
+	// Final wave: everything expired.
+	last := steps[len(steps)-1]
+	if !last.Active.Empty() || len(last.Groups) != 0 || last.Equations != 0 {
+		t.Errorf("final step = %+v", last)
+	}
+
+	// Equations must be non-increasing across the whole timeline.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Equations > steps[i-1].Equations {
+			t.Errorf("equations rose at step %d: %d > %d",
+				i, steps[i].Equations, steps[i-1].Equations)
+		}
+	}
+}
+
+func TestTimelineSplitMatchesCutVertices(t *testing.T) {
+	// Property: a single-license expiry wave splits iff that license is a
+	// cut vertex of the current active overlap graph (or ends a group).
+	w := workload.MustGenerate(workload.Config{N: 14, Groups: 3, Seed: 17, RecordsPerLicense: 1})
+	steps, err := Timeline(w.Corpus, "c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := overlap.BuildAdjacency(w.Corpus)
+	for i := 1; i < len(steps); i++ {
+		prev, cur := steps[i-1], steps[i]
+		if cur.Expired.Len() != 1 {
+			continue // multi-expiry waves have compound effects
+		}
+		v := cur.Expired.Min()
+		// Restrict the adjacency to the previous active set and check
+		// whether v is a cut vertex there.
+		n := len(adj)
+		sub := make(overlap.Adjacency, n)
+		for r := range sub {
+			sub[r] = make([]bool, n)
+			for c := 0; c < n; c++ {
+				sub[r][c] = adj[r][c] && prev.Active.Has(r) && prev.Active.Has(c)
+			}
+		}
+		wantSplit := overlap.CutLicenses(sub).Has(v)
+		if cur.Split != wantSplit {
+			t.Errorf("step %d (expire L%d): split=%v, cut-vertex=%v",
+				i, v+1, cur.Split, wantSplit)
+		}
+	}
+}
+
+func TestTimelineErrors(t *testing.T) {
+	ex := license.NewExample1()
+	if _, err := Timeline(ex.Corpus, "nope"); err == nil {
+		t.Error("unknown axis accepted")
+	}
+	if _, err := Timeline(ex.Corpus, "region"); err == nil {
+		t.Error("set axis accepted")
+	}
+	schema := geometry.MustSchema(geometry.Axis{Name: "x", Kind: geometry.KindInterval})
+	if _, err := Timeline(license.NewCorpus(schema), "x"); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestTimelineSharedExpiry(t *testing.T) {
+	// Licenses sharing an expiry coordinate lapse in one wave.
+	schema := geometry.MustSchema(geometry.Axis{Name: "x", Kind: geometry.KindInterval})
+	c := license.NewCorpus(schema)
+	mk := func(lo, hi int64) *license.License {
+		return &license.License{
+			Name: "L", Kind: license.Redistribution, Content: "K",
+			Permission: license.Play,
+			Rect:       geometry.MustRect(schema, geometry.IntervalValue(interval.New(lo, hi))),
+			Aggregate:  10,
+		}
+	}
+	c.MustAdd(mk(0, 50))
+	c.MustAdd(mk(10, 50)) // same expiry as L1
+	c.MustAdd(mk(20, 80))
+	steps, err := Timeline(c, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 { // initial + wave(50) + wave(80)
+		t.Fatalf("steps = %d, want 3", len(steps))
+	}
+	if steps[1].Expired != bitset.MaskOf(0, 1) {
+		t.Errorf("wave 1 expired = %v, want {1,2}", steps[1].Expired)
+	}
+	if steps[2].Expired != bitset.MaskOf(2) {
+		t.Errorf("wave 2 expired = %v, want {3}", steps[2].Expired)
+	}
+}

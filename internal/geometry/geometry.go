@@ -1,0 +1,388 @@
+// Package geometry implements the M-dimensional hyper-rectangles at the
+// heart of the paper's approach (§3.1): every license is a hyper-rectangle
+// whose axes are its instance-based constraints.
+//
+// Two axis kinds cover the constraint types the paper describes:
+//
+//   - KindInterval — range constraints (validity period, resolution, ...),
+//     backed by interval.Interval;
+//   - KindSet — categorical constraints (allowed regions), backed by leaf
+//     bitsets from a region taxonomy (or any fixed categorical universe).
+//
+// A Schema fixes the ordered list of axes for a content item; every Rect is
+// interpreted against its schema. The two relations everything else is built
+// from are:
+//
+//   - Rect.Contains — instance-based validation (§3.1): an issued license
+//     belongs to a redistribution license iff the latter's rectangle fully
+//     contains the former's;
+//   - Rect.Overlaps — the overlap-graph edge predicate (§3.2): two licenses
+//     overlap iff *all* axes overlap.
+package geometry
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/interval"
+)
+
+// Kind identifies the value type of a schema axis.
+type Kind uint8
+
+const (
+	// KindInterval axes hold closed int64 intervals.
+	KindInterval Kind = iota
+	// KindSet axes hold bitsets over a fixed categorical universe.
+	KindSet
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInterval:
+		return "interval"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Axis describes one instance-based constraint dimension.
+type Axis struct {
+	// Name identifies the constraint, e.g. "period" or "region".
+	Name string
+	// Kind selects interval or set semantics.
+	Kind Kind
+	// Universe is the categorical universe width for KindSet axes
+	// (e.g. the taxonomy's NumLeaves). Zero for KindInterval axes.
+	Universe int
+}
+
+// Schema is the ordered list of constraint axes for a content item. The
+// paper's experiments use M=4 instance-based constraints; the schema makes M
+// explicit and keeps rectangles self-consistent.
+type Schema struct {
+	axes   []Axis
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given axes. Axis names must be unique
+// and non-empty; KindSet axes must declare a positive universe.
+func NewSchema(axes ...Axis) (*Schema, error) {
+	s := &Schema{axes: append([]Axis(nil), axes...), byName: make(map[string]int, len(axes))}
+	for i, a := range axes {
+		if a.Name == "" {
+			return nil, fmt.Errorf("geometry: axis %d has empty name", i)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("geometry: duplicate axis name %q", a.Name)
+		}
+		switch a.Kind {
+		case KindInterval:
+			if a.Universe != 0 {
+				return nil, fmt.Errorf("geometry: interval axis %q must have zero universe", a.Name)
+			}
+		case KindSet:
+			if a.Universe <= 0 {
+				return nil, fmt.Errorf("geometry: set axis %q needs a positive universe", a.Name)
+			}
+		default:
+			return nil, fmt.Errorf("geometry: axis %q has unknown kind %v", a.Name, a.Kind)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for trusted literals; it panics on error.
+func MustSchema(axes ...Axis) *Schema {
+	s, err := NewSchema(axes...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims returns M, the number of axes.
+func (s *Schema) Dims() int { return len(s.axes) }
+
+// Axis returns the i-th axis descriptor.
+func (s *Schema) Axis(i int) Axis { return s.axes[i] }
+
+// AxisIndex resolves an axis name to its position.
+func (s *Schema) AxisIndex(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// Value is one axis value of a rectangle: an interval or a categorical set,
+// depending on the axis kind.
+type Value struct {
+	kind Kind
+	iv   interval.Interval
+	set  bitset.Set
+}
+
+// IntervalValue wraps an interval as an axis value.
+func IntervalValue(iv interval.Interval) Value {
+	return Value{kind: KindInterval, iv: iv}
+}
+
+// SetValue wraps a categorical set as an axis value.
+func SetValue(s bitset.Set) Value {
+	return Value{kind: KindSet, set: s}
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// Interval returns the interval payload; it panics for set values.
+func (v Value) Interval() interval.Interval {
+	if v.kind != KindInterval {
+		panic("geometry: Interval() on a set value")
+	}
+	return v.iv
+}
+
+// Set returns the set payload; it panics for interval values.
+func (v Value) Set() bitset.Set {
+	if v.kind != KindSet {
+		panic("geometry: Set() on an interval value")
+	}
+	return v.set
+}
+
+// Empty reports whether the value denotes an empty constraint range.
+func (v Value) Empty() bool {
+	if v.kind == KindInterval {
+		return v.iv.IsEmpty()
+	}
+	return v.set.Empty()
+}
+
+// contains reports whether v fully contains o (same kind assumed).
+func (v Value) contains(o Value) bool {
+	if v.kind == KindInterval {
+		return v.iv.Contains(o.iv)
+	}
+	return o.set.SubsetOf(v.set)
+}
+
+// overlaps reports whether v ∩ o ≠ ∅ (same kind assumed).
+func (v Value) overlaps(o Value) bool {
+	if v.kind == KindInterval {
+		return v.iv.Overlaps(o.iv)
+	}
+	return v.set.Intersects(o.set)
+}
+
+// intersect returns v ∩ o (same kind assumed).
+func (v Value) intersect(o Value) Value {
+	if v.kind == KindInterval {
+		return IntervalValue(v.iv.Intersect(o.iv))
+	}
+	return SetValue(v.set.Intersect(o.set))
+}
+
+// hull returns the smallest value covering both v and o (same kind
+// assumed): interval hull or set union.
+func (v Value) hull(o Value) Value {
+	if v.kind == KindInterval {
+		return IntervalValue(v.iv.Hull(o.iv))
+	}
+	return SetValue(v.set.Union(o.set))
+}
+
+// equal reports whether v and o denote the same range (same kind assumed).
+func (v Value) equal(o Value) bool {
+	if v.kind == KindInterval {
+		return v.iv.Equal(o.iv)
+	}
+	return v.set.Equal(o.set)
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.kind == KindInterval {
+		return v.iv.String()
+	}
+	return v.set.String()
+}
+
+// Rect is an M-dimensional hyper-rectangle bound to a schema: one Value per
+// axis. Rects are immutable by convention; nothing in this package mutates
+// a Rect after construction.
+type Rect struct {
+	schema *Schema
+	vals   []Value
+}
+
+// NewRect builds a rectangle over the schema from one value per axis, in
+// schema order. It validates kinds and set universes.
+func NewRect(s *Schema, vals ...Value) (Rect, error) {
+	if len(vals) != s.Dims() {
+		return Rect{}, fmt.Errorf("geometry: rect has %d values, schema wants %d", len(vals), s.Dims())
+	}
+	for i, v := range vals {
+		ax := s.axes[i]
+		if v.kind != ax.Kind {
+			return Rect{}, fmt.Errorf("geometry: axis %q: value kind %v, want %v", ax.Name, v.kind, ax.Kind)
+		}
+		if ax.Kind == KindSet && v.set.Universe() != ax.Universe {
+			return Rect{}, fmt.Errorf("geometry: axis %q: set universe %d, want %d",
+				ax.Name, v.set.Universe(), ax.Universe)
+		}
+	}
+	return Rect{schema: s, vals: append([]Value(nil), vals...)}, nil
+}
+
+// MustRect is NewRect for trusted literals; it panics on error.
+func MustRect(s *Schema, vals ...Value) Rect {
+	r, err := NewRect(s, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema returns the rectangle's schema.
+func (r Rect) Schema() *Schema { return r.schema }
+
+// Value returns the value on axis i.
+func (r Rect) Value(i int) Value { return r.vals[i] }
+
+// IsZero reports whether r is the zero Rect (no schema).
+func (r Rect) IsZero() bool { return r.schema == nil }
+
+// Empty reports whether any axis range is empty, i.e. the rectangle encloses
+// no points at all.
+func (r Rect) Empty() bool {
+	for _, v := range r.vals {
+		if v.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+func (r Rect) sameSchema(o Rect) {
+	if r.schema != o.schema {
+		panic("geometry: rects from different schemas")
+	}
+}
+
+// Contains reports whether o lies entirely within r on every axis — the
+// instance-based validation predicate of §3.1. An empty o is contained
+// everywhere; an empty r contains only empty rectangles.
+func (r Rect) Contains(o Rect) bool {
+	r.sameSchema(o)
+	for i, v := range r.vals {
+		if !v.contains(o.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether r and o intersect on *every* axis — the paper's
+// overlapping-licenses predicate (§3.2): I_m^j ∩ I_m^k ≠ ∅ for all m ≤ M.
+func (r Rect) Overlaps(o Rect) bool {
+	r.sameSchema(o)
+	for i, v := range r.vals {
+		if !v.overlaps(o.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the axis-wise intersection r ∩ o; the result is Empty if
+// any axis intersection is empty. Theorem 1 rests on this: a set of licenses
+// has a common region iff the fold of Intersect over the set is non-empty.
+func (r Rect) Intersect(o Rect) Rect {
+	r.sameSchema(o)
+	vals := make([]Value, len(r.vals))
+	for i, v := range r.vals {
+		vals[i] = v.intersect(o.vals[i])
+	}
+	return Rect{schema: r.schema, vals: vals}
+}
+
+// Equal reports whether r and o have identical ranges on every axis.
+func (r Rect) Equal(o Rect) bool {
+	if r.schema != o.schema {
+		return false
+	}
+	for i, v := range r.vals {
+		if !v.equal(o.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bound returns the smallest rectangle covering both r and o (axis-wise
+// interval hull / set union) — the MBR operation spatial indexes need.
+func (r Rect) Bound(o Rect) Rect {
+	r.sameSchema(o)
+	vals := make([]Value, len(r.vals))
+	for i, v := range r.vals {
+		vals[i] = v.hull(o.vals[i])
+	}
+	return Rect{schema: r.schema, vals: vals}
+}
+
+// Enlargement returns a scalar measure of how much r must grow to cover o:
+// the sum over axes of added interval length plus added set cardinality.
+// Spatial indexes use it to choose insertion subtrees; the absolute scale
+// is irrelevant, only comparisons matter.
+func (r Rect) Enlargement(o Rect) int64 {
+	r.sameSchema(o)
+	var total int64
+	for i, v := range r.vals {
+		h := v.hull(o.vals[i])
+		if v.kind == KindInterval {
+			total += h.iv.Len() - v.iv.Len()
+		} else {
+			total += int64(h.set.Len() - v.set.Len())
+		}
+	}
+	return total
+}
+
+// CommonRegion reports whether all rectangles share a common non-empty
+// region — the hypothesis of Theorem 1. With zero rectangles it returns
+// false.
+func CommonRegion(rects ...Rect) bool {
+	if len(rects) == 0 {
+		return false
+	}
+	acc := rects[0]
+	for _, r := range rects[1:] {
+		acc = acc.Intersect(r)
+		if acc.Empty() {
+			return false
+		}
+	}
+	return !acc.Empty()
+}
+
+// String renders the rectangle as "name=value" pairs in schema order.
+func (r Rect) String() string {
+	if r.IsZero() {
+		return "<zero rect>"
+	}
+	var b strings.Builder
+	for i, v := range r.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.schema.axes[i].Name)
+		b.WriteByte('=')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

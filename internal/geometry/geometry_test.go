@@ -1,0 +1,429 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/interval"
+)
+
+// testSchema returns a 2-axis schema mirroring fig 2 of the paper: a time
+// interval and a region set over a 6-leaf universe.
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Axis{Name: "period", Kind: KindInterval},
+		Axis{Name: "region", Kind: KindSet, Universe: 6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rect(t *testing.T, s *Schema, lo, hi int64, regions ...int) Rect {
+	t.Helper()
+	r, err := NewRect(s,
+		IntervalValue(interval.New(lo, hi)),
+		SetValue(bitset.SetOf(6, regions...)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		axes []Axis
+	}{
+		{"empty name", []Axis{{Name: "", Kind: KindInterval}}},
+		{"dup name", []Axis{{Name: "a", Kind: KindInterval}, {Name: "a", Kind: KindInterval}}},
+		{"set without universe", []Axis{{Name: "r", Kind: KindSet}}},
+		{"interval with universe", []Axis{{Name: "t", Kind: KindInterval, Universe: 5}}},
+		{"bad kind", []Axis{{Name: "x", Kind: Kind(9)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchema(c.axes...); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNewRectErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewRect(s, IntervalValue(interval.New(0, 1))); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := NewRect(s,
+		SetValue(bitset.SetOf(6, 1)),
+		SetValue(bitset.SetOf(6, 1))); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := NewRect(s,
+		IntervalValue(interval.New(0, 1)),
+		SetValue(bitset.SetOf(7, 1))); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+}
+
+func TestContainsBothAxes(t *testing.T) {
+	s := testSchema(t)
+	big := rect(t, s, 0, 100, 0, 1, 2)
+	inner := rect(t, s, 10, 20, 1)
+	if !big.Contains(inner) {
+		t.Error("big should contain inner")
+	}
+	// Time inside but region outside.
+	regionOut := rect(t, s, 10, 20, 3)
+	if big.Contains(regionOut) {
+		t.Error("containment must require every axis")
+	}
+	// Region inside but time outside.
+	timeOut := rect(t, s, 90, 110, 1)
+	if big.Contains(timeOut) {
+		t.Error("containment must require every axis")
+	}
+	if inner.Contains(big) {
+		t.Error("containment is not symmetric here")
+	}
+	if !big.Contains(big) {
+		t.Error("containment must be reflexive")
+	}
+}
+
+func TestOverlapsRequiresEveryAxis(t *testing.T) {
+	s := testSchema(t)
+	a := rect(t, s, 0, 10, 0, 1)
+	b := rect(t, s, 5, 15, 1, 2)  // overlaps on both axes
+	c := rect(t, s, 5, 15, 3)     // overlaps in time only
+	d := rect(t, s, 50, 60, 0, 1) // overlaps in region only
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a,b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("time-only overlap must not count (paper §3.2)")
+	}
+	if a.Overlaps(d) {
+		t.Error("region-only overlap must not count")
+	}
+}
+
+func TestIntersectAndEmpty(t *testing.T) {
+	s := testSchema(t)
+	a := rect(t, s, 0, 10, 0, 1)
+	b := rect(t, s, 5, 15, 1, 2)
+	got := a.Intersect(b)
+	want := rect(t, s, 5, 10, 1)
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got.Empty() {
+		t.Error("non-degenerate intersection reported empty")
+	}
+	c := rect(t, s, 50, 60, 1)
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intersection not empty")
+	}
+}
+
+func TestCommonRegionTheorem1Setup(t *testing.T) {
+	// Mirrors fig 2: L1, L2, L3 have no common region even though L1-L2
+	// overlap pairwise; so C[{1,2,3}] must be structurally impossible.
+	s := testSchema(t)
+	l1 := rect(t, s, 0, 10, 0, 1) // Asia+Europe style
+	l2 := rect(t, s, 5, 15, 0)    // Asia
+	l3 := rect(t, s, 5, 20, 2)    // America
+	if !CommonRegion(l1, l2) {
+		t.Error("l1,l2 should share a region")
+	}
+	if CommonRegion(l1, l2, l3) {
+		t.Error("l1,l2,l3 must not share a region")
+	}
+	if CommonRegion() {
+		t.Error("no rectangles should mean no common region")
+	}
+	if !CommonRegion(l1) {
+		t.Error("single non-empty rect is its own common region")
+	}
+}
+
+func TestPairwiseOverlapWithoutCommonRegion(t *testing.T) {
+	// With a categorical axis, pairwise overlap does NOT imply a common
+	// region: sets {0,1}, {1,2}, {0,2} intersect pairwise but share no
+	// element. This is why Theorem 1 is strictly stronger than checking the
+	// overlap graph for a clique.
+	s := testSchema(t)
+	a := rect(t, s, 0, 10, 0, 1)
+	b := rect(t, s, 0, 10, 1, 2)
+	c := rect(t, s, 0, 10, 0, 2)
+	if !a.Overlaps(b) || !b.Overlaps(c) || !a.Overlaps(c) {
+		t.Fatal("setup: pairs must overlap")
+	}
+	if CommonRegion(a, b, c) {
+		t.Error("pairwise-overlapping set constraints must not share a common region here")
+	}
+}
+
+func TestIntervalAxesHaveHellyProperty(t *testing.T) {
+	// For pure interval schemas, axis-aligned boxes DO satisfy Helly:
+	// pairwise overlap implies a common region (1-D Helly applied per axis).
+	// Documented here because Theorem 1's extra power comes only from
+	// categorical axes or from pairs that don't all overlap.
+	s := MustSchema(
+		Axis{Name: "x", Kind: KindInterval},
+		Axis{Name: "y", Kind: KindInterval},
+	)
+	mk := func(x0, x1, y0, y1 int64) Rect {
+		return MustRect(s,
+			IntervalValue(interval.New(x0, x1)),
+			IntervalValue(interval.New(y0, y1)))
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		boxes := make([]Rect, 3)
+		for i := range boxes {
+			x0 := r.Int63n(40)
+			y0 := r.Int63n(40)
+			boxes[i] = mk(x0, x0+r.Int63n(30), y0, y0+r.Int63n(30))
+		}
+		pairwise := boxes[0].Overlaps(boxes[1]) &&
+			boxes[1].Overlaps(boxes[2]) &&
+			boxes[0].Overlaps(boxes[2])
+		if pairwise && !CommonRegion(boxes...) {
+			t.Fatalf("Helly violated for interval boxes: %v", boxes)
+		}
+	}
+}
+
+func TestEmptyRectContainment(t *testing.T) {
+	s := testSchema(t)
+	full := rect(t, s, 0, 10, 0, 1)
+	empty := rect(t, s, 5, 4) // empty interval and empty region set
+	if !full.Contains(empty) {
+		t.Error("every rect contains an empty rect")
+	}
+	if empty.Contains(full) {
+		t.Error("empty rect contains a non-empty one")
+	}
+	if empty.Overlaps(full) || full.Overlaps(empty) {
+		t.Error("empty rect overlaps something")
+	}
+	if !empty.Empty() {
+		t.Error("Empty() = false for empty rect")
+	}
+}
+
+func TestRectStringAndAccessors(t *testing.T) {
+	s := testSchema(t)
+	r := rect(t, s, 1, 2, 0)
+	if r.Schema() != s {
+		t.Error("Schema accessor broken")
+	}
+	if r.Value(0).Kind() != KindInterval || r.Value(1).Kind() != KindSet {
+		t.Error("Value kinds wrong")
+	}
+	if got := r.String(); got != "period=[1,2], region={0}" {
+		t.Errorf("String = %q", got)
+	}
+	if !(Rect{}).IsZero() {
+		t.Error("zero Rect not IsZero")
+	}
+	if (Rect{}).String() != "<zero rect>" {
+		t.Error("zero Rect String")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	iv := IntervalValue(interval.New(0, 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Set() on interval value did not panic")
+			}
+		}()
+		iv.Set()
+	}()
+	sv := SetValue(bitset.SetOf(3, 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Interval() on set value did not panic")
+			}
+		}()
+		sv.Interval()
+	}()
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	s1 := testSchema(t)
+	s2 := testSchema(t)
+	a := rect(t, s1, 0, 1, 0)
+	b := rect(t, s2, 0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-schema Contains did not panic")
+		}
+	}()
+	a.Contains(b)
+}
+
+func randRect(r *rand.Rand, s *Schema) Rect {
+	lo := r.Int63n(100)
+	hi := lo + r.Int63n(30)
+	set := bitset.NewSet(6)
+	for i := 0; i < 6; i++ {
+		if r.Intn(2) == 0 {
+			set.Add(i)
+		}
+	}
+	if set.Empty() {
+		set.Add(r.Intn(6))
+	}
+	return MustRect(s, IntervalValue(interval.New(lo, hi)), SetValue(set))
+}
+
+func TestRectLawsQuick(t *testing.T) {
+	s := MustSchema(
+		Axis{Name: "period", Kind: KindInterval},
+		Axis{Name: "region", Kind: KindSet, Universe: 6},
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randRect(r, s), randRect(r, s), randRect(r, s)
+		// Overlaps ⇔ non-empty intersection.
+		if a.Overlaps(b) != !a.Intersect(b).Empty() {
+			return false
+		}
+		// Intersection commutes.
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		// Containment transitivity.
+		if a.Contains(b) && b.Contains(c) && !a.Contains(c) {
+			return false
+		}
+		// Contains(b) implies Overlaps(b) for non-empty b.
+		if !b.Empty() && a.Contains(b) && !a.Overlaps(b) {
+			return false
+		}
+		// Both operands contain their intersection.
+		ab := a.Intersect(b)
+		if !a.Contains(ab) || !b.Contains(ab) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundAndEnlargement(t *testing.T) {
+	s := testSchema(t)
+	a := rect(t, s, 0, 10, 0, 1)
+	b := rect(t, s, 20, 30, 2)
+	hull := a.Bound(b)
+	want := rect(t, s, 0, 30, 0, 1, 2)
+	if !hull.Equal(want) {
+		t.Errorf("Bound = %v, want %v", hull, want)
+	}
+	// Bound covers both operands.
+	if !hull.Contains(a) || !hull.Contains(b) {
+		t.Error("Bound does not cover its operands")
+	}
+	// Enlargement: growing a to cover b adds 20 interval points
+	// ([0,10]→[0,30]) plus 1 set element ({0,1}→{0,1,2}).
+	if got := a.Enlargement(b); got != 20+1 {
+		t.Errorf("Enlargement = %d, want 21", got)
+	}
+	// Covering something already inside costs nothing.
+	inner := rect(t, s, 2, 3, 1)
+	if got := a.Enlargement(inner); got != 0 {
+		t.Errorf("Enlargement(inner) = %d, want 0", got)
+	}
+}
+
+func TestBoundQuickLaws(t *testing.T) {
+	s := MustSchema(
+		Axis{Name: "period", Kind: KindInterval},
+		Axis{Name: "region", Kind: KindSet, Universe: 6},
+	)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r, s), randRect(r, s)
+		h := a.Bound(b)
+		if !h.Contains(a) || !h.Contains(b) {
+			return false
+		}
+		// Commutative.
+		if !h.Equal(b.Bound(a)) {
+			return false
+		}
+		// Enlargement is non-negative and zero iff already covered.
+		e := a.Enlargement(b)
+		if e < 0 {
+			return false
+		}
+		if a.Contains(b) && e != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.Axis(0).Name != "period" || s.Axis(1).Kind != KindSet {
+		t.Error("Axis accessor wrong")
+	}
+	if i, ok := s.AxisIndex("region"); !ok || i != 1 {
+		t.Errorf("AxisIndex(region) = %d,%v", i, ok)
+	}
+	if _, ok := s.AxisIndex("nope"); ok {
+		t.Error("AxisIndex resolved unknown name")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustSchema did not panic")
+			}
+		}()
+		MustSchema(Axis{Name: "", Kind: KindInterval})
+	}()
+	s := testSchema(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRect did not panic")
+			}
+		}()
+		MustRect(s) // wrong arity
+	}()
+}
+
+func TestKindString(t *testing.T) {
+	if KindInterval.String() != "interval" || KindSet.String() != "set" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestRectEqualCrossSchema(t *testing.T) {
+	a := rect(t, testSchema(t), 0, 1, 0)
+	b := rect(t, testSchema(t), 0, 1, 0)
+	if a.Equal(b) {
+		t.Error("rects over different schema pointers reported Equal")
+	}
+}

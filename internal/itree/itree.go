@@ -1,0 +1,233 @@
+// Package itree implements a static centered interval tree — the
+// single-dimension counterpart of internal/rtree for instance validation.
+//
+// When a schema's selective axis is an interval (the validity period in
+// the paper's licenses), a centered interval tree over that axis answers
+// "which licenses' periods contain the query period?" in O(log n + k) and
+// the remaining axes are filtered per candidate. internal/engine uses the
+// R-tree (it handles mixed axes natively); this package exists as the
+// classic alternative and is benchmarked against it (DESIGN.md ablations).
+//
+// The tree is built once from a fixed entry set (Build); licenses change
+// rarely (acquisitions), so rebuilds are cheap relative to query volume.
+package itree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interval"
+)
+
+// Entry is one indexed interval with its payload id (a corpus index).
+type Entry struct {
+	Iv interval.Interval
+	ID int
+}
+
+// Tree is an immutable centered interval tree. The zero value is an empty
+// tree; Build constructs populated ones.
+type Tree struct {
+	root *node
+	size int
+}
+
+// node holds the intervals crossing its center, sorted two ways for
+// early-exit scans, plus subtrees for intervals entirely left/right.
+type node struct {
+	center int64
+	byLo   []Entry // ascending Iv.Lo
+	byHi   []Entry // descending Iv.Hi
+	left   *node
+	right  *node
+}
+
+// Build constructs the tree. Empty intervals are rejected: they can never
+// contain anything and would poison the median selection.
+func Build(entries []Entry) (*Tree, error) {
+	for _, e := range entries {
+		if e.Iv.IsEmpty() {
+			return nil, fmt.Errorf("itree: empty interval for id %d", e.ID)
+		}
+	}
+	es := append([]Entry(nil), entries...)
+	return &Tree{root: build(es), size: len(es)}, nil
+}
+
+// MustBuild is Build for trusted inputs; it panics on error.
+func MustBuild(entries []Entry) *Tree {
+	t, err := Build(entries)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of indexed intervals.
+func (t *Tree) Len() int { return t.size }
+
+func build(entries []Entry) *node {
+	if len(entries) == 0 {
+		return nil
+	}
+	// Median of endpoint midpoints keeps the tree balanced enough for the
+	// classic O(log n) height argument without full endpoint sorting.
+	mids := make([]int64, len(entries))
+	for i, e := range entries {
+		mids[i] = e.Iv.Lo + (e.Iv.Hi-e.Iv.Lo)/2
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	center := mids[len(mids)/2]
+
+	n := &node{center: center}
+	var left, right []Entry
+	for _, e := range entries {
+		switch {
+		case e.Iv.Hi < center:
+			left = append(left, e)
+		case e.Iv.Lo > center:
+			right = append(right, e)
+		default:
+			n.byLo = append(n.byLo, e)
+		}
+	}
+	n.byHi = append([]Entry(nil), n.byLo...)
+	sort.Slice(n.byLo, func(i, j int) bool { return n.byLo[i].Iv.Lo < n.byLo[j].Iv.Lo })
+	sort.Slice(n.byHi, func(i, j int) bool { return n.byHi[i].Iv.Hi > n.byHi[j].Iv.Hi })
+	n.left = build(left)
+	n.right = build(right)
+	return n
+}
+
+// Stab returns the ids of all intervals containing the point p, in no
+// particular order.
+func (t *Tree) Stab(p int64) []int {
+	var out []int
+	for n := t.root; n != nil; {
+		if p < n.center {
+			// Crossing intervals contain p iff their Lo ≤ p.
+			for _, e := range n.byLo {
+				if e.Iv.Lo > p {
+					break
+				}
+				out = append(out, e.ID)
+			}
+			n = n.left
+		} else if p > n.center {
+			for _, e := range n.byHi {
+				if e.Iv.Hi < p {
+					break
+				}
+				out = append(out, e.ID)
+			}
+			n = n.right
+		} else {
+			// p == center: every crossing interval contains it.
+			for _, e := range n.byLo {
+				out = append(out, e.ID)
+			}
+			break
+		}
+	}
+	return out
+}
+
+// Containing returns the ids of all intervals that fully contain q — the
+// instance-validation primitive. Implemented as a stab at q.Lo filtered by
+// Hi ≥ q.Hi (an interval containing q must contain its left endpoint).
+// Empty q is contained in every interval by convention; Containing then
+// returns nil, matching the engine's rejection of empty issuances.
+func (t *Tree) Containing(q interval.Interval) []int {
+	if q.IsEmpty() {
+		return nil
+	}
+	var out []int
+	for n := t.root; n != nil; {
+		p := q.Lo
+		if p < n.center {
+			for _, e := range n.byLo {
+				if e.Iv.Lo > p {
+					break
+				}
+				if e.Iv.Hi >= q.Hi {
+					out = append(out, e.ID)
+				}
+			}
+			n = n.left
+		} else if p > n.center {
+			for _, e := range n.byHi {
+				if e.Iv.Hi < p {
+					break
+				}
+				if e.Iv.Hi >= q.Hi { // Lo ≤ center ≤ p already
+					out = append(out, e.ID)
+				}
+			}
+			n = n.right
+		} else {
+			for _, e := range n.byLo {
+				if e.Iv.Hi >= q.Hi {
+					out = append(out, e.ID)
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+// Overlapping returns the ids of all intervals intersecting q.
+func (t *Tree) Overlapping(q interval.Interval) []int {
+	if q.IsEmpty() {
+		return nil
+	}
+	var out []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if q.Hi < n.center {
+			for _, e := range n.byLo {
+				if e.Iv.Lo > q.Hi {
+					break
+				}
+				out = append(out, e.ID)
+			}
+			walk(n.left)
+		} else if q.Lo > n.center {
+			for _, e := range n.byHi {
+				if e.Iv.Hi < q.Lo {
+					break
+				}
+				out = append(out, e.ID)
+			}
+			walk(n.right)
+		} else {
+			// q spans the center: all crossing intervals overlap q.
+			for _, e := range n.byLo {
+				out = append(out, e.ID)
+			}
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the tree height (0 for an empty tree), for balance tests.
+func (t *Tree) Height() int {
+	var h func(n *node) int
+	h = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := h(n.left), h(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}

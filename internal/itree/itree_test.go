@@ -1,0 +1,213 @@
+package itree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func entries(spans ...[2]int64) []Entry {
+	out := make([]Entry, len(spans))
+	for i, s := range spans {
+		out[i] = Entry{Iv: interval.New(s[0], s[1]), ID: i}
+	}
+	return out
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build([]Entry{{Iv: interval.Empty(), ID: 0}}); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := MustBuild(nil)
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Stab(5); got != nil {
+		t.Errorf("Stab on empty = %v", got)
+	}
+	if got := tr.Containing(interval.New(1, 2)); got != nil {
+		t.Errorf("Containing on empty = %v", got)
+	}
+}
+
+func TestStabSmall(t *testing.T) {
+	tr := MustBuild(entries([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{20, 30}))
+	cases := map[int64][]int{
+		-1: nil,
+		0:  {0},
+		7:  {0, 1},
+		12: {1},
+		25: {2},
+		31: nil,
+	}
+	for p, want := range cases {
+		got := tr.Stab(p)
+		sort.Ints(got)
+		if !equalInts(got, want) {
+			t.Errorf("Stab(%d) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestContainingSmall(t *testing.T) {
+	tr := MustBuild(entries([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{0, 30}))
+	got := tr.Containing(interval.New(6, 9))
+	sort.Ints(got)
+	if !equalInts(got, []int{0, 1, 2}) {
+		t.Errorf("Containing([6,9]) = %v", got)
+	}
+	got = tr.Containing(interval.New(6, 12))
+	sort.Ints(got)
+	if !equalInts(got, []int{1, 2}) {
+		t.Errorf("Containing([6,12]) = %v", got)
+	}
+	if got := tr.Containing(interval.Empty()); got != nil {
+		t.Errorf("Containing(∅) = %v", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Linear oracles.
+func linStab(es []Entry, p int64) []int {
+	var out []int
+	for _, e := range es {
+		if e.Iv.ContainsPoint(p) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func linContaining(es []Entry, q interval.Interval) []int {
+	var out []int
+	for _, e := range es {
+		if e.Iv.Contains(q) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func linOverlapping(es []Entry, q interval.Interval) []int {
+	var out []int
+	for _, e := range es {
+		if e.Iv.Overlaps(q) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []int) bool {
+	sort.Ints(a)
+	sort.Ints(b)
+	return equalInts(a, b)
+}
+
+func TestQueriesMatchLinearQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(300)
+		es := make([]Entry, n)
+		for i := range es {
+			lo := r.Int63n(1000)
+			es[i] = Entry{Iv: interval.New(lo, lo+r.Int63n(200)), ID: i}
+		}
+		tr, err := Build(es)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			p := r.Int63n(1200)
+			if !sameIDs(tr.Stab(p), linStab(es, p)) {
+				return false
+			}
+			lo := r.Int63n(1000)
+			q := interval.New(lo, lo+r.Int63n(150))
+			if !sameIDs(tr.Containing(q), linContaining(es, q)) {
+				return false
+			}
+			if !sameIDs(tr.Overlapping(q), linOverlapping(es, q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	es := make([]Entry, 4096)
+	for i := range es {
+		lo := r.Int63n(1 << 20)
+		es[i] = Entry{Iv: interval.New(lo, lo+r.Int63n(1<<10)), ID: i}
+	}
+	tr := MustBuild(es)
+	if h := tr.Height(); h > 2*13 { // generous 2·log2(4096)
+		t.Errorf("height = %d for 4096 random intervals", h)
+	}
+}
+
+func TestDuplicateAndNestedIntervals(t *testing.T) {
+	tr := MustBuild(entries(
+		[2]int64{0, 100}, [2]int64{0, 100}, // duplicates
+		[2]int64{10, 90}, [2]int64{40, 60}, // nested
+		[2]int64{50, 50}, // degenerate point
+	))
+	got := tr.Stab(50)
+	sort.Ints(got)
+	if !equalInts(got, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("Stab(50) = %v", got)
+	}
+	got = tr.Containing(interval.New(45, 55))
+	sort.Ints(got)
+	if !equalInts(got, []int{0, 1, 2, 3}) {
+		t.Errorf("Containing([45,55]) = %v", got)
+	}
+}
+
+func BenchmarkContainingVsLinear(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const n = 5000
+	es := make([]Entry, n)
+	for i := range es {
+		lo := r.Int63n(1 << 20)
+		es[i] = Entry{Iv: interval.New(lo, lo+r.Int63n(1<<12)), ID: i}
+	}
+	tr := MustBuild(es)
+	queries := make([]interval.Interval, 64)
+	for i := range queries {
+		lo := r.Int63n(1 << 20)
+		queries[i] = interval.New(lo, lo+r.Int63n(1<<10))
+	}
+	b.Run("itree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Containing(queries[i%len(queries)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linContaining(es, queries[i%len(queries)])
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package license
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+	"repro/internal/geometry"
+	"repro/internal/interval"
+)
+
+// The corpus wire format is a single JSON document carrying the schema and
+// all redistribution licenses, so a corpus file is self-describing and
+// round-trips without external context. cmd/drmgen writes it; cmd/drmaudit
+// and cmd/drmserver read it.
+
+const corpusCodecVersion = 1
+
+type corpusDoc struct {
+	Version    int          `json:"version"`
+	Content    string       `json:"content"`
+	Permission Permission   `json:"permission"`
+	Axes       []axisDoc    `json:"axes"`
+	Licenses   []licenseDoc `json:"licenses"`
+}
+
+type axisDoc struct {
+	Name string `json:"name"`
+	// Kind is "interval" or "set".
+	Kind string `json:"kind"`
+	// Universe is the categorical width for set axes.
+	Universe int `json:"universe,omitempty"`
+}
+
+type licenseDoc struct {
+	Name      string     `json:"name"`
+	Aggregate int64      `json:"aggregate"`
+	Values    []ValueDoc `json:"values"`
+}
+
+// ValueDoc is the wire form of one axis value: lo/hi for interval axes, a
+// sorted element list for set axes. It is exported so network services can
+// accept constraint rectangles in the same shape corpus files use.
+type ValueDoc struct {
+	// Lo/Hi carry interval axes.
+	Lo *int64 `json:"lo,omitempty"`
+	Hi *int64 `json:"hi,omitempty"`
+	// Set carries set axes as sorted element lists.
+	Set []int `json:"set,omitempty"`
+}
+
+// BuildRect materialises a wire-form value list into a rectangle over the
+// schema, validating kinds, arity, and set universes.
+func BuildRect(schema *geometry.Schema, docs []ValueDoc) (geometry.Rect, error) {
+	if len(docs) != schema.Dims() {
+		return geometry.Rect{}, fmt.Errorf("license: %d values, schema wants %d", len(docs), schema.Dims())
+	}
+	vals := make([]geometry.Value, len(docs))
+	for i, vd := range docs {
+		ax := schema.Axis(i)
+		switch ax.Kind {
+		case geometry.KindInterval:
+			if vd.Lo == nil || vd.Hi == nil {
+				return geometry.Rect{}, fmt.Errorf("license: axis %q missing lo/hi", ax.Name)
+			}
+			vals[i] = geometry.IntervalValue(interval.New(*vd.Lo, *vd.Hi))
+		case geometry.KindSet:
+			set := bitset.NewSet(ax.Universe)
+			for _, e := range vd.Set {
+				if e < 0 || e >= ax.Universe {
+					return geometry.Rect{}, fmt.Errorf("license: axis %q element %d outside universe %d",
+						ax.Name, e, ax.Universe)
+				}
+				set.Add(e)
+			}
+			vals[i] = geometry.SetValue(set)
+		}
+	}
+	return geometry.NewRect(schema, vals...)
+}
+
+// EncodeCorpus writes the corpus as a single JSON document. Empty corpora
+// are rejected: without a license the content/permission pair is unknown.
+func EncodeCorpus(w io.Writer, c *Corpus) error {
+	if c.Len() == 0 {
+		return fmt.Errorf("license: cannot encode empty corpus")
+	}
+	first := c.License(0)
+	doc := corpusDoc{
+		Version:    corpusCodecVersion,
+		Content:    first.Content,
+		Permission: first.Permission,
+	}
+	schema := c.Schema()
+	for i := 0; i < schema.Dims(); i++ {
+		ax := schema.Axis(i)
+		ad := axisDoc{Name: ax.Name}
+		switch ax.Kind {
+		case geometry.KindInterval:
+			ad.Kind = "interval"
+		case geometry.KindSet:
+			ad.Kind = "set"
+			ad.Universe = ax.Universe
+		}
+		doc.Axes = append(doc.Axes, ad)
+	}
+	for _, l := range c.Licenses() {
+		ld := licenseDoc{Name: l.Name, Aggregate: l.Aggregate}
+		for i := 0; i < schema.Dims(); i++ {
+			v := l.Rect.Value(i)
+			if v.Kind() == geometry.KindInterval {
+				iv := v.Interval()
+				lo, hi := iv.Lo, iv.Hi
+				ld.Values = append(ld.Values, ValueDoc{Lo: &lo, Hi: &hi})
+			} else {
+				ld.Values = append(ld.Values, ValueDoc{Set: v.Set().Elems()})
+			}
+		}
+		doc.Licenses = append(doc.Licenses, ld)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("license: encode corpus: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeCorpus reads a document produced by EncodeCorpus, rebuilding the
+// schema and corpus.
+func DecodeCorpus(r io.Reader) (*Corpus, error) {
+	var doc corpusDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("license: decode corpus: %w", err)
+	}
+	if doc.Version != corpusCodecVersion {
+		return nil, fmt.Errorf("license: unsupported corpus version %d", doc.Version)
+	}
+	axes := make([]geometry.Axis, len(doc.Axes))
+	for i, ad := range doc.Axes {
+		axes[i] = geometry.Axis{Name: ad.Name}
+		switch ad.Kind {
+		case "interval":
+			axes[i].Kind = geometry.KindInterval
+		case "set":
+			axes[i].Kind = geometry.KindSet
+			axes[i].Universe = ad.Universe
+		default:
+			return nil, fmt.Errorf("license: axis %q has unknown kind %q", ad.Name, ad.Kind)
+		}
+	}
+	schema, err := geometry.NewSchema(axes...)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCorpus(schema)
+	for _, ld := range doc.Licenses {
+		rect, err := BuildRect(schema, ld.Values)
+		if err != nil {
+			return nil, fmt.Errorf("license: %s: %w", ld.Name, err)
+		}
+		_, err = c.Add(&License{
+			Name:       ld.Name,
+			Kind:       Redistribution,
+			Content:    doc.Content,
+			Permission: doc.Permission,
+			Rect:       rect,
+			Aggregate:  ld.Aggregate,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,93 @@
+package license
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCorpusCodecRoundTripExample1(t *testing.T) {
+	ex := NewExample1()
+	var buf bytes.Buffer
+	if err := EncodeCorpus(&buf, ex.Corpus); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ex.Corpus.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), ex.Corpus.Len())
+	}
+	for i := 0; i < back.Len(); i++ {
+		orig, got := ex.Corpus.License(i), back.License(i)
+		if got.Name != orig.Name || got.Aggregate != orig.Aggregate ||
+			got.Content != orig.Content || got.Permission != orig.Permission {
+			t.Errorf("license %d metadata differs: %+v vs %+v", i, got, orig)
+		}
+		if got.Rect.String() != orig.Rect.String() {
+			t.Errorf("license %d rect = %s, want %s", i, got.Rect, orig.Rect)
+		}
+	}
+}
+
+func TestCorpusCodecRoundTripIntervalOnly(t *testing.T) {
+	s := simpleSchema()
+	c := NewCorpus(s)
+	c.MustAdd(simpleLicense(s, "L1", 0, 100, 5000))
+	c.MustAdd(simpleLicense(s, "L2", 50, 200, 12000))
+	c.MustAdd(simpleLicense(s, "L3", -30, -1, 20000))
+	var buf bytes.Buffer
+	if err := EncodeCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("len mismatch")
+	}
+	for i := 0; i < back.Len(); i++ {
+		if back.License(i).Rect.String() != c.License(i).Rect.String() {
+			t.Errorf("license %d rect differs", i)
+		}
+	}
+	// Double round-trip is byte-stable (canonical encoding).
+	var buf2 bytes.Buffer
+	if err := EncodeCorpus(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := EncodeCorpus(&buf1, c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("encoding not canonical across a round-trip")
+	}
+}
+
+func TestEncodeEmptyCorpusFails(t *testing.T) {
+	c := NewCorpus(simpleSchema())
+	var buf bytes.Buffer
+	if err := EncodeCorpus(&buf, c); err == nil {
+		t.Error("empty corpus encoded")
+	}
+}
+
+func TestDecodeCorpusErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"bad version":     `{"version":9,"axes":[],"licenses":[]}`,
+		"bad axis kind":   `{"version":1,"axes":[{"name":"x","kind":"weird"}],"licenses":[]}`,
+		"value arity":     `{"version":1,"content":"K","permission":"play","axes":[{"name":"x","kind":"interval"}],"licenses":[{"name":"L","aggregate":5,"values":[]}]}`,
+		"missing lo/hi":   `{"version":1,"content":"K","permission":"play","axes":[{"name":"x","kind":"interval"}],"licenses":[{"name":"L","aggregate":5,"values":[{}]}]}`,
+		"set out of univ": `{"version":1,"content":"K","permission":"play","axes":[{"name":"r","kind":"set","universe":3}],"licenses":[{"name":"L","aggregate":5,"values":[{"set":[7]}]}]}`,
+		"invalid license": `{"version":1,"content":"K","permission":"play","axes":[{"name":"x","kind":"interval"}],"licenses":[{"name":"L","aggregate":-5,"values":[{"lo":0,"hi":1}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeCorpus(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

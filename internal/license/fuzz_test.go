@@ -1,0 +1,55 @@
+package license
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCorpus checks that arbitrary corpus documents never panic the
+// decoder, and that every accepted document re-encodes canonically
+// (decode → encode → decode is a fixed point).
+func FuzzDecodeCorpus(f *testing.F) {
+	// Seed with a real document...
+	ex := NewExample1()
+	var buf bytes.Buffer
+	if err := EncodeCorpus(&buf, ex.Corpus); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// ...and structured near-misses.
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"version":1,"content":"K","permission":"play","axes":[],"licenses":[]}`,
+		`{"version":1,"content":"K","permission":"play","axes":[{"name":"x","kind":"interval"}],"licenses":[{"name":"L","aggregate":1,"values":[{"lo":0,"hi":5}]}]}`,
+		`{"version":1,"axes":[{"name":"r","kind":"set","universe":4}],"licenses":[{"name":"L","aggregate":1,"values":[{"set":[0,3]}]}]}`,
+		`{"version":2}`,
+		`[1,2,3]`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCorpus(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c.Len() == 0 {
+			return // empty corpora cannot re-encode (content unknown)
+		}
+		var first bytes.Buffer
+		if err := EncodeCorpus(&first, c); err != nil {
+			t.Fatalf("accepted corpus does not encode: %v", err)
+		}
+		c2, err := DecodeCorpus(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		var second bytes.Buffer
+		if err := EncodeCorpus(&second, c2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("encode → decode → encode is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Package license defines the license model of the DRM system: the
+// (K; P; I_1..I_M; A) tuples of the paper, for both redistribution licenses
+// (issued down the distribution chain, with range constraints and an
+// aggregate permission-count budget) and usage licenses (issued to
+// consumers).
+//
+// A Corpus is the set of redistribution licenses a distributor holds for one
+// (content, permission) pair — the paper's S^N — with stable zero-based
+// indexes that the validation machinery (bitset.Mask elements, validation
+// tree node labels) refers to.
+package license
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geometry"
+)
+
+// Permission is the right a license grants (the paper's P).
+type Permission string
+
+// Common permissions from the DRM literature ([4], [9]).
+const (
+	Play       Permission = "play"
+	Copy       Permission = "copy"
+	Rip        Permission = "rip"
+	Distribute Permission = "distribute"
+)
+
+// Kind distinguishes redistribution from usage licenses.
+type Kind uint8
+
+const (
+	// Redistribution licenses let a distributor generate further licenses.
+	Redistribution Kind = iota
+	// Usage licenses let a consumer exercise the permission directly.
+	Usage
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Redistribution:
+		return "redistribution"
+	case Usage:
+		return "usage"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// License is one license: content identifier, permission, instance-based
+// constraints (as a hyper-rectangle over the corpus schema), and the
+// aggregate permission-count constraint.
+type License struct {
+	// Name is a human-readable identifier, e.g. "L_D^1".
+	Name string
+	// Kind says whether this is a redistribution or usage license.
+	Kind Kind
+	// Content identifies the content item K.
+	Content string
+	// Permission is the granted right P.
+	Permission Permission
+	// Rect holds the instance-based constraints I_1..I_M.
+	Rect geometry.Rect
+	// Aggregate is the aggregate constraint A: the total permission count
+	// this license may hand out (redistribution) or consume (usage).
+	Aggregate int64
+}
+
+// Validate checks structural well-formedness. It does not perform instance
+// or aggregate validation against other licenses.
+func (l *License) Validate() error {
+	switch {
+	case l == nil:
+		return errors.New("license: nil license")
+	case l.Name == "":
+		return errors.New("license: empty name")
+	case l.Content == "":
+		return fmt.Errorf("license %s: empty content", l.Name)
+	case l.Permission == "":
+		return fmt.Errorf("license %s: empty permission", l.Name)
+	case l.Rect.IsZero():
+		return fmt.Errorf("license %s: missing constraint rectangle", l.Name)
+	case l.Rect.Empty():
+		return fmt.Errorf("license %s: empty constraint range", l.Name)
+	case l.Aggregate < 0:
+		return fmt.Errorf("license %s: negative aggregate %d", l.Name, l.Aggregate)
+	}
+	return nil
+}
+
+// String renders a compact one-line description.
+func (l *License) String() string {
+	return fmt.Sprintf("%s(%s; %s; %s; A=%d)", l.Name, l.Kind, l.Permission, l.Rect, l.Aggregate)
+}
+
+// Corpus is the ordered set of redistribution licenses a distributor holds
+// for one (content, permission) pair: the paper's S^N. Index i in the corpus
+// is element i of every bitset.Mask used by the validators; the paper's
+// one-based L_D^j is index j-1.
+type Corpus struct {
+	schema   *geometry.Schema
+	licenses []*License
+}
+
+// NewCorpus creates an empty corpus over the given constraint schema.
+func NewCorpus(schema *geometry.Schema) *Corpus {
+	return &Corpus{schema: schema}
+}
+
+// ErrTooManyLicenses is returned when a corpus would exceed the 64-license
+// limit imposed by the Mask representation. The validation-equation approach
+// is 2^N anyway, so the limit is never the binding constraint in practice.
+var ErrTooManyLicenses = errors.New("license: corpus exceeds 64 redistribution licenses")
+
+// Add appends a redistribution license and returns its index. The license
+// must be structurally valid, of Redistribution kind, and over the corpus
+// schema; content and permission must match the corpus' first license.
+func (c *Corpus) Add(l *License) (int, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if l.Kind != Redistribution {
+		return 0, fmt.Errorf("license %s: corpus accepts only redistribution licenses", l.Name)
+	}
+	if l.Rect.Schema() != c.schema {
+		return 0, fmt.Errorf("license %s: rectangle uses a different schema", l.Name)
+	}
+	if len(c.licenses) >= 64 {
+		return 0, ErrTooManyLicenses
+	}
+	if len(c.licenses) > 0 {
+		first := c.licenses[0]
+		if l.Content != first.Content || l.Permission != first.Permission {
+			return 0, fmt.Errorf("license %s: corpus holds (%s,%s) licenses, got (%s,%s)",
+				l.Name, first.Content, first.Permission, l.Content, l.Permission)
+		}
+	}
+	c.licenses = append(c.licenses, l)
+	return len(c.licenses) - 1, nil
+}
+
+// MustAdd is Add for trusted fixtures; it panics on error.
+func (c *Corpus) MustAdd(l *License) int {
+	i, err := c.Add(l)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Len returns N, the number of redistribution licenses.
+func (c *Corpus) Len() int { return len(c.licenses) }
+
+// Schema returns the constraint schema shared by all licenses.
+func (c *Corpus) Schema() *geometry.Schema { return c.schema }
+
+// License returns the license at index i.
+func (c *Corpus) License(i int) *License { return c.licenses[i] }
+
+// Licenses returns the backing slice; callers must not modify it.
+func (c *Corpus) Licenses() []*License { return c.licenses }
+
+// Aggregates returns the paper's array A: Aggregates()[j] is the aggregate
+// constraint value of the license at index j. A fresh slice is returned.
+func (c *Corpus) Aggregates() []int64 {
+	out := make([]int64, len(c.licenses))
+	for i, l := range c.licenses {
+		out[i] = l.Aggregate
+	}
+	return out
+}
+
+// TopUp raises the aggregate budget of the license at index i by extra —
+// the remediation path when an audit finds (or forecasts) a violated
+// equation: the owner sells the distributor additional counts. extra must
+// be positive; budgets never shrink (issued counts cannot be recalled).
+func (c *Corpus) TopUp(i int, extra int64) error {
+	if i < 0 || i >= len(c.licenses) {
+		return fmt.Errorf("license: top-up index %d outside corpus of %d", i, len(c.licenses))
+	}
+	if extra <= 0 {
+		return fmt.Errorf("license: top-up of %d; budgets only grow", extra)
+	}
+	c.licenses[i].Aggregate += extra
+	return nil
+}
+
+// BelongsTo computes the belongs-to set of an issued license: the indexes of
+// all corpus licenses whose rectangles fully contain the issued rectangle
+// (§3.1). An empty result means the issued license fails instance-based
+// validation against every redistribution license and is invalid (like
+// L_U^2 in fig 2).
+func (c *Corpus) BelongsTo(issued geometry.Rect) []int {
+	var out []int
+	for i, l := range c.licenses {
+		if l.Rect.Contains(issued) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package license
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/interval"
+)
+
+func simpleSchema() *geometry.Schema {
+	return geometry.MustSchema(geometry.Axis{Name: "period", Kind: geometry.KindInterval})
+}
+
+func simpleLicense(s *geometry.Schema, name string, lo, hi int64, agg int64) *License {
+	return &License{
+		Name:       name,
+		Kind:       Redistribution,
+		Content:    "K",
+		Permission: Play,
+		Rect:       geometry.MustRect(s, geometry.IntervalValue(interval.New(lo, hi))),
+		Aggregate:  agg,
+	}
+}
+
+func TestLicenseValidate(t *testing.T) {
+	s := simpleSchema()
+	good := simpleLicense(s, "L", 0, 10, 100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid license rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*License)
+	}{
+		{"empty name", func(l *License) { l.Name = "" }},
+		{"empty content", func(l *License) { l.Content = "" }},
+		{"empty permission", func(l *License) { l.Permission = "" }},
+		{"zero rect", func(l *License) { l.Rect = geometry.Rect{} }},
+		{"empty range", func(l *License) {
+			l.Rect = geometry.MustRect(s, geometry.IntervalValue(interval.Empty()))
+		}},
+		{"negative aggregate", func(l *License) { l.Aggregate = -1 }},
+	}
+	for _, c := range cases {
+		l := simpleLicense(s, "L", 0, 10, 100)
+		c.mutate(l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	var nilL *License
+	if err := nilL.Validate(); err == nil {
+		t.Error("nil license accepted")
+	}
+}
+
+func TestCorpusAddRules(t *testing.T) {
+	s := simpleSchema()
+	c := NewCorpus(s)
+	idx, err := c.Add(simpleLicense(s, "L1", 0, 10, 100))
+	if err != nil || idx != 0 {
+		t.Fatalf("Add = (%d, %v)", idx, err)
+	}
+	// Usage licenses are rejected.
+	u := simpleLicense(s, "U", 0, 5, 10)
+	u.Kind = Usage
+	if _, err := c.Add(u); err == nil {
+		t.Error("usage license accepted into corpus")
+	}
+	// Mismatched schema rejected.
+	other := simpleSchema()
+	if _, err := c.Add(simpleLicense(other, "L2", 0, 10, 100)); err == nil {
+		t.Error("foreign-schema license accepted")
+	}
+	// Mismatched content rejected.
+	l3 := simpleLicense(s, "L3", 0, 10, 100)
+	l3.Content = "K2"
+	if _, err := c.Add(l3); err == nil {
+		t.Error("foreign-content license accepted")
+	}
+	// Mismatched permission rejected.
+	l4 := simpleLicense(s, "L4", 0, 10, 100)
+	l4.Permission = Copy
+	if _, err := c.Add(l4); err == nil {
+		t.Error("foreign-permission license accepted")
+	}
+}
+
+func TestCorpusCapacity(t *testing.T) {
+	s := simpleSchema()
+	c := NewCorpus(s)
+	for i := 0; i < 64; i++ {
+		if _, err := c.Add(simpleLicense(s, "L", 0, 10, 100)); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	if _, err := c.Add(simpleLicense(s, "L65", 0, 10, 100)); err != ErrTooManyLicenses {
+		t.Errorf("expected ErrTooManyLicenses, got %v", err)
+	}
+}
+
+func TestCorpusAggregates(t *testing.T) {
+	s := simpleSchema()
+	c := NewCorpus(s)
+	c.MustAdd(simpleLicense(s, "L1", 0, 10, 11))
+	c.MustAdd(simpleLicense(s, "L2", 0, 10, 22))
+	a := c.Aggregates()
+	if len(a) != 2 || a[0] != 11 || a[1] != 22 {
+		t.Errorf("Aggregates = %v", a)
+	}
+	a[0] = 999 // must not alias corpus state
+	if c.License(0).Aggregate != 11 {
+		t.Error("Aggregates aliases corpus state")
+	}
+}
+
+func TestBelongsToSimple(t *testing.T) {
+	s := simpleSchema()
+	c := NewCorpus(s)
+	c.MustAdd(simpleLicense(s, "L1", 0, 10, 1))
+	c.MustAdd(simpleLicense(s, "L2", 5, 20, 1))
+	c.MustAdd(simpleLicense(s, "L3", 50, 60, 1))
+	q := geometry.MustRect(s, geometry.IntervalValue(interval.New(6, 9)))
+	got := c.BelongsTo(q)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("BelongsTo = %v, want [0 1]", got)
+	}
+	far := geometry.MustRect(s, geometry.IntervalValue(interval.New(100, 101)))
+	if got := c.BelongsTo(far); got != nil {
+		t.Errorf("BelongsTo(far) = %v, want nil", got)
+	}
+}
+
+func TestKindAndLicenseString(t *testing.T) {
+	if Redistribution.String() != "redistribution" || Usage.String() != "usage" {
+		t.Error("Kind.String wrong")
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+	s := simpleSchema()
+	l := simpleLicense(s, "L_D^1", 0, 10, 2000)
+	str := l.String()
+	for _, want := range []string{"L_D^1", "redistribution", "play", "A=2000"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String %q missing %q", str, want)
+		}
+	}
+}
+
+func TestExample1Fixture(t *testing.T) {
+	ex := NewExample1()
+	if ex.Corpus.Len() != 5 {
+		t.Fatalf("corpus has %d licenses, want 5", ex.Corpus.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if err := ex.Corpus.License(i).Validate(); err != nil {
+			t.Errorf("license %d invalid: %v", i, err)
+		}
+	}
+	// Aggregates per Example 1.
+	want := []int64{2000, 1000, 3000, 4000, 2000}
+	for i, w := range want {
+		if got := ex.Corpus.License(i).Aggregate; got != w {
+			t.Errorf("A[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestExample1BelongsTo(t *testing.T) {
+	ex := NewExample1()
+	// "L_U^1 satisfies all instance based constraints for L_D^1 and L_D^2."
+	got := ex.Corpus.BelongsTo(ex.Usage1.Rect)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("BelongsTo(L_U^1) = %v, want [0 1]", got)
+	}
+	// "L_U^2 satisfies all the instance based constraints only for L_D^2."
+	got = ex.Corpus.BelongsTo(ex.Usage2.Rect)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("BelongsTo(L_U^2) = %v, want [1]", got)
+	}
+}
+
+func TestExample1OverlapStructure(t *testing.T) {
+	// Fig 2/3: groups (L1,L2,L4) and (L3,L5); edges L1-L2, L1-L4, L3-L5.
+	ex := NewExample1()
+	l := func(i int) *License { return ex.Corpus.License(i) }
+	type pair struct{ a, b int }
+	overlapping := map[pair]bool{
+		{0, 1}: true, {0, 3}: true, {2, 4}: true,
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			want := overlapping[pair{i, j}]
+			if got := l(i).Rect.Overlaps(l(j).Rect); got != want {
+				t.Errorf("Overlaps(L%d,L%d) = %v, want %v", i+1, j+1, got, want)
+			}
+		}
+	}
+}
+
+func TestExample1LogTotals(t *testing.T) {
+	ex := NewExample1()
+	var total int64
+	for _, e := range ex.Log {
+		total += e.Count
+	}
+	if total != 800+400+40+30+800+20 {
+		t.Errorf("log total = %d", total)
+	}
+}
+
+func TestTopUp(t *testing.T) {
+	s := simpleSchema()
+	c := NewCorpus(s)
+	c.MustAdd(simpleLicense(s, "L1", 0, 10, 100))
+	if err := c.TopUp(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.License(0).Aggregate; got != 150 {
+		t.Errorf("aggregate = %d, want 150", got)
+	}
+	if err := c.TopUp(0, 0); err == nil {
+		t.Error("zero top-up accepted")
+	}
+	if err := c.TopUp(0, -5); err == nil {
+		t.Error("negative top-up accepted")
+	}
+	if err := c.TopUp(5, 10); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package logstore implements the offline issuance log of §2.1 (Table 2).
+//
+// Aggregate validation is done offline: every time the distributor issues a
+// license, the validation authority appends a record holding the belongs-to
+// set of redistribution licenses (as a corpus-index mask) and the issued
+// permission count. The validation tree is later built by replaying the log.
+//
+// Two stores are provided: Mem (in-memory, the benchmark substrate) and
+// File (JSON-lines on disk with buffered appends, the durable substrate the
+// CLI tools and the engine use). Both implement Store.
+package logstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Record is one issuance log row: Table 2's (Set, Set Counts) pair.
+type Record struct {
+	// Set is the belongs-to set of the issued license as a corpus-index
+	// mask (the paper's S column).
+	Set bitset.Mask `json:"set"`
+	// Count is the issued permission count (the paper's C column).
+	Count int64 `json:"count"`
+}
+
+// Validate checks structural well-formedness of a record.
+func (r Record) Validate() error {
+	if r.Set.Empty() {
+		return errors.New("logstore: record with empty belongs-to set")
+	}
+	if r.Count <= 0 {
+		return fmt.Errorf("logstore: record with non-positive count %d", r.Count)
+	}
+	return nil
+}
+
+// Store is an append-only issuance log.
+type Store interface {
+	// Append adds one record. Implementations validate the record.
+	Append(Record) error
+	// Len returns the number of records appended so far.
+	Len() int
+	// ForEach replays all records in append order, stopping at the first
+	// error returned by fn.
+	ForEach(fn func(Record) error) error
+}
+
+// Mem is an in-memory Store. The zero value is ready to use.
+// Mem is not safe for concurrent use; wrap it if you need that.
+type Mem struct {
+	records []Record
+}
+
+// NewMem returns an empty in-memory store with the given capacity hint.
+func NewMem(capacity int) *Mem {
+	return &Mem{records: make([]Record, 0, capacity)}
+}
+
+// Append implements Store.
+func (m *Mem) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	m.records = append(m.records, r)
+	return nil
+}
+
+// Len implements Store.
+func (m *Mem) Len() int { return len(m.records) }
+
+// ForEach implements Store.
+func (m *Mem) ForEach(fn func(Record) error) error {
+	for _, r := range m.records {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Records returns the backing slice; callers must not modify it.
+func (m *Mem) Records() []Record { return m.records }
+
+// Compact merges records with identical belongs-to sets, summing counts, and
+// returns the merged records ordered by set mask. The validation tree does
+// the same aggregation implicitly; Compact exists so persisted logs and
+// network payloads stay small.
+func Compact(records []Record) []Record {
+	sums := make(map[bitset.Mask]int64, len(records))
+	for _, r := range records {
+		sums[r.Set] += r.Count
+	}
+	out := make([]Record, 0, len(sums))
+	for set, count := range sums {
+		out = append(out, Record{Set: set, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Set < out[j].Set })
+	return out
+}
+
+// CompactFile rewrites a JSONL log file with its records compacted (one
+// record per distinct belongs-to set, counts summed, ordered by set).
+// Validation semantics are unchanged — the validation tree aggregates
+// identical sets anyway — but long-lived logs shrink by orders of
+// magnitude, since at most 2^{N_k}−1 distinct sets exist per group. The
+// rewrite is atomic (temp file + rename); the file must not be open in a
+// live File store. It returns the record counts before and after.
+func CompactFile(path string) (before, after int, err error) {
+	var records []Record
+	if err := ReadFile(path, func(r Record) error {
+		records = append(records, r)
+		return nil
+	}); err != nil {
+		return 0, 0, err
+	}
+	compacted := Compact(records)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".log-compact-*")
+	if err != nil {
+		return 0, 0, fmt.Errorf("logstore: temp file: %w", err)
+	}
+	if err := WriteAll(tmp, compacted); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, 0, fmt.Errorf("logstore: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, 0, fmt.Errorf("logstore: installing %s: %w", path, err)
+	}
+	return len(records), len(compacted), nil
+}
+
+// File is a durable Store appending JSON lines to a file. Records are
+// buffered; call Flush (or Close) to force them to the OS.
+// File is not safe for concurrent use.
+type File struct {
+	f   *os.File
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// OpenFile opens (creating if needed) a JSONL log at path and counts the
+// existing records so Len is correct for pre-existing logs.
+func OpenFile(path string) (*File, error) {
+	n, err := countRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: open %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	return &File{f: f, w: w, enc: json.NewEncoder(w), n: n}, nil
+}
+
+func countRecords(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("logstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// Append implements Store.
+func (s *File) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if err := s.enc.Encode(r); err != nil {
+		return fmt.Errorf("logstore: append: %w", err)
+	}
+	s.n++
+	return nil
+}
+
+// Len implements Store.
+func (s *File) Len() int { return s.n }
+
+// Flush forces buffered records to the OS.
+func (s *File) Flush() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("logstore: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file. The store is unusable
+// afterwards.
+func (s *File) Close() error {
+	if err := s.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("logstore: close: %w", err)
+	}
+	return nil
+}
+
+// ForEach implements Store by re-reading the file. Buffered records are
+// flushed first so the replay sees everything appended so far.
+func (s *File) ForEach(fn func(Record) error) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return ReadFile(s.f.Name(), fn)
+}
+
+// ReadFile replays a JSONL log file produced by File (or WriteAll).
+func ReadFile(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("logstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f, fn)
+}
+
+// Read replays JSONL records from r.
+func Read(r io.Reader, fn func(Record) error) error {
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("logstore: decode: %w", err)
+		}
+		if err := rec.Validate(); err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteAll writes records as JSONL to w — the bulk counterpart of File for
+// workload generators.
+func WriteAll(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("logstore: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Collect replays a store into a slice.
+func Collect(s Store) ([]Record, error) {
+	out := make([]Record, 0, s.Len())
+	err := s.ForEach(func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

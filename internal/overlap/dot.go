@@ -1,0 +1,40 @@
+package overlap
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the overlap graph in Graphviz DOT format, one subgraph
+// cluster per disconnected group (the visual of the paper's fig 3). labels
+// supplies node names; nil falls back to the paper's L1..LN numbering.
+func WriteDOT(w io.Writer, adj Adjacency, gr Grouping, labels []string) error {
+	name := func(i int) string {
+		if labels != nil && i < len(labels) && labels[i] != "" {
+			return labels[i]
+		}
+		return fmt.Sprintf("L%d", i+1)
+	}
+	if _, err := fmt.Fprintln(w, "graph overlap {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=circle];")
+	for k, g := range gr.Groups {
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n", k)
+		fmt.Fprintf(w, "    label=\"group %d\";\n", k+1)
+		g.Members.ForEach(func(i int) bool {
+			fmt.Fprintf(w, "    n%d [label=%q];\n", i, name(i))
+			return true
+		})
+		fmt.Fprintln(w, "  }")
+	}
+	for i := range adj {
+		for j := i + 1; j < len(adj); j++ {
+			if adj[i][j] {
+				fmt.Fprintf(w, "  n%d -- n%d;\n", i, j)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,65 @@
+package region
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The taxonomy wire format is a single JSON document listing regions with
+// their parents, in an order where parents precede children (the natural
+// order a Builder produces). It lets deployments ship their own market
+// hierarchies instead of the built-in World().
+
+const taxonomyCodecVersion = 1
+
+type taxonomyDoc struct {
+	Version int         `json:"version"`
+	Root    string      `json:"root"`
+	Regions []regionDoc `json:"regions"`
+}
+
+type regionDoc struct {
+	Name   string `json:"name"`
+	Parent string `json:"parent"`
+}
+
+// WriteJSON serialises the taxonomy. The node-id order of a Taxonomy
+// already guarantees parents precede children, so the document rebuilds
+// with a plain Builder replay.
+func (t *Taxonomy) WriteJSON(w io.Writer) error {
+	doc := taxonomyDoc{Version: taxonomyCodecVersion, Root: t.names[0]}
+	for id := 1; id < len(t.names); id++ {
+		doc.Regions = append(doc.Regions, regionDoc{
+			Name:   t.names[id],
+			Parent: t.names[t.parent[id]],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("region: encode taxonomy: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON rebuilds a taxonomy written by WriteJSON.
+func ReadJSON(r io.Reader) (*Taxonomy, error) {
+	var doc taxonomyDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("region: decode taxonomy: %w", err)
+	}
+	if doc.Version != taxonomyCodecVersion {
+		return nil, fmt.Errorf("region: unsupported taxonomy version %d", doc.Version)
+	}
+	if doc.Root == "" {
+		return nil, fmt.Errorf("region: taxonomy without a root")
+	}
+	b := NewBuilder(doc.Root)
+	for _, rd := range doc.Regions {
+		if err := b.Add(rd.Parent, rd.Name); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

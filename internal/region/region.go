@@ -1,0 +1,244 @@
+// Package region implements the hierarchical region universe behind
+// set-valued instance constraints ("region allowed for distribution").
+//
+// The paper's licenses carry constraints like R = [Asia, Europe] on
+// redistribution licenses and R = [India] on usage licenses; [India] must be
+// recognised as contained in [Asia, Europe]. We model this with a taxonomy
+// tree (world → continents → countries → ...). Every region resolves to the
+// set of taxonomy *leaves* under it, and constraint semantics become plain
+// set algebra over leaf bitsets:
+//
+//   - containment: leaves(usage) ⊆ leaves(redistribution)
+//   - overlap:     leaves(a) ∩ leaves(b) ≠ ∅
+//
+// which is exactly what the geometric axes in internal/geometry need.
+package region
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+)
+
+// Taxonomy is an immutable region hierarchy. Build one with NewBuilder; the
+// zero value is unusable.
+type Taxonomy struct {
+	names    []string       // node id → canonical name
+	index    map[string]int // lower-cased name → node id
+	parent   []int          // node id → parent id (-1 for root)
+	children [][]int        // node id → child ids
+	leafBits []bitset.Set   // node id → set of leaf ordinals under the node
+	leafOrd  []int          // node id → leaf ordinal, or -1 for internal nodes
+	numLeaf  int
+}
+
+// Builder accumulates parent→child edges and produces a Taxonomy.
+type Builder struct {
+	names  []string
+	index  map[string]int
+	parent []int
+}
+
+// NewBuilder returns a Builder whose root region has the given name
+// (typically "World").
+func NewBuilder(root string) *Builder {
+	b := &Builder{index: make(map[string]int)}
+	b.names = append(b.names, root)
+	b.parent = append(b.parent, -1)
+	b.index[strings.ToLower(root)] = 0
+	return b
+}
+
+// Add registers child under parent. Region names are case-insensitive and
+// must be globally unique. It returns an error if parent is unknown or child
+// already exists.
+func (b *Builder) Add(parent, child string) error {
+	p, ok := b.index[strings.ToLower(parent)]
+	if !ok {
+		return fmt.Errorf("region: unknown parent %q", parent)
+	}
+	key := strings.ToLower(child)
+	if _, dup := b.index[key]; dup {
+		return fmt.Errorf("region: duplicate region %q", child)
+	}
+	b.index[key] = len(b.names)
+	b.names = append(b.names, child)
+	b.parent = append(b.parent, p)
+	return nil
+}
+
+// MustAdd is Add for trusted literals; it panics on error.
+func (b *Builder) MustAdd(parent, child string) {
+	if err := b.Add(parent, child); err != nil {
+		panic(err)
+	}
+}
+
+// Build freezes the hierarchy into a Taxonomy.
+func (b *Builder) Build() *Taxonomy {
+	n := len(b.names)
+	t := &Taxonomy{
+		names:    append([]string(nil), b.names...),
+		index:    make(map[string]int, n),
+		parent:   append([]int(nil), b.parent...),
+		children: make([][]int, n),
+		leafBits: make([]bitset.Set, n),
+		leafOrd:  make([]int, n),
+	}
+	for k, v := range b.index {
+		t.index[k] = v
+	}
+	for id := 1; id < n; id++ {
+		p := t.parent[id]
+		t.children[p] = append(t.children[p], id)
+	}
+	// Assign leaf ordinals in node-id order (stable across runs).
+	for id := 0; id < n; id++ {
+		t.leafOrd[id] = -1
+		if len(t.children[id]) == 0 {
+			t.leafOrd[id] = t.numLeaf
+			t.numLeaf++
+		}
+	}
+	// Compute leaf sets bottom-up. Children always have larger ids than
+	// parents (Builder appends), so a reverse scan suffices.
+	for id := n - 1; id >= 0; id-- {
+		s := bitset.NewSet(t.numLeaf)
+		if t.leafOrd[id] >= 0 {
+			s.Add(t.leafOrd[id])
+		}
+		for _, c := range t.children[id] {
+			s = s.Union(t.leafBits[c])
+		}
+		t.leafBits[id] = s
+	}
+	return t
+}
+
+// NumLeaves returns the number of leaf regions, i.e. the universe width of
+// the leaf bitsets.
+func (t *Taxonomy) NumLeaves() int { return t.numLeaf }
+
+// NumRegions returns the total number of regions (internal and leaf).
+func (t *Taxonomy) NumRegions() int { return len(t.names) }
+
+// Lookup resolves a region name (case-insensitive) to its node id.
+func (t *Taxonomy) Lookup(name string) (int, bool) {
+	id, ok := t.index[strings.ToLower(name)]
+	return id, ok
+}
+
+// Name returns the canonical name of a node id.
+func (t *Taxonomy) Name(id int) string { return t.names[id] }
+
+// Parent returns the parent node id, or -1 for the root.
+func (t *Taxonomy) Parent(id int) int { return t.parent[id] }
+
+// Children returns the child node ids of id. The returned slice must not be
+// modified.
+func (t *Taxonomy) Children(id int) []int { return t.children[id] }
+
+// IsLeaf reports whether id has no children.
+func (t *Taxonomy) IsLeaf(id int) bool { return t.leafOrd[id] >= 0 }
+
+// Leaves returns the set of leaf ordinals under the region id. The returned
+// set is shared; callers must not mutate it.
+func (t *Taxonomy) Leaves(id int) bitset.Set { return t.leafBits[id] }
+
+// LeafName returns the canonical name of the leaf with the given ordinal.
+func (t *Taxonomy) LeafName(ord int) string {
+	for id, o := range t.leafOrd {
+		if o == ord {
+			return t.names[id]
+		}
+	}
+	return fmt.Sprintf("leaf#%d", ord)
+}
+
+// Resolve maps a list of region names to the union of their leaf sets — the
+// canonical constraint value for "R = [Asia, Europe]"-style constraints.
+func (t *Taxonomy) Resolve(names ...string) (bitset.Set, error) {
+	out := bitset.NewSet(t.numLeaf)
+	for _, name := range names {
+		id, ok := t.Lookup(name)
+		if !ok {
+			return bitset.Set{}, fmt.Errorf("region: unknown region %q", name)
+		}
+		out = out.Union(t.leafBits[id])
+	}
+	return out, nil
+}
+
+// MustResolve is Resolve for trusted literals; it panics on error.
+func (t *Taxonomy) MustResolve(names ...string) bitset.Set {
+	s, err := t.Resolve(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Describe renders a leaf set back into the shortest list of region names
+// covering it exactly: whenever all leaves under an internal node are
+// present, the node's name is used instead of its leaves. Useful for logs
+// and error messages.
+func (t *Taxonomy) Describe(s bitset.Set) []string {
+	if s.Universe() != t.numLeaf {
+		return []string{s.String()}
+	}
+	var names []string
+	var walk func(id int)
+	walk = func(id int) {
+		if t.leafBits[id].SubsetOf(s) && !t.leafBits[id].Empty() {
+			names = append(names, t.names[id])
+			return
+		}
+		for _, c := range t.children[id] {
+			if t.leafBits[c].Intersects(s) {
+				walk(c)
+			}
+		}
+	}
+	walk(0)
+	sort.Strings(names)
+	return names
+}
+
+// World returns a compact default taxonomy with the regions used by the
+// paper's examples (Asia ⊃ India, Japan; Europe; America) plus enough extra
+// leaves to exercise wide constraints in tests and workloads.
+func World() *Taxonomy {
+	b := NewBuilder("World")
+	b.MustAdd("World", "Asia")
+	b.MustAdd("World", "Europe")
+	b.MustAdd("World", "America")
+	b.MustAdd("World", "Africa")
+	b.MustAdd("World", "Oceania")
+
+	b.MustAdd("Asia", "India")
+	b.MustAdd("Asia", "Japan")
+	b.MustAdd("Asia", "China")
+	b.MustAdd("Asia", "Singapore")
+	b.MustAdd("Asia", "Korea")
+
+	b.MustAdd("Europe", "Germany")
+	b.MustAdd("Europe", "France")
+	b.MustAdd("Europe", "UK")
+	b.MustAdd("Europe", "Spain")
+	b.MustAdd("Europe", "Italy")
+
+	b.MustAdd("America", "USA")
+	b.MustAdd("America", "Canada")
+	b.MustAdd("America", "Brazil")
+	b.MustAdd("America", "Mexico")
+
+	b.MustAdd("Africa", "Egypt")
+	b.MustAdd("Africa", "Nigeria")
+	b.MustAdd("Africa", "SouthAfrica")
+
+	b.MustAdd("Oceania", "Australia")
+	b.MustAdd("Oceania", "NewZealand")
+	return b.Build()
+}

@@ -1,0 +1,223 @@
+package region
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestWorldBasics(t *testing.T) {
+	w := World()
+	if w.NumLeaves() == 0 {
+		t.Fatal("World has no leaves")
+	}
+	if _, ok := w.Lookup("Asia"); !ok {
+		t.Error("Asia not found")
+	}
+	if _, ok := w.Lookup("asia"); !ok {
+		t.Error("lookup must be case-insensitive")
+	}
+	if _, ok := w.Lookup("Atlantis"); ok {
+		t.Error("unknown region resolved")
+	}
+	root, _ := w.Lookup("World")
+	if w.Parent(root) != -1 {
+		t.Error("root parent should be -1")
+	}
+	asia, _ := w.Lookup("Asia")
+	if w.Parent(asia) != root {
+		t.Error("Asia's parent should be World")
+	}
+	if w.IsLeaf(asia) {
+		t.Error("Asia should be internal")
+	}
+	india, _ := w.Lookup("India")
+	if !w.IsLeaf(india) {
+		t.Error("India should be a leaf")
+	}
+}
+
+func TestLeafSetsAreHierarchical(t *testing.T) {
+	w := World()
+	asia, _ := w.Lookup("Asia")
+	india, _ := w.Lookup("India")
+	root, _ := w.Lookup("World")
+	if !w.Leaves(india).SubsetOf(w.Leaves(asia)) {
+		t.Error("India's leaves not within Asia's")
+	}
+	if !w.Leaves(asia).SubsetOf(w.Leaves(root)) {
+		t.Error("Asia's leaves not within World's")
+	}
+	if w.Leaves(root).Len() != w.NumLeaves() {
+		t.Errorf("root covers %d leaves, want all %d", w.Leaves(root).Len(), w.NumLeaves())
+	}
+}
+
+func TestSiblingsDisjoint(t *testing.T) {
+	w := World()
+	asia, _ := w.Lookup("Asia")
+	europe, _ := w.Lookup("Europe")
+	if w.Leaves(asia).Intersects(w.Leaves(europe)) {
+		t.Error("Asia and Europe leaf sets must be disjoint")
+	}
+}
+
+func TestResolvePaperExample(t *testing.T) {
+	w := World()
+	// R=[Asia, Europe] must contain R=[India]: the paper's L_U^1 vs L_D^1.
+	rd, err := w.Resolve("Asia", "Europe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := w.MustResolve("India")
+	if !ru.SubsetOf(rd) {
+		t.Error("[India] must be contained in [Asia,Europe]")
+	}
+	// R=[Japan] vs R=[Asia]: L_U^2 belongs to L_D^2.
+	if !w.MustResolve("Japan").SubsetOf(w.MustResolve("Asia")) {
+		t.Error("[Japan] must be contained in [Asia]")
+	}
+	// [America] does not overlap [Asia, Europe]: group separation in fig 2.
+	if w.MustResolve("America").Intersects(rd) {
+		t.Error("[America] must not overlap [Asia,Europe]")
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	w := World()
+	if _, err := w.Resolve("Asia", "Narnia"); err == nil {
+		t.Error("expected error for unknown region")
+	}
+}
+
+func TestDescribeRoundTrip(t *testing.T) {
+	w := World()
+	for _, names := range [][]string{
+		{"Asia"},
+		{"Asia", "Europe"},
+		{"India", "Japan"},
+		{"World"},
+		{"India", "Germany", "USA"},
+	} {
+		s := w.MustResolve(names...)
+		desc := w.Describe(s)
+		// Re-resolving the description must reproduce the same leaf set.
+		back := w.MustResolve(desc...)
+		if !back.Equal(s) {
+			t.Errorf("Describe(%v) = %v does not round-trip", names, desc)
+		}
+	}
+}
+
+func TestDescribeUsesInternalNames(t *testing.T) {
+	w := World()
+	s := w.MustResolve("Asia")
+	desc := w.Describe(s)
+	if len(desc) != 1 || desc[0] != "Asia" {
+		t.Errorf("Describe(Asia leaves) = %v, want [Asia]", desc)
+	}
+	all := w.MustResolve("World")
+	if d := w.Describe(all); len(d) != 1 || d[0] != "World" {
+		t.Errorf("Describe(all) = %v, want [World]", d)
+	}
+}
+
+func TestDescribeSorted(t *testing.T) {
+	w := World()
+	desc := w.Describe(w.MustResolve("Japan", "Germany", "India"))
+	if !sort.StringsAreSorted(desc) {
+		t.Errorf("Describe output %v not sorted", desc)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("Root")
+	if err := b.Add("Nope", "X"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := b.Add("Root", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("Root", "x"); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+}
+
+func TestSingleNodeTaxonomy(t *testing.T) {
+	tax := NewBuilder("Solo").Build()
+	if tax.NumLeaves() != 1 {
+		t.Errorf("NumLeaves = %d, want 1 (root is the only leaf)", tax.NumLeaves())
+	}
+	id, _ := tax.Lookup("Solo")
+	if !tax.IsLeaf(id) {
+		t.Error("childless root should be a leaf")
+	}
+	if got := tax.LeafName(0); got != "Solo" {
+		t.Errorf("LeafName(0) = %q", got)
+	}
+}
+
+func TestLeafOrdinalNames(t *testing.T) {
+	w := World()
+	india, _ := w.Lookup("India")
+	ord := w.Leaves(india).Elems()[0]
+	if got := w.LeafName(ord); got != "India" {
+		t.Errorf("LeafName(%d) = %q, want India", ord, got)
+	}
+}
+
+func TestTaxonomyJSONRoundTrip(t *testing.T) {
+	w := World()
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRegions() != w.NumRegions() || back.NumLeaves() != w.NumLeaves() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			back.NumRegions(), back.NumLeaves(), w.NumRegions(), w.NumLeaves())
+	}
+	// Leaf sets must be identical for every region, so constraints keep
+	// their semantics across the wire.
+	for id := 0; id < w.NumRegions(); id++ {
+		name := w.Name(id)
+		id2, ok := back.Lookup(name)
+		if !ok {
+			t.Fatalf("region %q lost", name)
+		}
+		if !back.Leaves(id2).Equal(w.Leaves(id)) {
+			t.Errorf("region %q leaf set changed", name)
+		}
+	}
+	// And re-encoding is canonical.
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := w.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("taxonomy encoding is not canonical")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":    `{`,
+		"bad version": `{"version":9,"root":"W","regions":[]}`,
+		"no root":     `{"version":1,"regions":[]}`,
+		"orphan":      `{"version":1,"root":"W","regions":[{"name":"X","parent":"Nope"}]}`,
+		"duplicate":   `{"version":1,"root":"W","regions":[{"name":"X","parent":"W"},{"name":"x","parent":"W"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

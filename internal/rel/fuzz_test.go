@@ -1,0 +1,54 @@
+package rel
+
+import (
+	"testing"
+
+	"repro/internal/license"
+	"repro/internal/region"
+)
+
+// FuzzParseLicense checks that arbitrary expressions never panic the
+// parser, and that every accepted expression round-trips through
+// FormatLicense → ParseLicense with identical semantics.
+func FuzzParseLicense(f *testing.F) {
+	seeds := []string{
+		"(K; Play; T=[10/03/09, 20/03/09], R=[Asia, Europe]; A=2000)",
+		"(K; Play; T=[15/03/09, 25/03/09], R=[Asia]; A=1000)",
+		"(K; Copy; T=5, R=[India, Japan]; A=1)",
+		"(K; Play; T=[1,2]; A=5)",
+		"(;;;)",
+		"()",
+		"(K; Play; T=[1,2], R=[Asia]; A=99999999999999999999)",
+		"(K; Play; T=[2,1], R=[Asia]; A=5)",
+		"K; Play; T=[1,2], R=[Asia]; A=5",
+		"(K; Play; T=[[1,2]], R=[Asia]; A=5)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d, _, err := PaperDialect(region.World())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		l, err := d.ParseLicense("F", license.Redistribution, expr)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted licenses must be structurally valid...
+		if err := l.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid license %q: %v", expr, err)
+		}
+		// ...and round-trip through the printer.
+		back, err := d.ParseLicense("F", license.Redistribution, d.FormatLicense(l))
+		if err != nil {
+			t.Fatalf("formatted form of %q does not re-parse: %v", expr, err)
+		}
+		if l.Rect.String() != back.Rect.String() ||
+			l.Aggregate != back.Aggregate ||
+			l.Content != back.Content ||
+			l.Permission != back.Permission {
+			t.Fatalf("round-trip changed %q: %v vs %v", expr, l, back)
+		}
+	})
+}

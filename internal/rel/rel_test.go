@@ -1,0 +1,263 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/license"
+	"repro/internal/overlap"
+	"repro/internal/region"
+)
+
+func paperDialect(t *testing.T) (*Dialect, *geometry.Schema) {
+	t.Helper()
+	d, s, err := PaperDialect(region.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s
+}
+
+func TestParseLicensePaperNotation(t *testing.T) {
+	d, _ := paperDialect(t)
+	// Verbatim from Example 1.
+	l, err := d.ParseLicense("L_D^1", license.Redistribution,
+		"(K; Play; T=[10/03/09, 20/03/09], R=[Asia, Europe]; A=2000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Content != "K" || l.Permission != license.Play || l.Aggregate != 2000 {
+		t.Errorf("parsed license = %+v", l)
+	}
+	// The parsed rectangle must equal the fixture's.
+	ex := license.NewExample1()
+	if !rectEqualByString(l.Rect, ex.Corpus.License(0).Rect) {
+		t.Errorf("rect = %s, want %s", l.Rect, ex.Corpus.License(0).Rect)
+	}
+}
+
+func rectEqualByString(a, b geometry.Rect) bool { return a.String() == b.String() }
+
+func TestParseCorpusExample1Equivalence(t *testing.T) {
+	// The whole Example 1 corpus expressed in the paper's own notation
+	// must reproduce the fixture's grouping and belongs-to behaviour.
+	d, _ := paperDialect(t)
+	src := `
+# Example 1 of Sachan et al. 2010
+L_D^1: (K; Play; T=[10/03/09, 20/03/09], R=[Asia, Europe]; A=2000)
+L_D^2: (K; Play; T=[15/03/09, 25/03/09], R=[Asia];         A=1000)
+L_D^3: (K; Play; T=[15/03/09, 30/03/09], R=[America];      A=3000)
+L_D^4: (K; Play; T=[15/03/09, 15/04/09], R=[Europe];       A=4000)
+L_D^5: (K; Play; T=[25/03/09, 10/04/09], R=[America];      A=2000)
+`
+	corpus, err := d.ParseCorpus(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 5 {
+		t.Fatalf("parsed %d licenses, want 5", corpus.Len())
+	}
+	gr := overlap.GroupsOf(corpus)
+	if gr.String() != "[{1,2,4} {3,5}]" {
+		t.Errorf("grouping = %v, want [{1,2,4} {3,5}]", gr)
+	}
+	// Usage rectangle from the paper: L_U^1 belongs to {L1, L2}.
+	u, err := d.ParseLicense("L_U^1", license.Usage,
+		"(K; Play; T=[15/03/09, 19/03/09], R=[India]; A=800)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	belongs := corpus.BelongsTo(u.Rect)
+	if len(belongs) != 2 || belongs[0] != 0 || belongs[1] != 1 {
+		t.Errorf("BelongsTo = %v, want [0 1]", belongs)
+	}
+}
+
+func TestParseScalarAndIntCoordinates(t *testing.T) {
+	schema := geometry.MustSchema(geometry.Axis{Name: "res", Kind: geometry.KindInterval})
+	d, err := NewDialect(schema, nil, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar shorthand: Q=1080 ≡ [1080, 1080].
+	l, err := d.ParseLicense("L", license.Usage, "(K; Play; Q=1080; A=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := l.Rect.Value(0).Interval()
+	if iv.Lo != 1080 || iv.Hi != 1080 {
+		t.Errorf("scalar parsed as %v", iv)
+	}
+	// Plain integer range.
+	l, err = d.ParseLicense("L", license.Usage, "(K; Play; Q=[480, 1080]; A=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv = l.Rect.Value(0).Interval()
+	if iv.Lo != 480 || iv.Hi != 1080 {
+		t.Errorf("range parsed as %v", iv)
+	}
+}
+
+func TestParseSetWithoutTaxonomy(t *testing.T) {
+	schema := geometry.MustSchema(geometry.Axis{Name: "r", Kind: geometry.KindSet, Universe: 8})
+	d, err := NewDialect(schema, nil, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := d.ParseLicense("L", license.Usage, "(K; Play; R=[0, 3, 7]; A=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := l.Rect.Value(0).Set()
+	if set.Len() != 3 || !set.Has(0) || !set.Has(3) || !set.Has(7) {
+		t.Errorf("set parsed as %v", set)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d, _ := paperDialect(t)
+	cases := map[string]string{
+		"no parens":        `K; Play; T=[1,2], R=[Asia]; A=5`,
+		"wrong arity":      `(K; Play; A=5)`,
+		"empty content":    `(; Play; T=[1,2], R=[Asia]; A=5)`,
+		"empty permission": `(K; ; T=[1,2], R=[Asia]; A=5)`,
+		"unknown tag":      `(K; Play; T=[1,2], Z=[Asia]; A=5)`,
+		"tag twice":        `(K; Play; T=[1,2], T=[3,4], R=[Asia]; A=5)`,
+		"missing axis":     `(K; Play; T=[1,2]; A=5)`,
+		"not tag=value":    `(K; Play; T[1,2], R=[Asia]; A=5)`,
+		"bad coord":        `(K; Play; T=[x,2], R=[Asia]; A=5)`,
+		"reversed range":   `(K; Play; T=[9,2], R=[Asia]; A=5)`,
+		"three coords":     `(K; Play; T=[1,2,3], R=[Asia]; A=5)`,
+		"unknown region":   `(K; Play; T=[1,2], R=[Narnia]; A=5)`,
+		"bad aggregate":    `(K; Play; T=[1,2], R=[Asia]; A=lots)`,
+		"no aggregate tag": `(K; Play; T=[1,2], R=[Asia]; 5)`,
+		"negative agg":     `(K; Play; T=[1,2], R=[Asia]; A=-5)`,
+		"open bracket":     `(K; Play; T=[1,2, R=[Asia]; A=5)`,
+	}
+	for name, expr := range cases {
+		if _, err := d.ParseLicense("L", license.Usage, expr); err == nil {
+			t.Errorf("%s: accepted %q", name, expr)
+		}
+	}
+}
+
+func TestParseCorpusErrors(t *testing.T) {
+	d, _ := paperDialect(t)
+	if _, err := d.ParseCorpus(strings.NewReader("no colon here")); err == nil {
+		t.Error("missing colon accepted")
+	}
+	if _, err := d.ParseCorpus(strings.NewReader("L: (K; Play; T=[1,2]; A=5)")); err == nil {
+		t.Error("bad license accepted")
+	}
+	// Mixed content across one corpus is rejected by Corpus.Add.
+	src := `
+L1: (K;  Play; T=[1,2], R=[Asia]; A=5)
+L2: (K2; Play; T=[1,2], R=[Asia]; A=5)
+`
+	if _, err := d.ParseCorpus(strings.NewReader(src)); err == nil {
+		t.Error("mixed-content corpus accepted")
+	}
+}
+
+func TestNewDialectErrors(t *testing.T) {
+	schema := geometry.MustSchema(geometry.Axis{Name: "x", Kind: geometry.KindInterval})
+	if _, err := NewDialect(schema, nil); err == nil {
+		t.Error("missing tags accepted")
+	}
+	if _, err := NewDialect(schema, nil, ""); err == nil {
+		t.Error("empty tag accepted")
+	}
+	two := geometry.MustSchema(
+		geometry.Axis{Name: "x", Kind: geometry.KindInterval},
+		geometry.Axis{Name: "y", Kind: geometry.KindInterval},
+	)
+	if _, err := NewDialect(two, nil, "T", "t"); err == nil {
+		t.Error("case-duplicate tags accepted")
+	}
+}
+
+func TestFormatLicenseRoundTrip(t *testing.T) {
+	d, _ := paperDialect(t)
+	exprs := []string{
+		"(K; Play; T=[14313, 14323], R=[Asia, Europe]; A=2000)",
+		"(K; Play; T=[14318, 14328], R=[Asia]; A=1000)",
+		"(K; Copy; T=[0, 5], R=[India, Japan]; A=77)",
+	}
+	for _, expr := range exprs {
+		l, err := d.ParseLicense("L", license.Redistribution, expr)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		got := d.FormatLicense(l)
+		// Re-parse the formatted form; it must produce the same rectangle
+		// and metadata (FormatLicense normalises whitespace and region
+		// naming, so compare semantically).
+		back, err := d.ParseLicense("L", license.Redistribution, got)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got, err)
+		}
+		if !rectEqualByString(l.Rect, back.Rect) || l.Aggregate != back.Aggregate ||
+			l.Permission != back.Permission || l.Content != back.Content {
+			t.Errorf("round-trip changed %q -> %q", expr, got)
+		}
+	}
+}
+
+func TestFormatUsesTaxonomyNames(t *testing.T) {
+	d, _ := paperDialect(t)
+	l, err := d.ParseLicense("L", license.Redistribution,
+		"(K; Play; T=[1, 2], R=[Asia]; A=9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.FormatLicense(l)
+	if !strings.Contains(got, "R=[Asia]") {
+		t.Errorf("FormatLicense = %q, want R=[Asia]", got)
+	}
+	if !strings.Contains(got, "Play") {
+		t.Errorf("FormatLicense = %q, want title-case permission", got)
+	}
+}
+
+func TestSplitTopRespectsBrackets(t *testing.T) {
+	parts := splitTop("a=[1,2], b=[3,4]", ',')
+	if len(parts) != 2 {
+		t.Fatalf("splitTop = %q", parts)
+	}
+	if strings.TrimSpace(parts[0]) != "a=[1,2]" || strings.TrimSpace(parts[1]) != "b=[3,4]" {
+		t.Errorf("splitTop = %q", parts)
+	}
+}
+
+func TestFormatAsDates(t *testing.T) {
+	d, _ := paperDialect(t) // PaperDialect enables date rendering on T
+	l, err := d.ParseLicense("L", license.Redistribution,
+		"(K; Play; T=[10/03/09, 20/03/09], R=[Asia]; A=9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.FormatLicense(l)
+	if !strings.Contains(got, "T=[10/03/09, 20/03/09]") {
+		t.Errorf("FormatLicense = %q, want dd/mm/yy dates", got)
+	}
+	// Re-parse must reproduce the same rectangle.
+	back, err := d.ParseLicense("L", license.Redistribution, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rectEqualByString(l.Rect, back.Rect) {
+		t.Errorf("date round-trip changed the rectangle: %q", got)
+	}
+}
+
+func TestFormatAsDatesErrors(t *testing.T) {
+	d, _ := paperDialect(t)
+	if err := d.FormatAsDates("Z"); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if err := d.FormatAsDates("R"); err == nil {
+		t.Error("set axis accepted as date axis")
+	}
+}

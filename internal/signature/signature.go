@@ -1,0 +1,194 @@
+// Package signature provides license integrity: Ed25519 signatures over a
+// canonical license encoding, and signed corpus documents.
+//
+// DRM licenses are security tokens — a distributor must be able to prove a
+// license came from the owner, and a validation authority must reject
+// tampered constraints or inflated budgets before validating anything.
+// The paper assumes this layer exists ("the owner issues redistribution
+// licenses"); this package supplies it with stdlib crypto:
+//
+//   - Canonical bytes: a deterministic, self-delimiting encoding of a
+//     license's semantic fields (name, kind, content, permission, every
+//     constraint axis, aggregate). Two licenses with equal semantics have
+//     equal canonical bytes regardless of schema pointer identity.
+//   - Sign/Verify: Ed25519 over those bytes.
+//   - SignedCorpus: a corpus document (the internal/license JSON format)
+//     wrapped with the issuer's public key and a signature over the
+//     document bytes, so corpus files can be distributed over untrusted
+//     channels.
+package signature
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/geometry"
+	"repro/internal/license"
+)
+
+// GenerateKey creates an Ed25519 key pair for an issuer (the owner or a
+// delegating distributor).
+func GenerateKey() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("signature: generating key: %w", err)
+	}
+	return pub, priv, nil
+}
+
+// CanonicalBytes encodes the license's semantic fields deterministically:
+// length-prefixed strings and fixed-width integers, axes in schema order.
+func CanonicalBytes(l *license.License) ([]byte, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	writeString := func(s string) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	writeInt := func(v int64) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(v))
+		buf.Write(n[:])
+	}
+	writeString("drm-license-v1")
+	writeString(l.Name)
+	writeInt(int64(l.Kind))
+	writeString(l.Content)
+	writeString(string(l.Permission))
+	schema := l.Rect.Schema()
+	writeInt(int64(schema.Dims()))
+	for i := 0; i < schema.Dims(); i++ {
+		ax := schema.Axis(i)
+		writeString(ax.Name)
+		writeInt(int64(ax.Kind))
+		v := l.Rect.Value(i)
+		switch ax.Kind {
+		case geometry.KindInterval:
+			iv := v.Interval()
+			writeInt(iv.Lo)
+			writeInt(iv.Hi)
+		case geometry.KindSet:
+			writeInt(int64(ax.Universe))
+			elems := v.Set().Elems()
+			writeInt(int64(len(elems)))
+			for _, e := range elems {
+				writeInt(int64(e))
+			}
+		}
+	}
+	writeInt(l.Aggregate)
+	return buf.Bytes(), nil
+}
+
+// Sign returns the issuer's signature over the license's canonical bytes.
+func Sign(l *license.License, priv ed25519.PrivateKey) ([]byte, error) {
+	msg, err := CanonicalBytes(l)
+	if err != nil {
+		return nil, err
+	}
+	return ed25519.Sign(priv, msg), nil
+}
+
+// ErrBadSignature marks a failed verification.
+var ErrBadSignature = errors.New("signature: verification failed")
+
+// Verify checks sig against the license's canonical bytes.
+func Verify(l *license.License, pub ed25519.PublicKey, sig []byte) error {
+	msg, err := CanonicalBytes(l)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return fmt.Errorf("%w: license %s", ErrBadSignature, l.Name)
+	}
+	return nil
+}
+
+// signedDoc is the wire form of a signed corpus: the corpus document
+// bytes (exactly as internal/license encodes them) plus issuer key and
+// signature, all base64 inside one JSON object.
+type signedDoc struct {
+	Version   int    `json:"version"`
+	Corpus    []byte `json:"corpus"` // JSON document from EncodeCorpus
+	PublicKey []byte `json:"public_key"`
+	Signature []byte `json:"signature"`
+}
+
+const signedVersion = 1
+
+// WriteSignedCorpus encodes the corpus, signs the document bytes, and
+// writes the signed wrapper.
+func WriteSignedCorpus(w io.Writer, c *license.Corpus, priv ed25519.PrivateKey) error {
+	var doc bytes.Buffer
+	if err := license.EncodeCorpus(&doc, c); err != nil {
+		return err
+	}
+	out := signedDoc{
+		Version:   signedVersion,
+		Corpus:    doc.Bytes(),
+		PublicKey: priv.Public().(ed25519.PublicKey),
+		Signature: ed25519.Sign(priv, doc.Bytes()),
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("signature: encoding signed corpus: %w", err)
+	}
+	return nil
+}
+
+// ReadSignedCorpus verifies and decodes a signed corpus. When trusted is
+// non-nil the embedded public key must equal it (pinned issuer); with a
+// nil trusted key the embedded key is used (trust-on-first-use), and
+// returned for the caller to pin.
+func ReadSignedCorpus(r io.Reader, trusted ed25519.PublicKey) (*license.Corpus, ed25519.PublicKey, error) {
+	var doc signedDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("signature: decoding signed corpus: %w", err)
+	}
+	if doc.Version != signedVersion {
+		return nil, nil, fmt.Errorf("signature: unsupported version %d", doc.Version)
+	}
+	if len(doc.PublicKey) != ed25519.PublicKeySize {
+		return nil, nil, fmt.Errorf("signature: bad public key length %d", len(doc.PublicKey))
+	}
+	pub := ed25519.PublicKey(doc.PublicKey)
+	if trusted != nil && !pub.Equal(trusted) {
+		return nil, nil, fmt.Errorf("%w: issuer key mismatch", ErrBadSignature)
+	}
+	if !ed25519.Verify(pub, doc.Corpus, doc.Signature) {
+		return nil, nil, fmt.Errorf("%w: corpus document", ErrBadSignature)
+	}
+	c, err := license.DecodeCorpus(bytes.NewReader(doc.Corpus))
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, pub, nil
+}
+
+// KeyToString renders a public key for config files and logs.
+func KeyToString(pub ed25519.PublicKey) string {
+	return base64.StdEncoding.EncodeToString(pub)
+}
+
+// KeyFromString parses KeyToString's output.
+func KeyFromString(s string) (ed25519.PublicKey, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("signature: parsing key: %w", err)
+	}
+	if len(b) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("signature: bad public key length %d", len(b))
+	}
+	return ed25519.PublicKey(b), nil
+}

@@ -1,0 +1,200 @@
+package signature
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/license"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := license.NewExample1()
+	for _, l := range ex.Corpus.Licenses() {
+		sig, err := Sign(l, priv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(l, pub, sig); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := license.NewExample1()
+	l := ex.Corpus.License(1) // L_D^2, budget 1000
+	sig, err := Sign(l, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the budget: the classic attack the signature must stop.
+	tampered := *l
+	tampered.Aggregate = 1_000_000
+	if err := Verify(&tampered, pub, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("inflated budget verified: %v", err)
+	}
+	// Rename: also rejected.
+	renamed := *l
+	renamed.Name = "L_D^2-evil"
+	if err := Verify(&renamed, pub, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("renamed license verified: %v", err)
+	}
+	// Wrong key: rejected.
+	otherPub, _, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(l, otherPub, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("foreign key verified: %v", err)
+	}
+	// Truncated signature: rejected.
+	if err := Verify(l, pub, sig[:10]); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("truncated signature verified: %v", err)
+	}
+}
+
+func TestCanonicalBytesSemantics(t *testing.T) {
+	// Equal semantics → equal bytes even across distinct schema instances.
+	a := license.NewExample1().Corpus.License(0)
+	b := license.NewExample1().Corpus.License(0)
+	ba, err := CanonicalBytes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := CanonicalBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Error("identical licenses produced different canonical bytes")
+	}
+	// Different semantics → different bytes (adjacent-field confusion
+	// guard: moving a character between name and content must change it).
+	c := *a
+	c.Name = a.Name + "X"
+	bc, err := CanonicalBytes(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba, bc) {
+		t.Error("different names produced equal canonical bytes")
+	}
+	// Invalid licenses are rejected.
+	bad := *a
+	bad.Aggregate = -1
+	if _, err := CanonicalBytes(&bad); err == nil {
+		t.Error("invalid license canonicalised")
+	}
+}
+
+func TestSignedCorpusRoundTrip(t *testing.T) {
+	_, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := license.NewExample1()
+	var buf bytes.Buffer
+	if err := WriteSignedCorpus(&buf, ex.Corpus, priv); err != nil {
+		t.Fatal(err)
+	}
+	// Trust-on-first-use: nil trusted key, pin the returned one.
+	corpus, pub, err := ReadSignedCorpus(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 5 {
+		t.Errorf("corpus len = %d", corpus.Len())
+	}
+	// Pinned issuer accepts.
+	if _, _, err := ReadSignedCorpus(bytes.NewReader(buf.Bytes()), pub); err != nil {
+		t.Errorf("pinned read failed: %v", err)
+	}
+	// Foreign pin rejects.
+	otherPub, _, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSignedCorpus(bytes.NewReader(buf.Bytes()), otherPub); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("foreign pin accepted: %v", err)
+	}
+}
+
+func TestSignedCorpusRejectsTampering(t *testing.T) {
+	_, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := license.NewExample1()
+	var buf bytes.Buffer
+	if err := WriteSignedCorpus(&buf, ex.Corpus, priv); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the embedded corpus document (an aggregate digit) while
+	// keeping the original signature: decode the outer JSON, edit the
+	// payload, re-encode.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := base64.StdEncoding.DecodeString(doc["corpus"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(payload), "2000", "9000", 1)
+	if edited == string(payload) {
+		t.Fatal("test setup: no byte to flip")
+	}
+	doc["corpus"] = base64.StdEncoding.EncodeToString([]byte(edited))
+	tampered, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSignedCorpus(bytes.NewReader(tampered), nil); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered signed corpus accepted: %v", err)
+	}
+}
+
+func TestSignedCorpusDecodeErrors(t *testing.T) {
+	if _, _, err := ReadSignedCorpus(strings.NewReader("{"), nil); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, _, err := ReadSignedCorpus(strings.NewReader(`{"version":9}`), nil); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, _, err := ReadSignedCorpus(strings.NewReader(`{"version":1,"public_key":"AAA="}`), nil); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	pub, _, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := KeyToString(pub)
+	back, err := KeyFromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(back) {
+		t.Error("key round-trip failed")
+	}
+	if _, err := KeyFromString("not base64!!"); err == nil {
+		t.Error("garbage key accepted")
+	}
+	if _, err := KeyFromString("AAAA"); err == nil {
+		t.Error("short key accepted")
+	}
+}

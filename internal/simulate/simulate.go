@@ -1,0 +1,321 @@
+// Package simulate runs deterministic multi-tier distribution scenarios —
+// the paper's §1 setting at system scale: an owner grants redistribution
+// licenses per content to tier-1 distributors; each tier delegates slices
+// of its budgets downstream; consumers hit the bottom tier with usage
+// requests; the validation authority audits every corpus periodically with
+// the geometric validator.
+//
+// The simulator exists to exercise the whole stack (geometry, R-tree
+// instance validation, online headroom, logging, grouping, divided-tree
+// audits) under sustained load, and to let cmd/drmsim report how the
+// pieces behave together. Everything is seeded: identical configs produce
+// identical runs.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/geometry"
+	"repro/internal/interval"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/region"
+)
+
+// Config parameterises a scenario. Zero fields take the documented
+// defaults via Normalize.
+type Config struct {
+	// Tiers is the distribution depth below the owner (1 = distributors
+	// only, 2 = distributors + sub-distributors, ...). Default 2.
+	Tiers int
+	// Width is the number of distributors per tier. Default 3.
+	Width int
+	// Contents is the number of content items. Default 2.
+	Contents int
+	// GrantsPerDistributor is how many redistribution licenses tier-1
+	// distributors receive per content. Default 3.
+	GrantsPerDistributor int
+	// Days is the simulated duration; each day the bottom tier receives
+	// Requests usage requests. Defaults 30 and 200.
+	Days, Requests int
+	// AuditEvery audits all corpora every that many days. Default 10.
+	AuditEvery int
+	// Mode selects online or offline aggregate validation. Default online.
+	Mode engine.Mode
+	// Seed drives the PRNG.
+	Seed int64
+}
+
+// Normalize fills defaults and rejects unusable values.
+func (c *Config) Normalize() error {
+	if c.Tiers == 0 {
+		c.Tiers = 2
+	}
+	if c.Width == 0 {
+		c.Width = 3
+	}
+	if c.Contents == 0 {
+		c.Contents = 2
+	}
+	if c.GrantsPerDistributor == 0 {
+		c.GrantsPerDistributor = 3
+	}
+	if c.Days == 0 {
+		c.Days = 30
+	}
+	if c.Requests == 0 {
+		c.Requests = 200
+	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 10
+	}
+	for name, v := range map[string]int{
+		"Tiers": c.Tiers, "Width": c.Width, "Contents": c.Contents,
+		"GrantsPerDistributor": c.GrantsPerDistributor, "Days": c.Days,
+		"Requests": c.Requests, "AuditEvery": c.AuditEvery,
+	} {
+		if v < 1 {
+			return fmt.Errorf("simulate: %s = %d, want >= 1", name, v)
+		}
+	}
+	return nil
+}
+
+// DistributorReport summarises one corpus at the end of a run.
+type DistributorReport struct {
+	// Name is "tier<k>/d<i>"; Content the content item.
+	Name, Content string
+	// Licenses and Groups describe the corpus.
+	Licenses, Groups int
+	// Stats carries issuance counters.
+	Stats engine.Stats
+	// Gain is eq. 3's theoretical gain at the final audit.
+	Gain float64
+	// Violations counts violated equations at the final audit (always 0
+	// in online mode).
+	Violations int
+}
+
+// AuditPoint is one scheduled audit day's aggregate outcome.
+type AuditPoint struct {
+	// Day is the simulated day the audits ran.
+	Day int
+	// Corpora is how many corpora were audited; Violations sums their
+	// violated equations.
+	Corpora, Violations int
+}
+
+// Result is a finished run.
+type Result struct {
+	Config Config
+	// Audits counts audit passes; AuditViolations sums violated equations
+	// across them.
+	Audits, AuditViolations int
+	// Timeline records each scheduled audit day in order.
+	Timeline []AuditPoint
+	// Distributors holds the final per-corpus reports, grant order.
+	Distributors []DistributorReport
+}
+
+// Run executes the scenario.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tax := region.World()
+	schema, err := geometry.NewSchema(
+		geometry.Axis{Name: "period", Kind: geometry.KindInterval},
+		geometry.Axis{Name: "region", Kind: geometry.KindSet, Universe: tax.NumLeaves()},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	continents := []string{"Asia", "Europe", "America", "Africa", "Oceania"}
+	// grantRect builds a license window: a period slice of the simulated
+	// year and 1-2 continents.
+	grantRect := func() geometry.Rect {
+		lo := int64(rng.Intn(300))
+		hi := lo + 30 + int64(rng.Intn(120))
+		names := []string{continents[rng.Intn(len(continents))]}
+		if rng.Intn(2) == 0 {
+			names = append(names, continents[rng.Intn(len(continents))])
+		}
+		set, err := tax.Resolve(names...)
+		if err != nil {
+			panic(err) // continents are fixture constants
+		}
+		return geometry.MustRect(schema,
+			geometry.IntervalValue(interval.New(lo, hi)),
+			geometry.SetValue(set))
+	}
+
+	// tiers[t][i] is distributor i at tier t (0-based tiers below owner);
+	// each holds one corpus per content it was granted.
+	type dist struct {
+		name    string
+		corpora map[string]*engine.Distributor
+		// contents keeps deterministic iteration order over corpora.
+		contents []string
+	}
+	tiers := make([][]*dist, cfg.Tiers)
+	for t := range tiers {
+		tiers[t] = make([]*dist, cfg.Width)
+		for i := range tiers[t] {
+			tiers[t][i] = &dist{
+				name:    fmt.Sprintf("tier%d/d%d", t+1, i+1),
+				corpora: make(map[string]*engine.Distributor),
+			}
+		}
+	}
+	corpusOf := func(d *dist, content string) *engine.Distributor {
+		e, ok := d.corpora[content]
+		if !ok {
+			e = engine.NewDistributor(d.name, schema, cfg.Mode, logstore.NewMem(0))
+			d.corpora[content] = e
+			d.contents = append(d.contents, content)
+			sort.Strings(d.contents)
+		}
+		return e
+	}
+
+	// Owner grants to tier 1.
+	var grantOrder []*engine.Distributor
+	seen := map[*engine.Distributor]bool{}
+	track := func(e *engine.Distributor) {
+		if !seen[e] {
+			seen[e] = true
+			grantOrder = append(grantOrder, e)
+		}
+	}
+	for c := 0; c < cfg.Contents; c++ {
+		content := fmt.Sprintf("content-%d", c+1)
+		for _, d := range tiers[0] {
+			for g := 0; g < cfg.GrantsPerDistributor; g++ {
+				e := corpusOf(d, content)
+				_, err := e.AddRedistribution(&license.License{
+					Name:       fmt.Sprintf("%s/%s/G%d", d.name, content, g+1),
+					Kind:       license.Redistribution,
+					Content:    content,
+					Permission: license.Play,
+					Rect:       grantRect(),
+					Aggregate:  3000 + int64(rng.Intn(5000)),
+				})
+				if err != nil {
+					return nil, err
+				}
+				track(e)
+			}
+		}
+	}
+
+	// Each tier delegates one slice per corpus to the tier below.
+	for t := 1; t < cfg.Tiers; t++ {
+		for i, d := range tiers[t] {
+			parent := tiers[t-1][i%cfg.Width]
+			for _, content := range parent.contents {
+				pe := parent.corpora[content]
+				sub, err := delegate(rng, pe)
+				if err != nil {
+					continue // parent exhausted or no room: realistic, skip
+				}
+				e := corpusOf(d, content)
+				if _, err := e.AddRedistribution(sub); err != nil {
+					return nil, err
+				}
+				track(e)
+			}
+		}
+	}
+
+	// Daily consumer traffic against the bottom tier, audits on schedule.
+	res := &Result{Config: cfg}
+	bottom := tiers[cfg.Tiers-1]
+	for day := 1; day <= cfg.Days; day++ {
+		for q := 0; q < cfg.Requests; q++ {
+			d := bottom[rng.Intn(len(bottom))]
+			if len(d.corpora) == 0 {
+				continue
+			}
+			// Random corpus of this distributor, in deterministic order.
+			e := d.corpora[d.contents[rng.Intn(len(d.contents))]]
+			rect, ok := usageRect(rng, e)
+			if !ok {
+				continue
+			}
+			_, _ = e.Issue(license.Usage, rect, int64(10+rng.Intn(21)))
+		}
+		if day%cfg.AuditEvery == 0 || day == cfg.Days {
+			point := AuditPoint{Day: day}
+			for _, e := range grantOrder {
+				rep, _, err := e.Audit(1)
+				if err != nil {
+					return nil, err
+				}
+				res.Audits++
+				res.AuditViolations += len(rep.Violations)
+				point.Corpora++
+				point.Violations += len(rep.Violations)
+			}
+			res.Timeline = append(res.Timeline, point)
+		}
+	}
+
+	// Final per-corpus reports.
+	for _, e := range grantOrder {
+		rep, aud, err := e.Audit(1)
+		if err != nil {
+			return nil, err
+		}
+		res.Distributors = append(res.Distributors, DistributorReport{
+			Name:       e.Name(),
+			Content:    e.Corpus().License(0).Content,
+			Licenses:   e.Corpus().Len(),
+			Groups:     aud.Grouping().NumGroups(),
+			Stats:      e.Stats(),
+			Gain:       aud.Gain(),
+			Violations: len(rep.Violations),
+		})
+	}
+	return res, nil
+}
+
+// delegate issues a sub-redistribution license from a parent corpus: a
+// shrunken window of a random parent license with a slice of the
+// remaining budget.
+func delegate(rng *rand.Rand, parent *engine.Distributor) (*license.License, error) {
+	rect, ok := usageRect(rng, parent)
+	if !ok {
+		return nil, fmt.Errorf("simulate: no delegable window")
+	}
+	return parent.Issue(license.Redistribution, rect, 500+int64(rng.Intn(1000)))
+}
+
+// usageRect samples a rectangle inside a random license of the corpus:
+// a sub-period and a leaf region.
+func usageRect(rng *rand.Rand, e *engine.Distributor) (geometry.Rect, bool) {
+	c := e.Corpus()
+	if c.Len() == 0 {
+		return geometry.Rect{}, false
+	}
+	l := c.License(rng.Intn(c.Len()))
+	iv := l.Rect.Value(0).Interval()
+	lo := iv.Lo + rng.Int63n(iv.Hi-iv.Lo+1)
+	hi := lo + rng.Int63n(iv.Hi-lo+1)
+	leaves := l.Rect.Value(1).Set().Elems()
+	set := l.Rect.Value(1).Set().Clone()
+	// Shrink to a single leaf region, like real usage licenses.
+	keep := leaves[rng.Intn(len(leaves))]
+	for _, e := range leaves {
+		if e != keep {
+			set.Remove(e)
+		}
+	}
+	return geometry.MustRect(l.Rect.Schema(),
+		geometry.IntervalValue(interval.New(lo, hi)),
+		geometry.SetValue(set)), true
+}

@@ -1,0 +1,66 @@
+package vtree
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/logstore"
+)
+
+// snapshotHeader versions the snapshot format and records N so Load can
+// rebuild the tree without external context.
+type snapshotHeader struct {
+	Version int `json:"version"`
+	N       int `json:"n"`
+}
+
+const snapshotVersion = 1
+
+// Save writes a snapshot of the tree to w: a JSON header line followed by
+// the tree's compacted records as JSON lines. Snapshots are canonical —
+// two equal trees produce identical snapshots.
+func (t *Tree) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{Version: snapshotVersion, N: t.n}); err != nil {
+		return fmt.Errorf("vtree: save header: %w", err)
+	}
+	for _, r := range t.Records() {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("vtree: save record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("vtree: save flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save and rebuilds the tree.
+func Load(r io.Reader) (*Tree, error) {
+	dec := json.NewDecoder(r)
+	var h snapshotHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("vtree: load header: %w", err)
+	}
+	if h.Version != snapshotVersion {
+		return nil, fmt.Errorf("vtree: unsupported snapshot version %d", h.Version)
+	}
+	t, err := New(h.N)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var rec logstore.Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return t, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("vtree: load record: %w", err)
+		}
+		if err := t.Insert(rec.Set, rec.Count); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/overlap"
+	"repro/internal/vtree"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := Config{N: 10}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims != 4 || c.Groups != 1 || c.RecordsPerLicense != 630 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.AggregateLo != 5000 || c.AggregateHi != 20000 || c.CountLo != 10 || c.CountHi != 30 {
+		t.Errorf("paper ranges not defaulted: %+v", c)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	bad := []Config{
+		{N: 0},
+		{N: 65},
+		{N: 5, Dims: -1},
+		{N: 5, AggregateLo: 100, AggregateHi: 50},
+		{N: 5, CountLo: 30, CountHi: 10},
+	}
+	for i, c := range bad {
+		if err := c.Normalize(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNormalizeClampsGroups(t *testing.T) {
+	c := Config{N: 3, Groups: 10}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Groups != 3 {
+		t.Errorf("Groups = %d, want 3", c.Groups)
+	}
+}
+
+func TestPaperGroupCurve(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		g := PaperGroupCurve(n)
+		if g < 1 || g > 5 || g > n {
+			t.Errorf("PaperGroupCurve(%d) = %d out of range", n, g)
+		}
+	}
+	if PaperGroupCurve(1) != 1 || PaperGroupCurve(2) != 1 {
+		t.Error("smallest corpora must have 1 group")
+	}
+	// The curve must actually fluctuate (fig 6 shows rises and falls).
+	rises, falls := false, false
+	for n := 3; n <= 35; n++ {
+		d := PaperGroupCurve(n) - PaperGroupCurve(n-1)
+		if d > 0 {
+			rises = true
+		}
+		if d < 0 {
+			falls = true
+		}
+	}
+	if !rises || !falls {
+		t.Errorf("curve must rise and fall: rises=%v falls=%v", rises, falls)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 8, Groups: 3, Seed: 42, RecordsPerLicense: 50}
+	w1 := MustGenerate(cfg)
+	w2 := MustGenerate(cfg)
+	if len(w1.Records) != len(w2.Records) {
+		t.Fatal("record counts differ across identical configs")
+	}
+	for i := range w1.Records {
+		if w1.Records[i] != w2.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	for i := 0; i < w1.Corpus.Len(); i++ {
+		// Rects live on distinct (but identical) schemas, so compare by
+		// rendered value.
+		if w1.Corpus.License(i).Rect.String() != w2.Corpus.License(i).Rect.String() {
+			t.Fatalf("license %d rect differs", i)
+		}
+		if w1.Corpus.License(i).Aggregate != w2.Corpus.License(i).Aggregate {
+			t.Fatalf("license %d aggregate differs", i)
+		}
+	}
+}
+
+func TestGeneratePlantedGroupsRecovered(t *testing.T) {
+	// The overlap machinery must rediscover exactly the planted partition.
+	for _, cfg := range []Config{
+		{N: 1, Groups: 1, Seed: 7, RecordsPerLicense: 10},
+		{N: 6, Groups: 2, Seed: 7, RecordsPerLicense: 20},
+		{N: 12, Groups: 4, Seed: 9, RecordsPerLicense: 20},
+		{N: 20, Groups: 5, Seed: 11, RecordsPerLicense: 10},
+	} {
+		w := MustGenerate(cfg)
+		gr := overlap.GroupsOf(w.Corpus)
+		if gr.NumGroups() != w.Config.Groups {
+			t.Errorf("N=%d: found %d groups, planted %d", cfg.N, gr.NumGroups(), w.Config.Groups)
+			continue
+		}
+		// Same-planted ⇔ same-found.
+		for i := 0; i < cfg.N; i++ {
+			for j := i + 1; j < cfg.N; j++ {
+				samePlanted := w.PlantedGroups[i] == w.PlantedGroups[j]
+				sameFound := gr.GroupOf(i) == gr.GroupOf(j)
+				if samePlanted != sameFound {
+					t.Errorf("N=%d: licenses %d,%d planted-same=%v found-same=%v",
+						cfg.N, i, j, samePlanted, sameFound)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateParameterRanges(t *testing.T) {
+	w := MustGenerate(Config{N: 10, Groups: 3, Seed: 3, RecordsPerLicense: 100})
+	if got := len(w.Records); got != 1000 {
+		t.Errorf("records = %d, want 1000", got)
+	}
+	for i := 0; i < w.Corpus.Len(); i++ {
+		a := w.Corpus.License(i).Aggregate
+		if a < 5000 || a > 20000 {
+			t.Errorf("aggregate %d outside [5000,20000]", a)
+		}
+	}
+	for _, r := range w.Records {
+		if r.Count < 10 || r.Count > 30 {
+			t.Errorf("count %d outside [10,30]", r.Count)
+		}
+		if r.Set.Empty() {
+			t.Error("empty belongs-to set logged")
+		}
+	}
+}
+
+func TestGenerateRecordsStayWithinGroups(t *testing.T) {
+	// Corollary 1.1 must hold by construction: no record's set spans two
+	// planted groups — otherwise tree division would be impossible.
+	w := MustGenerate(Config{N: 15, Groups: 4, Seed: 5, RecordsPerLicense: 200})
+	for _, r := range w.Records {
+		g := -1
+		ok := true
+		r.Set.ForEach(func(j int) bool {
+			if g == -1 {
+				g = w.PlantedGroups[j]
+			} else if w.PlantedGroups[j] != g {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("record %v spans groups", r.Set)
+		}
+	}
+}
+
+func TestGeneratedWorkloadAuditsCleanly(t *testing.T) {
+	// End-to-end: generated logs must divide and validate without error,
+	// and grouped validation must agree with full validation.
+	w := MustGenerate(Config{N: 10, Groups: 3, Seed: 13, RecordsPerLicense: 60})
+	aud, err := core.NewAuditor(w.Corpus, w.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := aud.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := vtree.BuildRecords(w.Corpus.Len(), w.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := full.ValidateAll(w.Corpus.Aggregates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violations can legitimately occur (the generator doesn't enforce
+	// budgets); what must match is the verdict and the within-group sets.
+	if rep.OK() != fullRes.OK() {
+		t.Errorf("grouped OK=%v, full OK=%v", rep.OK(), fullRes.OK())
+	}
+}
+
+func TestStorePanicsOnlyOnBug(t *testing.T) {
+	w := MustGenerate(Config{N: 4, Groups: 2, Seed: 21, RecordsPerLicense: 10})
+	s := w.Store()
+	if s.Len() != len(w.Records) {
+		t.Errorf("store has %d records, want %d", s.Len(), len(w.Records))
+	}
+}
+
+func TestRequestsIsACopy(t *testing.T) {
+	w := MustGenerate(Config{N: 4, Groups: 1, Seed: 2, RecordsPerLicense: 10})
+	req := w.Requests()
+	req[0].Count = 999999
+	if w.Records[0].Count == 999999 {
+		t.Error("Requests aliases Records")
+	}
+}
+
+func TestGenerateQuickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{
+			N:                 1 + int(seed%16&15),
+			Groups:            1 + int((seed>>4)%5),
+			Seed:              seed,
+			RecordsPerLicense: 20,
+		}
+		if cfg.N < 1 {
+			cfg.N = 1
+		}
+		w, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		gr := overlap.GroupsOf(w.Corpus)
+		if gr.Validate() != nil {
+			return false
+		}
+		// w.Config echoes the normalized (clamped) configuration.
+		return gr.NumGroups() == w.Config.Groups
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewValidation(t *testing.T) {
+	c := Config{N: 5, Skew: 0.5}
+	if err := c.Normalize(); err == nil {
+		t.Error("Skew in (0,1] accepted")
+	}
+	c = Config{N: 5, Skew: 1.2}
+	if err := c.Normalize(); err != nil {
+		t.Errorf("valid Skew rejected: %v", err)
+	}
+}
+
+func TestSkewConcentratesIssuance(t *testing.T) {
+	uniform := MustGenerate(Config{N: 12, Groups: 3, Seed: 9, RecordsPerLicense: 100})
+	skewed := MustGenerate(Config{N: 12, Groups: 3, Seed: 9, RecordsPerLicense: 100, Skew: 2.0})
+
+	// Measure concentration: fraction of records whose belongs-to set
+	// includes the single most frequent license.
+	top := func(w *Workload) float64 {
+		freq := make([]int, w.Corpus.Len())
+		for _, r := range w.Records {
+			r.Set.ForEach(func(j int) bool { freq[j]++; return true })
+		}
+		max := 0
+		for _, f := range freq {
+			if f > max {
+				max = f
+			}
+		}
+		return float64(max) / float64(len(w.Records))
+	}
+	u, s := top(uniform), top(skewed)
+	if s <= u {
+		t.Errorf("skewed concentration %.2f not above uniform %.2f", s, u)
+	}
+	// Structure invariants hold regardless of skew.
+	gr := overlap.GroupsOf(skewed.Corpus)
+	if gr.NumGroups() != 3 {
+		t.Errorf("groups = %d, want 3", gr.NumGroups())
+	}
+	for _, r := range skewed.Records {
+		if r.Set.Empty() {
+			t.Fatal("empty set under skew")
+		}
+	}
+}
