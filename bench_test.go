@@ -16,10 +16,12 @@
 //
 // Ablations:
 //
-//	BenchmarkAblationTraversal — validation-tree pruned walk vs direct log
-//	                             scan vs sum-over-subsets DP
-//	BenchmarkAblationParallel  — serial vs parallel per-group validation
-//	BenchmarkAblationGrouping  — Algorithm 3 DFS vs incremental union-find
+//	BenchmarkAblationTraversal     — validation-tree pruned walk vs direct log
+//	                                 scan vs sum-over-subsets DP
+//	BenchmarkAblationParallel      — serial vs parallel per-group validation
+//	BenchmarkAblationIntraGroup    — mask-sharded single-group validation
+//	BenchmarkAblationFlatSumSubsets — pointer tree vs flattened SoA layout
+//	BenchmarkAblationGrouping      — Algorithm 3 DFS vs incremental union-find
 package drm_test
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"math/rand"
 	"repro/internal/baseline"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/geometry"
 	"repro/internal/interval"
@@ -293,6 +296,62 @@ func BenchmarkAblationParallel(b *testing.B) {
 			if _, err := core.ValidateParallel(trees, 4); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkAblationIntraGroup measures intra-group sharded validation on a
+// single-group corpus — the regime where per-group parallelism (above) is
+// useless because there is nothing to fan out over. The mask space of the
+// one group's 2^N−1 equations is split into contiguous shards across
+// workers; the report is byte-identical at every setting (asserted by the
+// property tests in internal/core). Speed-ups materialise only with real
+// cores: on a single-CPU machine all worker counts time alike.
+func BenchmarkAblationIntraGroup(b *testing.B) {
+	ns := []int{20, 22, 24, 26}
+	if testing.Short() {
+		ns = []int{20}
+	}
+	for _, n := range ns {
+		cfg := workload.Default(n)
+		cfg.Groups = 1
+		cfg.RecordsPerLicense = 50 // the cost under study is per-equation, not replay
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trees, err := core.Divide(benchTree(b, w).Clone(), overlap.GroupsOf(w.Corpus), w.Corpus.Aggregates())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("N=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ValidateParallel(trees, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationFlatSumSubsets compares one C⟨S⟩ evaluation on the
+// pointer tree against the flattened SoA layout backing the sharded
+// validator (sums are bit-identical; only memory traversal differs).
+func BenchmarkAblationFlatSumSubsets(b *testing.B) {
+	w := benchWorkload(b, 20)
+	tree := benchTree(b, w)
+	flat := tree.Flatten()
+	full := bitset.FullMask(20)
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.SumSubsets(full)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flat.SumSubsets(full)
 		}
 	})
 }

@@ -7,9 +7,13 @@
 //	drmaudit -corpus corpus.json -log log.jsonl [-workers 4] [-compare]
 //
 // It prints the grouping, the theoretical gain, per-stage timings, and any
-// violated validation equations. With -compare it also runs the original
-// undivided validator and reports the measured speed-up (refusing when N
-// exceeds -max-original). The exit status is 2 when violations are found.
+// violated validation equations. -workers (default: all CPUs) bounds the
+// audit's parallelism with a two-level budget — across groups and across
+// contiguous mask shards inside each group — so even a single dominant
+// group uses every core; the report is identical at any setting. With
+// -compare it also runs the original undivided validator and reports the
+// measured speed-up (refusing when N exceeds -max-original). The exit
+// status is 2 when violations are found.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -43,9 +48,10 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("drmaudit", flag.ContinueOnError)
 	var (
-		corpusPath  = fs.String("corpus", "corpus.json", "corpus document path")
-		logPath     = fs.String("log", "log.jsonl", "issuance log path")
-		workers     = fs.Int("workers", 1, "parallel group validations")
+		corpusPath = fs.String("corpus", "corpus.json", "corpus document path")
+		logPath    = fs.String("log", "log.jsonl", "issuance log path")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0),
+			"validation parallelism: groups × intra-group mask shards (default: all CPUs; 1 = the paper's serial algorithm)")
 		compare     = fs.Bool("compare", false, "also run the undivided 2^N-1 equation validator")
 		maxOriginal = fs.Int("max-original", 24, "largest N for which -compare is allowed")
 		explain     = fs.Bool("explain", false, "decompose each violated equation into contributions and budgets")

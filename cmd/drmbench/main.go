@@ -13,6 +13,9 @@
 //	8  theoretical (eq 3) vs experimental gain
 //	9  single-record insertion time vs tree-division time
 //	10 storage: original tree vs divided trees
+//	11 issuance-policy loss extension
+//	12 intra-group sharding ablation: serial vs sharded single-group V_T
+//	   (-workers bounds the shard budget; default: all CPUs)
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 )
@@ -34,12 +38,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("drmbench", flag.ContinueOnError)
 	var (
-		fig         = fs.Int("fig", 0, "figure to regenerate (6..10, 11 = policy-loss extension; 0 = all)")
+		fig         = fs.Int("fig", 0, "figure to regenerate (6..10, 11 = policy-loss extension, 12 = intra-group sharding ablation; 0 = all)")
 		maxN        = fs.Int("max", 35, "largest N in the sweep")
 		maxOriginal = fs.Int("max-original", bench.DefaultMaxOriginalN,
 			"largest N at which the undivided validator runs (2^N equations)")
-		seed   = fs.Int64("seed", 1, "workload seed")
-		format = fs.String("format", "table", "output format: table or csv")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		format  = fs.String("format", "table", "output format: table or csv")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0),
+			"worker budget for the fig 12 sharded runs (groups × intra-group mask shards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -196,8 +202,40 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out)
 		}
 	}
+	if want(12) {
+		ran = true
+		if !csvOut {
+			fmt.Fprintln(out, "== Ablation: intra-group sharded validation (fig 12) ==")
+		}
+		// Sharding pays off only once a group's 2^N−1 equations dominate,
+		// so a sparse sweep over larger N tells the story; tiny N rows
+		// would only measure goroutine overhead.
+		var sns []int
+		for _, n := range []int{8, 12, 16, 18, 20} {
+			if n <= *maxN {
+				sns = append(sns, n)
+			}
+		}
+		if len(sns) == 0 {
+			sns = ns
+		}
+		rows, err := bench.IntraGroup(sns, *workers, *seed)
+		if err != nil {
+			return err
+		}
+		write := bench.WriteIntraGroup
+		if csvOut {
+			write = bench.WriteIntraGroupCSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %d (valid: 6..11, 0 for all; 11 = policy-loss extension)", *fig)
+		return fmt.Errorf("unknown figure %d (valid: 6..12, 0 for all; 11 = policy-loss extension, 12 = sharding ablation)", *fig)
 	}
 	return nil
 }

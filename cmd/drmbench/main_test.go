@@ -26,7 +26,7 @@ func TestRunAllFiguresTinySweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10", "policy"} {
+	for _, want := range []string{"Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10", "policy", "intra-group"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q", want)
 		}
@@ -75,6 +75,24 @@ func TestRunCSVFig9(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "n,records,insert_per_record_ns,") {
+		t.Errorf("csv output = %q", out.String())
+	}
+}
+
+func TestRunFig12(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "12", "-max", "12", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "intra-group") || !strings.Contains(s, "speed-up") {
+		t.Errorf("output = %q", s)
+	}
+	out.Reset()
+	if err := run([]string{"-fig", "12", "-max", "10", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "n,equations,serial_ns,sharded_ns,workers,speedup\n") {
 		t.Errorf("csv output = %q", out.String())
 	}
 }

@@ -9,16 +9,18 @@ import (
 )
 
 // catalogServer is the multi-content mode: every catalog entry is served
-// at /v1/c/{content}/{perm}/..., plus a listing endpoint. One mutex covers
-// the whole catalog (entries share log files only per entry, but the
-// simplicity is worth more than per-entry locking at this scale).
+// at /v1/c/{content}/{perm}/..., plus a listing endpoint. One RWMutex
+// covers the whole catalog (entries share log files only per entry, but
+// the simplicity is worth more than per-entry locking at this scale);
+// read-only endpoints across different entries proceed concurrently.
 type catalogServer struct {
-	mu  sync.Mutex
-	cat *catalog.Catalog
+	mu      sync.RWMutex
+	cat     *catalog.Catalog
+	workers int
 }
 
-func newCatalogServer(cat *catalog.Catalog) *catalogServer {
-	return &catalogServer{cat: cat}
+func newCatalogServer(cat *catalog.Catalog, workers int) *catalogServer {
+	return &catalogServer{cat: cat, workers: workers}
 }
 
 func (s *catalogServer) routes() http.Handler {
@@ -39,16 +41,16 @@ func (s *catalogServer) entry(h func(corpusAPI, http.ResponseWriter, *http.Reque
 	return func(w http.ResponseWriter, r *http.Request) {
 		content := r.PathValue("content")
 		perm := license.Permission(r.PathValue("perm"))
-		s.mu.Lock()
+		s.mu.RLock()
 		e := s.cat.Get(content, perm)
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		if e == nil {
 			writeJSON(w, http.StatusNotFound, errorBody{
 				Error: "no corpus for (" + content + ", " + string(perm) + ")",
 			})
 			return
 		}
-		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist}, w, r)
+		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist, workers: s.workers}, w, r)
 	}
 }
 
@@ -65,7 +67,7 @@ type contentEntry struct {
 }
 
 func (s *catalogServer) handleContents(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	var body contentsBody
 	for _, e := range s.cat.Entries() {
 		body.Contents = append(body.Contents, contentEntry{
@@ -76,6 +78,6 @@ func (s *catalogServer) handleContents(w http.ResponseWriter, r *http.Request) {
 			LogRecords: e.Log.Len(),
 		})
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)
 }

@@ -33,7 +33,7 @@ func newCatalogTestServer(t *testing.T) (*httptest.Server, *license.Example1) {
 	if _, err := cat.Add(other); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newCatalogServer(cat).routes())
+	ts := httptest.NewServer(newCatalogServer(cat, 2).routes())
 	t.Cleanup(ts.Close)
 	return ts, ex
 }

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -64,10 +65,15 @@ func run() error {
 		catalogPath = flag.String("catalog", "", "catalog directory (multi-content mode; overrides -corpus/-log)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		mode        = flag.String("mode", "online", "validation mode: online or offline")
-		signed      = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
-		issuerKey   = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"audit parallelism: groups × intra-group shards (default: all CPUs)")
+		signed    = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
+		issuerKey = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		return fmt.Errorf("workers = %d, want >= 1", *workers)
+	}
 
 	var m engine.Mode
 	switch *mode {
@@ -85,7 +91,7 @@ func run() error {
 			return err
 		}
 		defer cat.Close()
-		srv := newCatalogServer(cat)
+		srv := newCatalogServer(cat, *workers)
 		log.Printf("drmserver: catalog %s with %d entries, mode %s, listening on %s",
 			*catalogPath, cat.Len(), m, *addr)
 		return serve(*addr, srv.routes())
@@ -126,7 +132,7 @@ func run() error {
 	}
 	defer store.Close()
 
-	srv, err := newServer(corpus, store, m)
+	srv, err := newServer(corpus, store, m, *workers)
 	if err != nil {
 		return err
 	}
@@ -157,13 +163,18 @@ func serve(addr string, handler http.Handler) error {
 	}
 }
 
-// corpusAPI serves one (content, permission) corpus. A single mutex
-// serialises issuance and audit: Distributor is not concurrency-safe. In
-// catalog mode all entries share the catalog's mutex.
+// corpusAPI serves one (content, permission) corpus. A reader/writer lock
+// guards the Distributor: issuance mutates (log append, online tree
+// insert) and takes the write lock; the read-only endpoints — corpus,
+// groups, stats, audit — share a read lock, so concurrent validations and
+// report fetches no longer serialise behind each other. The log store is
+// internally synchronised for the concurrent-flush this allows. In
+// catalog mode all entries share the catalog's lock.
 type corpusAPI struct {
-	mu     *sync.Mutex
-	corpus *license.Corpus
-	dist   *engine.Distributor
+	mu      *sync.RWMutex
+	corpus  *license.Corpus
+	dist    *engine.Distributor
+	workers int
 }
 
 // server is the single-corpus mode: one corpusAPI at fixed routes.
@@ -171,7 +182,7 @@ type server struct {
 	api corpusAPI
 }
 
-func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode) (*server, error) {
+func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode, workers int) (*server, error) {
 	d := engine.NewDistributor("drmserver", corpus.Schema(), mode, store)
 	for _, l := range corpus.Licenses() {
 		cp := *l
@@ -179,7 +190,7 @@ func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode) (
 			return nil, err
 		}
 	}
-	return &server{api: corpusAPI{mu: &sync.Mutex{}, corpus: corpus, dist: d}}, nil
+	return &server{api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers}}, nil
 }
 
 func (s *server) routes() http.Handler {
@@ -210,8 +221,8 @@ type errorBody struct {
 }
 
 func (s corpusAPI) handleCorpus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := license.EncodeCorpus(w, s.corpus); err != nil {
 		log.Printf("drmserver: encoding corpus: %v", err)
@@ -224,8 +235,8 @@ type groupsBody struct {
 }
 
 func (s corpusAPI) handleGroups(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	gr := overlap.GroupsOf(s.corpus)
 	body := groupsBody{Gain: core.Gain(gr)}
 	for _, g := range gr.Groups {
@@ -304,17 +315,17 @@ type statsResponse struct {
 }
 
 func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	st := s.dist.Stats()
 	body := statsResponse{
 		Licenses:          s.corpus.Len(),
-		Groups:            s.dist.NumGroups(),
+		Groups:            s.dist.NumGroups(), // read-only on the union-find
 		Issued:            st.Issued,
 		IssuedCounts:      st.IssuedCounts,
 		RejectedInstance:  st.RejectedInstance,
 		RejectedAggregate: st.RejectedAggregate,
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -327,9 +338,11 @@ type auditResponse struct {
 }
 
 func (s corpusAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	rep, aud, err := s.dist.Audit(1)
-	s.mu.Unlock()
+	// Auditing builds its own tree from corpus + log and mutates neither,
+	// so concurrent audits (and other reads) proceed in parallel.
+	s.mu.RLock()
+	rep, aud, err := s.dist.Audit(s.workers)
+	s.mu.RUnlock()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
@@ -23,7 +24,7 @@ func newTestServer(t *testing.T, mode engine.Mode) (*httptest.Server, *license.E
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv, err := newServer(ex.Corpus, store, mode)
+	srv, err := newServer(ex.Corpus, store, mode, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,4 +242,49 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Licenses != 5 || st.Groups != 2 || st.Issued != 1 || st.IssuedCounts != 500 {
 		t.Errorf("stats = %+v", st)
 	}
+}
+
+// TestConcurrentReadsAndIssues hammers the read-locked endpoints (corpus,
+// groups, stats, audit) while issuances take the write lock, so the race
+// detector can vet the RWMutex discipline end to end.
+func TestConcurrentReadsAndIssues(t *testing.T) {
+	ts, ex := newTestServer(t, engine.ModeOffline)
+	var wg sync.WaitGroup
+	paths := []string{"/v1/corpus", "/v1/groups", "/v1/stats", "/v1/audit"}
+	for _, p := range paths {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				for j := 0; j < 5; j++ {
+					resp, err := http.Get(ts.URL + p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: status %d", p, resp.StatusCode)
+					}
+				}
+			}(p)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := issueRequest{Values: usageValues(ex), Count: 1}
+			for j := 0; j < 5; j++ {
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/issue", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -288,6 +288,80 @@ func Fig9(ns []int, seed int64) ([]Fig9Row, error) {
 	return rows, nil
 }
 
+// IntraGroupRow is one point of the intra-group sharding ablation (fig 12):
+// a single-group corpus validated serially versus with the mask space
+// sharded across workers. Group division cannot help here — there is only
+// one group — so any speed-up is attributable to FlatTree.ValidateAllSharded.
+type IntraGroupRow struct {
+	N int
+	// Equations is 2^N−1, the single group's equation count.
+	Equations int64
+	// Serial is V_T with one worker (the paper's algorithm over the flat
+	// layout).
+	Serial time.Duration
+	// Sharded is V_T with the mask space split across Workers shards.
+	Sharded time.Duration
+	// Workers is the worker budget the sharded run used.
+	Workers int
+	// Speedup is Serial / Sharded. It approaches the core count when
+	// shards run truly in parallel and ~1.0 on a single-CPU machine (the
+	// report is identical either way).
+	Speedup float64
+}
+
+// IntraGroup sweeps N on single-group workloads, timing serial versus
+// sharded validation with the given worker budget.
+func IntraGroup(ns []int, workers int, seed int64) ([]IntraGroupRow, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	rows := make([]IntraGroupRow, 0, len(ns))
+	for _, n := range ns {
+		cfg := workload.Default(n)
+		cfg.Seed = seed
+		cfg.Groups = 1
+		// The cost under study is per-equation validation, not log replay;
+		// a light log keeps the sweep fast without changing the equation
+		// count.
+		cfg.RecordsPerLicense = 50
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := vtree.BuildRecords(n, w.Records)
+		if err != nil {
+			return nil, err
+		}
+		trees, err := core.Divide(tree, overlap.GroupsOf(w.Corpus), w.Corpus.Aggregates())
+		if err != nil {
+			return nil, err
+		}
+		row := IntraGroupRow{N: n, Workers: workers}
+		var rep core.Report
+		row.Serial, err = minTime(validationRepeats, func() error {
+			r, err := core.ValidateParallel(trees, 1)
+			rep = r
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Equations = rep.Equations
+		row.Sharded, err = minTime(validationRepeats, func() error {
+			_, err := core.ValidateParallel(trees, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if row.Sharded > 0 {
+			row.Speedup = float64(row.Serial) / float64(row.Sharded)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // Fig10Row is one point of "Storage space complexity" (fig 10): bytes and
 // nodes of the original tree versus the sum over divided trees.
 type Fig10Row struct {

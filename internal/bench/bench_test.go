@@ -99,6 +99,37 @@ func TestFig9RatioIsSmall(t *testing.T) {
 	}
 }
 
+func TestIntraGroupShapes(t *testing.T) {
+	rows, err := IntraGroup([]int{8, 12}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if want := int64(1)<<uint(r.N) - 1; r.Equations != want {
+			t.Errorf("N=%d: equations = %d, want %d (single group)", r.N, r.Equations, want)
+		}
+		if r.Workers != 4 {
+			t.Errorf("N=%d: workers = %d", r.N, r.Workers)
+		}
+		if r.Serial <= 0 || r.Sharded <= 0 || r.Speedup <= 0 {
+			t.Errorf("N=%d: non-positive timings: %+v", r.N, r)
+		}
+	}
+}
+
+func TestIntraGroupClampsWorkers(t *testing.T) {
+	rows, err := IntraGroup([]int{6}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Workers != 1 {
+		t.Errorf("workers = %d, want clamped to 1", rows[0].Workers)
+	}
+}
+
 func TestFig10StorageUnchanged(t *testing.T) {
 	rows, err := Fig10(smallNs(), 1)
 	if err != nil {
@@ -160,6 +191,15 @@ func TestWriters(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "divided nodes") {
 		t.Errorf("fig10 rendering: %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteIntraGroup(&buf, []IntraGroupRow{
+		{N: 16, Equations: 65535, Serial: 4 * time.Millisecond, Sharded: time.Millisecond, Workers: 4, Speedup: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4.00x") || !strings.Contains(buf.String(), "65535") {
+		t.Errorf("intra-group rendering: %q", buf.String())
 	}
 }
 
@@ -236,5 +276,15 @@ func TestCSVWriters(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "2,10,9,8,7,6") {
 		t.Errorf("policies csv = %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteIntraGroupCSV(&buf, []IntraGroupRow{
+		{N: 16, Equations: 65535, Serial: 4000, Sharded: 1000, Workers: 4, Speedup: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want2 := "n,equations,serial_ns,sharded_ns,workers,speedup\n16,65535,4000,1000,4,4.0000\n"
+	if buf.String() != want2 {
+		t.Errorf("intra-group csv = %q, want %q", buf.String(), want2)
 	}
 }

@@ -91,6 +91,17 @@ func WriteFig10(w io.Writer, rows []Fig10Row) error {
 	return tw.Flush()
 }
 
+// WriteIntraGroup renders fig 12 rows: serial vs sharded single-group V_T.
+func WriteIntraGroup(w io.Writer, rows []IntraGroupRow) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "N\tequations\tserial V_T\tsharded V_T\tworkers\tspeed-up\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%d\t%.2fx\t\n",
+			r.N, r.Equations, fmtDur(r.Serial), fmtDur(r.Sharded), r.Workers, r.Speedup)
+	}
+	return tw.Flush()
+}
+
 // csvWriter emits one experiment as RFC-4180 CSV via encoding/csv, for
 // plotting pipelines (drmbench -format csv).
 func csvWriter(w io.Writer, header []string, rows [][]string) error {
@@ -175,6 +186,22 @@ func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
 		}
 	}
 	return csvWriter(w, []string{"n", "original_nodes", "divided_nodes", "original_bytes", "divided_bytes"}, out)
+}
+
+// WriteIntraGroupCSV renders fig 12 rows as CSV (times in nanoseconds).
+func WriteIntraGroupCSV(w io.Writer, rows []IntraGroupRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.N),
+			strconv.FormatInt(r.Equations, 10),
+			strconv.FormatInt(r.Serial.Nanoseconds(), 10),
+			strconv.FormatInt(r.Sharded.Nanoseconds(), 10),
+			strconv.Itoa(r.Workers),
+			strconv.FormatFloat(r.Speedup, 'f', 4, 64),
+		}
+	}
+	return csvWriter(w, []string{"n", "equations", "serial_ns", "sharded_ns", "workers", "speedup"}, out)
 }
 
 // WritePoliciesCSV renders the policy experiment as CSV.

@@ -19,8 +19,10 @@ type Auditor struct {
 	grouping overlap.Grouping
 	trees    []*GroupTree
 
-	// Workers bounds validation parallelism; 1 (the default) reproduces
-	// the paper's serial algorithm exactly.
+	// Workers bounds validation parallelism with a two-level budget —
+	// across groups and across mask shards inside each group (see
+	// ValidateParallel). 1 (the default) reproduces the paper's serial
+	// algorithm exactly; any setting produces the identical report.
 	Workers int
 
 	timings Timings
@@ -92,13 +94,11 @@ func (a *Auditor) Timings() Timings { return a.timings }
 // Audit runs the grouped validation and returns the merged report.
 func (a *Auditor) Audit() (Report, error) {
 	start := time.Now()
-	var rep Report
-	var err error
-	if a.Workers > 1 {
-		rep, err = ValidateParallel(a.trees, a.Workers)
-	} else {
-		rep, err = Validate(a.trees)
+	workers := a.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	rep, err := ValidateParallel(a.trees, workers)
 	a.timings.Validation = time.Since(start)
 	return rep, err
 }

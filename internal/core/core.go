@@ -11,9 +11,10 @@
 //     claim);
 //  3. rewrite node indexes to dense group-local indexes and derive the
 //     per-group aggregate arrays A_k (Algorithm 5);
-//  4. validate each group tree independently with the unmodified
-//     Algorithm 2 (vtree.ValidateAll), optionally in parallel, and map the
-//     violated sets back to global corpus indexes.
+//  4. validate each group tree independently with Algorithm 2 over a
+//     flattened snapshot (vtree.FlatTree.ValidateAllSharded) — optionally
+//     in parallel across groups and across mask shards within a group —
+//     and map the violated sets back to global corpus indexes.
 //
 // Soundness rests on Theorems 1–2: cross-group sets always have zero
 // counts, so every equation spanning ≥2 groups is implied by the per-group
@@ -45,7 +46,24 @@ type GroupTree struct {
 	// localToGlobal maps local index p to the global corpus index
 	// (the inverse of the paper's position_k array).
 	localToGlobal []int
+	// flat caches the flattened snapshot of Tree for the duration of one
+	// audit; it is dropped whenever Tree mutates (see invalidateFlat).
+	flat *vtree.FlatTree
 }
+
+// Flat returns the flattened structure-of-arrays snapshot of the group
+// tree, building it on first use. The first call after a mutation is not
+// safe for concurrent use — Validate/ValidateParallel flatten every group
+// up front, before fanning out, so workers only ever read the cache.
+func (gt *GroupTree) Flat() *vtree.FlatTree {
+	if gt.flat == nil {
+		gt.flat = gt.Tree.Flatten()
+	}
+	return gt.flat
+}
+
+// invalidateFlat drops the cached snapshot after Tree mutates.
+func (gt *GroupTree) invalidateFlat() { gt.flat = nil }
 
 // ToGlobal translates a local-index mask from this group's tree back into
 // global corpus indexes.
@@ -160,46 +178,105 @@ type Report struct {
 func (r Report) OK() bool { return len(r.Violations) == 0 }
 
 // Validate runs Algorithm 2 on every group tree serially and merges the
-// results, mapping violated sets back to global indexes.
+// results, mapping violated sets back to global indexes. The evaluation
+// itself goes through the flat-tree backend; reports are identical to the
+// pointer-tree walk (property-tested).
 func Validate(trees []*GroupTree) (Report, error) {
-	results := make([]vtree.Result, len(trees))
-	for k, gt := range trees {
-		res, err := gt.Tree.ValidateAll(gt.Aggregates)
-		if err != nil {
-			return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
-		}
-		results[k] = res
-	}
-	return merge(trees, results), nil
+	return ValidateParallel(trees, 1)
 }
 
-// ValidateParallel runs the per-group validations on up to workers
-// goroutines. Groups are independent by construction (Theorem 2), so this
-// is an embarrassingly parallel variant of Validate; results are identical.
+// ValidateParallel runs the grouped validation on up to workers
+// goroutines with a two-level parallelism budget:
+//
+//   - across groups, min(workers, len(trees)) worker goroutines drain a
+//     group channel (groups are independent by Theorem 2);
+//   - within a group, the worker budget is split proportionally to each
+//     group's equation count (2^{N_k}−1) and the group's flat tree is
+//     evaluated with FlatTree.ValidateAllSharded over that many shards.
+//
+// The proportional split is what keeps the grouping win from collapsing:
+// with one dominant group the old per-group parallelism degenerated to a
+// single goroutine; now that group receives (nearly) the whole budget and
+// saturates all cores. Results are identical to Validate's.
 func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
 	if workers < 1 {
 		return Report{}, fmt.Errorf("core: workers = %d, want >= 1", workers)
 	}
+	// Flatten serially, once per audit, so the concurrent phase only reads.
+	for _, gt := range trees {
+		gt.Flat()
+	}
+	budgets := shardBudgets(trees, workers)
 	results := make([]vtree.Result, len(trees))
 	errs := make([]error, len(trees))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for k, gt := range trees {
-		wg.Add(1)
-		go func(k int, gt *GroupTree) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[k], errs[k] = gt.Tree.ValidateAll(gt.Aggregates)
-		}(k, gt)
+
+	groupWorkers := workers
+	if groupWorkers > len(trees) {
+		groupWorkers = len(trees)
 	}
-	wg.Wait()
+	if groupWorkers <= 1 {
+		for k, gt := range trees {
+			results[k], errs[k] = gt.Flat().ValidateAllSharded(gt.Aggregates, budgets[k])
+		}
+	} else {
+		groups := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < groupWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range groups {
+					gt := trees[k]
+					results[k], errs[k] = gt.Flat().ValidateAllSharded(gt.Aggregates, budgets[k])
+				}
+			}()
+		}
+		for k := range trees {
+			groups <- k
+		}
+		close(groups)
+		wg.Wait()
+	}
 	for k, err := range errs {
 		if err != nil {
 			return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
 		}
 	}
 	return merge(trees, results), nil
+}
+
+// shardBudgets splits the worker budget across groups proportionally to
+// their equation counts, with at least one shard each. Group k's share of
+// the 2^{N_k}−1 equations is computed in floating point so a 60-license
+// group does not overflow the weights.
+func shardBudgets(trees []*GroupTree, workers int) []int {
+	budgets := make([]int, len(trees))
+	for k := range budgets {
+		budgets[k] = 1
+	}
+	if workers <= 1 || len(trees) == 0 {
+		return budgets
+	}
+	weights := make([]float64, len(trees))
+	var total float64
+	for k, gt := range trees {
+		weights[k] = math.Pow(2, float64(gt.Tree.N())) - 1
+		total += weights[k]
+	}
+	if total <= 0 {
+		return budgets
+	}
+	for k := range budgets {
+		b := int(math.Round(float64(workers) * weights[k] / total))
+		if b < 1 {
+			b = 1
+		}
+		if b > workers {
+			b = workers
+		}
+		budgets[k] = b
+	}
+	return budgets
 }
 
 // merge lifts per-group results to a global report.

@@ -18,6 +18,11 @@ import (
 //   - records are routed straight into their group's tree (the group is
 //     determined by any member of the belongs-to set — Corollary 1.1
 //     guarantees all members agree), so an audit is always ready;
+//   - audits are dirty-group incremental: only groups that received
+//     records (or budget top-ups) since the last audit are revalidated,
+//     and clean groups reuse their cached vtree.Result — sound because
+//     groups are independent (Theorem 2), so nothing outside a group can
+//     change its equations' truth;
 //   - corpus growth is handled by Rebase, which regroups and re-divides
 //     using only the trees' compacted records, never the raw log.
 //
@@ -31,11 +36,21 @@ type IncrementalAuditor struct {
 	groupOf  []int
 	position []int
 	records  int
+
+	// Workers bounds the parallelism of one Audit (two-level: groups ×
+	// intra-group shards, exactly like ValidateParallel). 1, the default,
+	// validates serially.
+	Workers int
+
+	// dirty[k] marks group k as having changed since its cached result;
+	// cached[k] is valid iff !dirty[k].
+	dirty  []bool
+	cached []vtree.Result
 }
 
 // NewIncrementalAuditor prepares empty per-group trees for the corpus.
 func NewIncrementalAuditor(corpus *license.Corpus) (*IncrementalAuditor, error) {
-	ia := &IncrementalAuditor{corpus: corpus}
+	ia := &IncrementalAuditor{corpus: corpus, Workers: 1}
 	if err := ia.rebuild(nil); err != nil {
 		return nil, err
 	}
@@ -69,6 +84,11 @@ func (ia *IncrementalAuditor) rebuild(records []logstore.Record) error {
 		})
 		ia.trees = append(ia.trees, gt)
 	}
+	ia.dirty = make([]bool, len(ia.trees))
+	for k := range ia.dirty {
+		ia.dirty[k] = true // nothing cached yet
+	}
+	ia.cached = make([]vtree.Result, len(ia.trees))
 	ia.records = 0
 	for _, r := range records {
 		if err := ia.Append(r); err != nil {
@@ -108,6 +128,8 @@ func (ia *IncrementalAuditor) Append(r logstore.Record) error {
 	if err := ia.trees[k].Tree.Insert(local, r.Count); err != nil {
 		return err
 	}
+	ia.trees[k].invalidateFlat()
+	ia.dirty[k] = true
 	ia.records++
 	return nil
 }
@@ -124,16 +146,68 @@ func (ia *IncrementalAuditor) Trees() []*GroupTree { return ia.trees }
 // Gain returns eq. 3 for the current grouping.
 func (ia *IncrementalAuditor) Gain() float64 { return Gain(ia.grouping) }
 
-// Audit validates every group tree and merges the report (global masks).
-func (ia *IncrementalAuditor) Audit() (Report, error) { return Validate(ia.trees) }
+// DirtyGroups returns the indexes of groups that changed since their last
+// validation — the set the next Audit will actually revalidate.
+func (ia *IncrementalAuditor) DirtyGroups() []int {
+	var out []int
+	for k, d := range ia.dirty {
+		if d {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Audit validates the dirty group trees, reuses cached results for clean
+// ones, and merges the report (global masks). A fully clean auditor costs
+// only the merge; a fully dirty one costs the same as a batch Validate.
+// Workers bounds the parallelism across the dirty groups and their
+// intra-group shards.
+func (ia *IncrementalAuditor) Audit() (Report, error) {
+	var dirtyTrees []*GroupTree
+	var dirtyIdx []int
+	for k, gt := range ia.trees {
+		if ia.dirty[k] {
+			dirtyTrees = append(dirtyTrees, gt)
+			dirtyIdx = append(dirtyIdx, k)
+		}
+	}
+	if len(dirtyTrees) > 0 {
+		workers := ia.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		rep, err := ValidateParallel(dirtyTrees, workers)
+		if err != nil {
+			return Report{}, err
+		}
+		for i, k := range dirtyIdx {
+			ia.cached[k] = rep.PerGroup[i]
+			ia.dirty[k] = false
+		}
+	}
+	results := make([]vtree.Result, len(ia.trees))
+	copy(results, ia.cached)
+	return merge(ia.trees, results), nil
+}
 
 // AuditGroup validates a single group — the cheap path when only one
-// group received new records since the last audit.
+// group received new records since the last audit. A clean group returns
+// its cached result without re-walking the tree.
 func (ia *IncrementalAuditor) AuditGroup(k int) (vtree.Result, error) {
 	if k < 0 || k >= len(ia.trees) {
 		return vtree.Result{}, fmt.Errorf("core: group %d out of range [0,%d)", k, len(ia.trees))
 	}
-	return ia.trees[k].Tree.ValidateAll(ia.trees[k].Aggregates)
+	if !ia.dirty[k] {
+		return ia.cached[k], nil
+	}
+	res, err := ia.trees[k].Flat().ValidateAllSharded(ia.trees[k].Aggregates, 1)
+	if err != nil {
+		return vtree.Result{}, err
+	}
+	ia.cached[k] = res
+	ia.dirty[k] = false
+	return res, nil
 }
 
 // Headroom returns the largest count issuable against the belongs-to set
@@ -159,6 +233,8 @@ func (ia *IncrementalAuditor) TopUp(j int, extra int64) error {
 		return fmt.Errorf("core: top-up of %d; budgets only grow", extra)
 	}
 	ia.trees[ia.groupOf[j]].Aggregates[ia.position[j]] += extra
+	// The group's RHS changed, so its cached validation result is stale.
+	ia.dirty[ia.groupOf[j]] = true
 	return nil
 }
 

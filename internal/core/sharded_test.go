@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/logstore"
+	"repro/internal/overlap"
+	"repro/internal/vtree"
+	"repro/internal/workload"
+)
+
+// randomShardInstance plants 1–5 groups over up to 16 licenses and a log
+// confined to single groups (Corollary 1.1), with budgets tight enough
+// that a healthy fraction of runs violate equations.
+func randomShardInstance(r *rand.Rand) (overlap.Grouping, []logstore.Record, []int64) {
+	const maxN = 16
+	numGroups := 1 + r.Intn(5)
+	var groups []overlap.Group
+	n := 0
+	for k := 0; k < numGroups && n < maxN; k++ {
+		size := 1 + r.Intn(6)
+		if n+size > maxN {
+			size = maxN - n
+		}
+		var m bitset.Mask
+		for i := 0; i < size; i++ {
+			m = m.With(n + i)
+		}
+		groups = append(groups, overlap.Group{Members: m, Size: size})
+		n += size
+	}
+	gr := overlap.Grouping{N: n, Groups: groups}
+
+	var records []logstore.Record
+	for i := 0; i < 150+r.Intn(300); i++ {
+		g := groups[r.Intn(len(groups))]
+		sub := bitset.Mask(r.Int63()) & g.Members
+		if sub.Empty() {
+			sub = bitset.MaskOf(g.Members.Min())
+		}
+		records = append(records, logstore.Record{Set: sub, Count: int64(1 + r.Intn(30))})
+	}
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(50 + r.Intn(3000))
+	}
+	return gr, records, a
+}
+
+// serialPointerReport is the pre-flat reference implementation: Algorithm 2
+// on every group's pointer tree, merged exactly like Validate.
+func serialPointerReport(t *testing.T, trees []*GroupTree) Report {
+	t.Helper()
+	results := make([]vtree.Result, len(trees))
+	for k, gt := range trees {
+		res, err := gt.Tree.ValidateAll(gt.Aggregates)
+		if err != nil {
+			t.Fatalf("group %d: %v", k, err)
+		}
+		results[k] = res
+	}
+	return merge(trees, results)
+}
+
+// reportString renders a report fully, so equality is byte-level: equation
+// counts, violation sets, CV/AV values, and per-group results.
+func reportString(rep Report) string { return fmt.Sprintf("%+v", rep) }
+
+func TestShardedMatchesSerialPointerProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		gr, records, a := randomShardInstance(r)
+		tree, err := vtree.BuildRecords(gr.N, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees, err := Divide(tree, gr, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serialPointerReport(t, trees)
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got, err := ValidateParallel(trees, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reportString(got) != reportString(want) {
+				t.Fatalf("seed %d workers %d: sharded report diverges from serial pointer report\n got %s\nwant %s",
+					seed, workers, reportString(got), reportString(want))
+			}
+		}
+		// Validate is the workers=1 path and must agree too.
+		got, err := Validate(trees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reportString(got) != reportString(want) {
+			t.Fatalf("seed %d: Validate diverges from serial pointer report", seed)
+		}
+	}
+}
+
+func TestShardBudgetsDominantGroup(t *testing.T) {
+	// One 14-license group next to two singletons: the dominant group must
+	// receive essentially the whole budget, the singletons one shard each.
+	r := rand.New(rand.NewSource(42))
+	var gr overlap.Grouping
+	gr.N = 16
+	gr.Groups = []overlap.Group{
+		{Members: bitset.FullMask(14), Size: 14},
+		{Members: bitset.MaskOf(14), Size: 1},
+		{Members: bitset.MaskOf(15), Size: 1},
+	}
+	var records []logstore.Record
+	for i := 0; i < 50; i++ {
+		set := bitset.Mask(r.Int63()) & bitset.FullMask(14)
+		if set.Empty() {
+			set = bitset.MaskOf(0)
+		}
+		records = append(records, logstore.Record{Set: set, Count: 5})
+	}
+	a := make([]int64, 16)
+	for i := range a {
+		a[i] = 1 << 30
+	}
+	tree, err := vtree.BuildRecords(gr.N, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := Divide(tree, gr, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := shardBudgets(trees, 8)
+	if budgets[0] < 7 {
+		t.Errorf("dominant group got %d of 8 workers", budgets[0])
+	}
+	if budgets[1] != 1 || budgets[2] != 1 {
+		t.Errorf("singleton budgets = %d, %d, want 1, 1", budgets[1], budgets[2])
+	}
+}
+
+// TestDirtyAuditMatchesFullReaudit drives an IncrementalAuditor through
+// arbitrary interleavings of appends, top-ups, and audits, checking after
+// every audit that the dirty-group report is byte-identical to a full
+// batch re-audit over the same records and budgets.
+func TestDirtyAuditMatchesFullReaudit(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed + 7))
+		cfg := workload.Default(10 + int(seed))
+		cfg.Seed = seed
+		cfg.Groups = 1 + r.Intn(5)
+		cfg.RecordsPerLicense = 40
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ia, err := NewIncrementalAuditor(w.Corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ia.Workers = 1 + r.Intn(4)
+
+		var appended []logstore.Record
+		next := 0
+		fullReaudit := func() Report {
+			tree, err := vtree.BuildRecords(w.Corpus.Len(), appended)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := make([]int64, w.Corpus.Len())
+			copy(agg, w.Corpus.Aggregates())
+			// Mirror any top-ups already applied to the live auditor.
+			for j := range agg {
+				k, p := ia.groupOf[j], ia.position[j]
+				agg[j] = ia.trees[k].Aggregates[p]
+			}
+			trees, err := Divide(tree, ia.grouping, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Validate(trees)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+
+		for round := 0; round < 8; round++ {
+			// Append a random chunk (possibly empty: audit of a clean state).
+			chunk := r.Intn(len(w.Records) / 4)
+			for i := 0; i < chunk && next < len(w.Records); i++ {
+				if err := ia.Append(w.Records[next]); err != nil {
+					t.Fatal(err)
+				}
+				appended = append(appended, w.Records[next])
+				next++
+			}
+			if r.Intn(3) == 0 {
+				j := r.Intn(w.Corpus.Len())
+				if err := ia.TopUp(j, int64(1+r.Intn(500))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := ia.Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fullReaudit()
+			if reportString(got) != reportString(want) {
+				t.Fatalf("seed %d round %d: dirty audit diverges from full re-audit\n got %s\nwant %s",
+					seed, round, reportString(got), reportString(want))
+			}
+			if len(ia.DirtyGroups()) != 0 {
+				t.Fatalf("seed %d round %d: groups still dirty after audit: %v", seed, round, ia.DirtyGroups())
+			}
+			// A second audit with nothing dirty must serve the cache and agree.
+			again, err := ia.Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reportString(again) != reportString(got) {
+				t.Fatalf("seed %d round %d: clean re-audit diverges from cached report", seed, round)
+			}
+		}
+	}
+}
+
+func TestDirtyTrackingMarksOnlyTouchedGroups(t *testing.T) {
+	cfg := workload.Default(12)
+	cfg.Groups = 3
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := NewIncrementalAuditor(w.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ia.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ia.DirtyGroups(); len(got) != 0 {
+		t.Fatalf("dirty after initial audit: %v", got)
+	}
+	// Route one record; only its group may become dirty.
+	rec := w.Records[0]
+	if err := ia.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	k := ia.groupOf[rec.Set.Min()]
+	if got := ia.DirtyGroups(); len(got) != 1 || got[0] != k {
+		t.Fatalf("dirty groups after one append = %v, want [%d]", got, k)
+	}
+	// TopUp dirties the budget's group as well.
+	if _, err := ia.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	j := w.Corpus.Len() - 1
+	if err := ia.TopUp(j, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := ia.DirtyGroups(); len(got) != 1 || got[0] != ia.groupOf[j] {
+		t.Fatalf("dirty groups after top-up = %v, want [%d]", got, ia.groupOf[j])
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/bitset"
 )
@@ -145,8 +146,14 @@ func CompactFile(path string) (before, after int, err error) {
 
 // File is a durable Store appending JSON lines to a file. Records are
 // buffered; call Flush (or Close) to force them to the OS.
-// File is not safe for concurrent use.
+//
+// An internal mutex serialises appends and flushes, so concurrent readers
+// (ForEach flushes before replaying) are safe with each other — the
+// pattern drmserver's read-locked audit endpoints rely on. Interleaving
+// Append with ForEach is still the caller's problem: a replay running
+// concurrently with appends sees an unspecified prefix of them.
 type File struct {
+	mu  sync.Mutex
 	f   *os.File
 	w   *bufio.Writer
 	enc *json.Encoder
@@ -193,6 +200,8 @@ func (s *File) Append(r Record) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.enc.Encode(r); err != nil {
 		return fmt.Errorf("logstore: append: %w", err)
 	}
@@ -201,10 +210,20 @@ func (s *File) Append(r Record) error {
 }
 
 // Len implements Store.
-func (s *File) Len() int { return s.n }
+func (s *File) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // Flush forces buffered records to the OS.
 func (s *File) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *File) flushLocked() error {
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("logstore: flush: %w", err)
 	}
@@ -214,7 +233,9 @@ func (s *File) Flush() error {
 // Close flushes and closes the underlying file. The store is unusable
 // afterwards.
 func (s *File) Close() error {
-	if err := s.Flush(); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
 		s.f.Close()
 		return err
 	}

@@ -329,11 +329,22 @@ func (g *Grouper) union(a, b int) {
 	}
 }
 
-// NumGroups returns the current number of groups.
+// findRead resolves x's root without path halving, so concurrent readers
+// holding only a read lock (e.g. drmserver's stats endpoint) never write.
+func (g *Grouper) findRead(x int) int {
+	for g.parent[x] != x {
+		x = g.parent[x]
+	}
+	return x
+}
+
+// NumGroups returns the current number of groups. It is read-only on the
+// union-find state and therefore safe under a shared (read) lock alongside
+// other readers; Add still requires exclusive access.
 func (g *Grouper) NumGroups() int {
 	n := 0
 	for i := range g.parent {
-		if g.find(i) == i {
+		if g.findRead(i) == i {
 			n++
 		}
 	}

@@ -70,6 +70,27 @@ func BenchmarkSumSubsets(b *testing.B) {
 	}
 }
 
+// BenchmarkFlatSumSubsets measures the flat SoA walk against the pointer
+// tree's (BenchmarkSumSubsets) on the same workloads.
+func BenchmarkFlatSumSubsets(b *testing.B) {
+	for _, n := range []int{10, 20, 35} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			recs := benchRecords(n, 7, 8192, 2)
+			tree, err := BuildRecords(n, recs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flat := tree.Flatten()
+			full := bitset.FullMask(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				flat.SumSubsets(full)
+			}
+		})
+	}
+}
+
 func BenchmarkValidateAll(b *testing.B) {
 	for _, n := range []int{10, 14, 18} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
@@ -90,6 +111,34 @@ func BenchmarkValidateAll(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFlatValidateAllSharded measures the flat validator across shard
+// budgets. On one core the interesting number is the overhead of sharding
+// (~1.0x); on multicore machines the sharded runs scale.
+func BenchmarkFlatValidateAllSharded(b *testing.B) {
+	for _, n := range []int{14, 18} {
+		recs := benchRecords(n, n, 8192, 3) // one group: worst case for division
+		tree, err := BuildRecords(n, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat := tree.Flatten()
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = 1 << 40
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("N=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := flat.ValidateAllSharded(a, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
