@@ -36,6 +36,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/itree"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/rtree"
 	"repro/internal/vtree"
@@ -334,6 +335,50 @@ func BenchmarkAblationIntraGroup(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAblationIntraGroupInstrumented reruns the intra-group ablation
+// with a live metrics registry wired into vtree/core, quantifying the
+// observability overhead. Recording happens once per run (never per
+// equation), so the instrumented/uninstrumented delta should sit well
+// under the 5% the design budgets.
+func BenchmarkAblationIntraGroupInstrumented(b *testing.B) {
+	n := 20
+	cfg := workload.Default(n)
+	cfg.Groups = 1
+	cfg.RecordsPerLicense = 50
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trees, err := core.Divide(benchTree(b, w).Clone(), overlap.GroupsOf(w.Corpus), w.Corpus.Aggregates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		wire func()
+	}{
+		{"nil-hooks", func() { vtree.M, core.M = vtree.Metrics{}, core.Metrics{} }},
+		{"instrumented", func() {
+			reg := obs.NewRegistry()
+			vtree.Instrument(reg)
+			core.Instrument(reg)
+		}},
+	} {
+		variant.wire()
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ValidateParallel(trees, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	vtree.M, core.M = vtree.Metrics{}, core.Metrics{}
 }
 
 // BenchmarkAblationFlatSumSubsets compares one C⟨S⟩ evaluation on the

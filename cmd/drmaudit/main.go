@@ -31,6 +31,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/license"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/signature"
 	"repro/internal/vtree"
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) (int, error) {
 		forecastAx  = fs.String("forecast", "", "project the validation plan across expiries along this interval axis")
 		dotPath     = fs.String("dot", "", "write the overlap graph (Graphviz DOT) to this path")
 		jsonOut     = fs.Bool("json", false, "emit the audit as a JSON document instead of text")
+		statsPath   = fs.String("stats", "", "write the typed AuditStats record (JSON) to this path")
 		signed      = fs.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
 		issuerKey   = fs.String("issuer", "", "pinned issuer public key (base64; with -signed)")
 		compactLog  = fs.Bool("compact", false, "compact the log file in place after reading it")
@@ -109,6 +111,15 @@ func run(args []string, out io.Writer) (int, error) {
 	rep, err := aud.Audit()
 	if err != nil {
 		return 0, err
+	}
+
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, aud.Stats()); err != nil {
+			return 0, err
+		}
+		if !*jsonOut { // keep -json stdout a single document
+			fmt.Fprintf(out, "stats:       wrote %s\n", *statsPath)
+		}
 	}
 
 	if *jsonOut {
@@ -232,6 +243,19 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 	return 2, nil
+}
+
+// writeStats writes the typed run-stats record to path.
+func writeStats(path string, st obs.AuditStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // jsonReport is the machine-readable audit document -json emits.

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestAuditStatsFile pins the acceptance criterion: on the paper's
+// Example 1 a full audit's realized gain must equal the theoretical G of
+// eq. 3 (31/10 = 3.1), and the -stats record must carry the equation
+// economy behind it.
+func TestAuditStatsFile(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	statsPath := filepath.Join(dir, "stats.json")
+	var out bytes.Buffer
+	code, err := run([]string{"-corpus", corpus, "-log", logPath, "-stats", statsPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "stats:") {
+		t.Errorf("output does not mention the stats file:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.AuditStats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("stats file not valid JSON: %v", err)
+	}
+	if st.Licenses != 5 || st.Groups != 2 {
+		t.Errorf("stats shape = %+v", st)
+	}
+	if st.EquationsChecked != 10 || st.EquationsFull != 31 {
+		t.Errorf("equations = %d/%v, want 10/31", st.EquationsChecked, st.EquationsFull)
+	}
+	if st.GainRealized != st.GainTheoretical {
+		t.Errorf("realized gain %v != theoretical %v on a full audit",
+			st.GainRealized, st.GainTheoretical)
+	}
+	if st.GainTheoretical < 3.09 || st.GainTheoretical > 3.11 {
+		t.Errorf("theoretical gain = %v, want 3.1", st.GainTheoretical)
+	}
+}
+
+// TestAuditStatsWithJSONKeepsStdoutClean checks -stats composes with
+// -json: stdout stays a single JSON document.
+func TestAuditStatsWithJSONKeepsStdoutClean(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	statsPath := filepath.Join(dir, "stats.json")
+	var out bytes.Buffer
+	code, err := run([]string{"-corpus", corpus, "-log", logPath, "-json", "-stats", statsPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout not a single JSON document: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(statsPath); err != nil {
+		t.Fatalf("stats file missing: %v", err)
+	}
+}

@@ -26,6 +26,9 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/logstore"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -46,6 +49,8 @@ func run(args []string, out io.Writer) error {
 		format  = fs.String("format", "table", "output format: table or csv")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0),
 			"worker budget for the fig 12 sharded runs (groups × intra-group mask shards)")
+		statsPath = fs.String("stats", "",
+			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -234,8 +239,52 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out)
 		}
 	}
+	if *statsPath != "" {
+		ran = true
+		if err := writeStats(*statsPath, *maxN, *workers, *seed); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintf(out, "stats: wrote %s (audit of the N=%d workload)\n", *statsPath, *maxN)
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown figure %d (valid: 6..12, 0 for all; 11 = policy-loss extension, 12 = sharding ablation)", *fig)
 	}
 	return nil
+}
+
+// writeStats audits the seeded synthetic workload at the sweep's largest N
+// and writes the typed run-stats record — the document CI archives per
+// build so validation economics are comparable across revisions.
+func writeStats(path string, n, workers int, seed int64) error {
+	cfg := workload.Default(n)
+	cfg.Seed = seed
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	log := logstore.NewMem(len(w.Records))
+	for _, r := range w.Records {
+		if err := log.Append(r); err != nil {
+			return err
+		}
+	}
+	aud, err := core.NewAuditor(w.Corpus, log)
+	if err != nil {
+		return err
+	}
+	aud.Workers = workers
+	if _, err := aud.Audit(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := aud.Stats().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"net/http"
 	"sync"
 
@@ -17,21 +18,31 @@ type catalogServer struct {
 	mu      sync.RWMutex
 	cat     *catalog.Catalog
 	workers int
+	obs     *serverObs
 }
 
 func newCatalogServer(cat *catalog.Catalog, workers int) *catalogServer {
-	return &catalogServer{cat: cat, workers: workers}
+	s := &catalogServer{cat: cat, workers: workers}
+	s.obs = newServerObs(func() error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.cat.Len() == 0 {
+			return errors.New("catalog empty")
+		}
+		return nil
+	})
+	return s
 }
 
 func (s *catalogServer) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", handleHealthz)
-	mux.HandleFunc("GET /v1/contents", s.handleContents)
-	mux.HandleFunc("GET /v1/c/{content}/{perm}/corpus", s.entry(corpusAPI.handleCorpus))
-	mux.HandleFunc("GET /v1/c/{content}/{perm}/groups", s.entry(corpusAPI.handleGroups))
-	mux.HandleFunc("POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
-	mux.HandleFunc("GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
-	mux.HandleFunc("GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
+	s.obs.mountCommon(mux)
+	s.obs.wrap(mux, "GET /v1/contents", s.handleContents)
+	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/corpus", s.entry(corpusAPI.handleCorpus))
+	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/groups", s.entry(corpusAPI.handleGroups))
+	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
+	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
+	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
 	return mux
 }
 

@@ -16,7 +16,9 @@
 //	POST /v1/issue   → {"values":[{"lo":..,"hi":..}|{"set":[..]}, ...],
 //	                    "count": 25, "kind": "usage"}
 //	GET  /v1/audit   → grouped offline validation report
-//	GET  /v1/healthz → liveness
+//	GET  /v1/healthz → liveness (503 once graceful shutdown begins)
+//	GET  /v1/readyz  → readiness (corpus/catalog loaded)
+//	GET  /metrics    → Prometheus text exposition
 //
 // Catalog mode serves many (content, permission) corpora from a directory
 // (see internal/catalog for the layout):
@@ -33,8 +35,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +49,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/license"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/signature"
 )
@@ -69,10 +72,37 @@ func run() error {
 			"audit parallelism: groups × intra-group shards (default: all CPUs)")
 		signed    = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
 		issuerKey = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "if set, serve net/http/pprof on this address")
+		maxBody   = flag.Int64("max-body", maxIssueBody, "max issue request body bytes (413 beyond)")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		return fmt.Errorf("workers = %d, want >= 1", *workers)
+	}
+	if *maxBody < 1 {
+		return fmt.Errorf("max-body = %d, want >= 1", *maxBody)
+	}
+	maxIssueBody = *maxBody
+
+	l, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		return err
+	}
+	logger = l
+
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Error("pprof server exited",
+				"addr", *pprofAddr, "err", http.ListenAndServe(*pprofAddr, pprofMux))
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	var m engine.Mode
@@ -92,9 +122,9 @@ func run() error {
 		}
 		defer cat.Close()
 		srv := newCatalogServer(cat, *workers)
-		log.Printf("drmserver: catalog %s with %d entries, mode %s, listening on %s",
-			*catalogPath, cat.Len(), m, *addr)
-		return serve(*addr, srv.routes())
+		logger.Info("drmserver listening", "catalog", *catalogPath,
+			"entries", cat.Len(), "mode", m.String(), "addr", *addr)
+		return serve(*addr, srv.routes(), srv.obs)
 	}
 
 	cf, err := os.Open(*corpusPath)
@@ -117,7 +147,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		log.Printf("drmserver: corpus signature verified (issuer %s)", signature.KeyToString(pub))
+		logger.Info("corpus signature verified", "issuer", signature.KeyToString(pub))
 	} else {
 		corpus, err = license.DecodeCorpus(cf)
 		cf.Close()
@@ -136,14 +166,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("drmserver: %d licenses, mode %s, listening on %s", corpus.Len(), m, *addr)
-	return serve(*addr, srv.routes())
+	logger.Info("drmserver listening", "licenses", corpus.Len(),
+		"mode", m.String(), "addr", *addr)
+	return serve(*addr, srv.routes(), srv.obs)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
 // requests before returning, so deferred log/catalog closes always run
-// and buffered issuance records reach disk.
-func serve(addr string, handler http.Handler) error {
+// and buffered issuance records reach disk. The health state flips to
+// draining before Shutdown, so /v1/healthz answers 503 for the whole
+// drain window.
+func serve(addr string, handler http.Handler, o *serverObs) error {
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -153,7 +186,8 @@ func serve(addr string, handler http.Handler) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		log.Print("drmserver: shutting down")
+		o.draining.Store(true)
+		logger.Info("shutting down, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -180,6 +214,7 @@ type corpusAPI struct {
 // server is the single-corpus mode: one corpusAPI at fixed routes.
 type server struct {
 	api corpusAPI
+	obs *serverObs
 }
 
 func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode, workers int) (*server, error) {
@@ -190,29 +225,34 @@ func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode, w
 			return nil, err
 		}
 	}
-	return &server{api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers}}, nil
+	o := newServerObs(func() error {
+		if corpus.Len() == 0 {
+			return errors.New("corpus empty")
+		}
+		return nil
+	})
+	return &server{
+		api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers},
+		obs: o,
+	}, nil
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", handleHealthz)
-	mux.HandleFunc("GET /v1/corpus", s.api.handleCorpus)
-	mux.HandleFunc("GET /v1/groups", s.api.handleGroups)
-	mux.HandleFunc("POST /v1/issue", s.api.handleIssue)
-	mux.HandleFunc("GET /v1/audit", s.api.handleAudit)
-	mux.HandleFunc("GET /v1/stats", s.api.handleStats)
+	s.obs.mountCommon(mux)
+	s.obs.wrap(mux, "GET /v1/corpus", s.api.handleCorpus)
+	s.obs.wrap(mux, "GET /v1/groups", s.api.handleGroups)
+	s.obs.wrap(mux, "POST /v1/issue", s.api.handleIssue)
+	s.obs.wrap(mux, "GET /v1/audit", s.api.handleAudit)
+	s.obs.wrap(mux, "GET /v1/stats", s.api.handleStats)
 	return mux
-}
-
-func handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("drmserver: encoding response: %v", err)
+		logger.Error("encoding response", "err", err)
 	}
 }
 
@@ -225,7 +265,7 @@ func (s corpusAPI) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := license.EncodeCorpus(w, s.corpus); err != nil {
-		log.Printf("drmserver: encoding corpus: %v", err)
+		logger.Error("encoding corpus", "err", err)
 	}
 }
 
@@ -260,8 +300,16 @@ type issueResponse struct {
 }
 
 func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxIssueBody)
 	var req issueRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
 		return
 	}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// logger is the process-wide structured logger. run() replaces it
+// according to -log-format; handlers and serve() log through it.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// maxIssueBody caps POST issue request bodies; oversized requests get a
+// structured 413. run() overrides it via -max-body.
+var maxIssueBody int64 = 1 << 20
+
+// serverObs bundles the observability state both server modes share: the
+// metrics registry with all engine-layer hooks wired, the HTTP
+// middleware, and health state. Constructing it per server (rather than
+// per process) keeps the test servers self-contained; the package-level
+// hooks simply point at the most recently constructed registry.
+type serverObs struct {
+	reg   *obs.Registry
+	httpm *obs.HTTPMetrics
+	// draining flips when graceful shutdown begins so load balancers
+	// stop routing to this instance while in-flight requests finish.
+	draining atomic.Bool
+	// ready reports whether the corpus/catalog is loaded and servable.
+	ready func() error
+}
+
+func newServerObs(ready func() error) *serverObs {
+	reg := obs.NewRegistry()
+	engine.InstrumentAll(reg)
+	return &serverObs{reg: reg, httpm: obs.NewHTTPMetrics(reg), ready: ready}
+}
+
+// wrap mounts h on mux instrumented under the route pattern, so every
+// endpoint gets request counts by status class and a latency histogram.
+func (o *serverObs) wrap(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.Handle(pattern, o.httpm.Wrap(pattern, h))
+}
+
+// mountCommon adds the routes both server modes share: the Prometheus
+// exposition, drain-aware liveness, and readiness.
+func (o *serverObs) mountCommon(mux *http.ServeMux) {
+	mux.Handle("GET /metrics", o.reg.Handler())
+	o.wrap(mux, "GET /v1/healthz", o.handleHealthz)
+	o.wrap(mux, "GET /v1/readyz", o.handleReadyz)
+}
+
+// handleHealthz is liveness: 200 while serving, 503 once graceful
+// shutdown has begun (the drain window).
+func (o *serverObs) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if o.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 once the corpus/catalog is loaded.
+func (o *serverObs) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := o.ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unready", "reason": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

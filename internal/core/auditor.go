@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/license"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/vtree"
 )
@@ -15,9 +16,10 @@ import (
 // per-group validation. It also records how long each stage took, which is
 // what the paper's fig 7/9 cost decomposition (C_T, D_T, V_T) measures.
 type Auditor struct {
-	corpus   *license.Corpus
-	grouping overlap.Grouping
-	trees    []*GroupTree
+	corpus     *license.Corpus
+	grouping   overlap.Grouping
+	trees      []*GroupTree
+	logRecords int
 
 	// Workers bounds validation parallelism with a two-level budget —
 	// across groups and across mask shards inside each group (see
@@ -26,6 +28,7 @@ type Auditor struct {
 	Workers int
 
 	timings Timings
+	stats   obs.AuditStats
 }
 
 // Timings records per-stage wall-clock durations of the last Prepare/Audit.
@@ -39,6 +42,9 @@ type Timings struct {
 	// Division is the tree division + index modification time (the rest
 	// of D_T).
 	Division time.Duration
+	// Flatten is the flat-snapshot construction time of the last Audit
+	// (the SoA layout the sharded walk reads).
+	Flatten time.Duration
 	// Validation is V_T: evaluating all per-group equations.
 	Validation time.Duration
 }
@@ -58,6 +64,7 @@ func NewAuditor(corpus *license.Corpus, log logstore.Store) (*Auditor, error) {
 }
 
 func (a *Auditor) prepare(log logstore.Store) error {
+	a.logRecords = log.Len()
 	start := time.Now()
 	tree, err := vtree.Build(a.corpus.Len(), log)
 	if err != nil {
@@ -91,14 +98,56 @@ func (a *Auditor) Gain() float64 { return Gain(a.grouping) }
 // Timings returns stage durations of the last Prepare/Audit.
 func (a *Auditor) Timings() Timings { return a.timings }
 
+// Stats returns the typed run record of the last Audit (zero before the
+// first Audit). A batch audit revalidates every group, so GainRealized
+// equals the grouping's theoretical G.
+func (a *Auditor) Stats() obs.AuditStats { return a.stats }
+
 // Audit runs the grouped validation and returns the merged report.
 func (a *Auditor) Audit() (Report, error) {
-	start := time.Now()
 	workers := a.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	start := time.Now()
+	for _, gt := range a.trees {
+		gt.Flat()
+	}
+	a.timings.Flatten = time.Since(start)
+
+	start = time.Now()
 	rep, err := ValidateParallel(a.trees, workers)
 	a.timings.Validation = time.Since(start)
-	return rep, err
+	if err != nil {
+		return rep, err
+	}
+	a.stats = buildAuditStats(a.corpus.Len(), a.logRecords, a.grouping, rep,
+		rep.Equations, shardsUsed(a.trees, workers), len(a.trees), 0, a.phases())
+	a.observe()
+	return rep, nil
+}
+
+// phases converts the timing decomposition to the stats record's form.
+func (a *Auditor) phases() obs.AuditPhases {
+	return obs.AuditPhases{
+		Build:    a.timings.Construction.Nanoseconds(),
+		Overlap:  a.timings.Grouping.Nanoseconds(),
+		Divide:   a.timings.Division.Nanoseconds(),
+		Flatten:  a.timings.Flatten.Nanoseconds(),
+		Validate: a.timings.Validation.Nanoseconds(),
+	}
+}
+
+// observe publishes the last audit to the metric hooks (no-ops when the
+// package is uninstrumented).
+func (a *Auditor) observe() {
+	M.AuditRuns.Inc()
+	M.GroupsRevalidated.Add(int64(a.stats.GroupsRevalidated))
+	M.CacheMisses.Add(int64(a.stats.CacheMisses))
+	M.Gain.Set(a.stats.GainRealized)
+	M.PhaseBuild.Observe(a.timings.Construction.Seconds())
+	M.PhaseOverlap.Observe(a.timings.Grouping.Seconds())
+	M.PhaseDivide.Observe(a.timings.Division.Seconds())
+	M.PhaseFlatten.Observe(a.timings.Flatten.Seconds())
+	M.PhaseValidate.Observe(a.timings.Validation.Seconds())
 }

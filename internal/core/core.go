@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/overlap"
@@ -202,6 +203,7 @@ func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
 	if workers < 1 {
 		return Report{}, fmt.Errorf("core: workers = %d, want >= 1", workers)
 	}
+	start := time.Now()
 	// Flatten serially, once per audit, so the concurrent phase only reads.
 	for _, gt := range trees {
 		gt.Flat()
@@ -242,6 +244,8 @@ func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
 			return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
 		}
 	}
+	M.GroupedRuns.Inc()
+	M.GroupedSeconds.ObserveSince(start)
 	return merge(trees, results), nil
 }
 

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/license"
 	"repro/internal/logstore"
+	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/vtree"
 )
@@ -46,6 +48,12 @@ type IncrementalAuditor struct {
 	// cached[k] is valid iff !dirty[k].
 	dirty  []bool
 	cached []vtree.Result
+
+	// overlapTime/divideTime are the last rebuild's grouping and
+	// tree-construction durations, reported in run stats.
+	overlapTime time.Duration
+	divideTime  time.Duration
+	stats       obs.AuditStats
 }
 
 // NewIncrementalAuditor prepares empty per-group trees for the corpus.
@@ -61,7 +69,11 @@ func NewIncrementalAuditor(corpus *license.Corpus) (*IncrementalAuditor, error) 
 // records (given with GLOBAL masks).
 func (ia *IncrementalAuditor) rebuild(records []logstore.Record) error {
 	n := ia.corpus.Len()
+	start := time.Now()
 	ia.grouping = overlap.GroupsOf(ia.corpus)
+	ia.overlapTime = time.Since(start)
+	start = time.Now()
+	defer func() { ia.divideTime = time.Since(start) }()
 	ia.groupOf = make([]int, n)
 	ia.position = make([]int, n)
 	ia.trees = ia.trees[:0]
@@ -172,15 +184,25 @@ func (ia *IncrementalAuditor) Audit() (Report, error) {
 			dirtyIdx = append(dirtyIdx, k)
 		}
 	}
+	workers := ia.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var checked int64
+	var flatten, validate time.Duration
 	if len(dirtyTrees) > 0 {
-		workers := ia.Workers
-		if workers < 1 {
-			workers = 1
+		start := time.Now()
+		for _, gt := range dirtyTrees {
+			gt.Flat()
 		}
+		flatten = time.Since(start)
+		start = time.Now()
 		rep, err := ValidateParallel(dirtyTrees, workers)
+		validate = time.Since(start)
 		if err != nil {
 			return Report{}, err
 		}
+		checked = rep.Equations
 		for i, k := range dirtyIdx {
 			ia.cached[k] = rep.PerGroup[i]
 			ia.dirty[k] = false
@@ -188,8 +210,34 @@ func (ia *IncrementalAuditor) Audit() (Report, error) {
 	}
 	results := make([]vtree.Result, len(ia.trees))
 	copy(results, ia.cached)
-	return merge(ia.trees, results), nil
+	merged := merge(ia.trees, results)
+
+	hits := len(ia.trees) - len(dirtyTrees)
+	ia.stats = buildAuditStats(ia.corpus.Len(), ia.records, ia.grouping, merged,
+		checked, shardsUsed(dirtyTrees, workers), len(dirtyTrees), hits,
+		obs.AuditPhases{
+			Overlap:  ia.overlapTime.Nanoseconds(),
+			Divide:   ia.divideTime.Nanoseconds(),
+			Flatten:  flatten.Nanoseconds(),
+			Validate: validate.Nanoseconds(),
+		})
+	M.AuditRuns.Inc()
+	M.GroupsRevalidated.Add(int64(len(dirtyTrees)))
+	M.CacheMisses.Add(int64(len(dirtyTrees)))
+	M.CacheHits.Add(int64(hits))
+	M.Gain.Set(ia.stats.GainRealized)
+	M.PhaseOverlap.Observe(ia.overlapTime.Seconds())
+	M.PhaseDivide.Observe(ia.divideTime.Seconds())
+	M.PhaseFlatten.Observe(flatten.Seconds())
+	M.PhaseValidate.Observe(validate.Seconds())
+	return merged, nil
 }
+
+// LastStats returns the typed run record of the last Audit (zero before
+// the first). A fully clean auditor reports zero equations checked
+// (GainRealized is 0 by convention when nothing ran); GroupsRevalidated
+// and CacheHits show where the work went.
+func (ia *IncrementalAuditor) LastStats() obs.AuditStats { return ia.stats }
 
 // AuditGroup validates a single group — the cheap path when only one
 // group received new records since the last audit. A clean group returns
@@ -199,12 +247,15 @@ func (ia *IncrementalAuditor) AuditGroup(k int) (vtree.Result, error) {
 		return vtree.Result{}, fmt.Errorf("core: group %d out of range [0,%d)", k, len(ia.trees))
 	}
 	if !ia.dirty[k] {
+		M.CacheHits.Inc()
 		return ia.cached[k], nil
 	}
 	res, err := ia.trees[k].Flat().ValidateAllSharded(ia.trees[k].Aggregates, 1)
 	if err != nil {
 		return vtree.Result{}, err
 	}
+	M.CacheMisses.Inc()
+	M.GroupsRevalidated.Inc()
 	ia.cached[k] = res
 	ia.dirty[k] = false
 	return res, nil

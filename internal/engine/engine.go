@@ -23,6 +23,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -171,6 +172,8 @@ func (d *Distributor) BelongsTo(rect geometry.Rect) bitset.Mask {
 // with constraint rectangle rect and permission count. On success the
 // issued license is returned and the issuance is logged.
 func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
+	start := time.Now()
+	defer M.IssueSeconds.ObserveSince(start)
 	if d.corpus.Len() == 0 {
 		return nil, fmt.Errorf("%w: distributor %s holds no redistribution licenses", ErrInstanceInvalid, d.name)
 	}
@@ -180,6 +183,7 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 	set := d.BelongsTo(rect)
 	if set.Empty() {
 		d.stats.RejectedInstance++
+		M.RejectedInstance.Inc()
 		return nil, fmt.Errorf("%w: %s not contained in any redistribution license", ErrInstanceInvalid, rect)
 	}
 	if d.mode == ModeOnline {
@@ -192,6 +196,7 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 		}
 		if count > room {
 			d.stats.RejectedAggregate++
+			M.RejectedAggregate.Inc()
 			return nil, fmt.Errorf("%w: requested %d, headroom %d for %v", ErrAggregateExhausted, count, room, set)
 		}
 	}
@@ -206,6 +211,8 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 	}
 	d.stats.Issued++
 	d.stats.IssuedCounts += count
+	M.Issued.Inc()
+	M.IssuedCounts.Add(count)
 	d.seq++
 	first := d.corpus.License(0)
 	return &license.License{
@@ -229,6 +236,8 @@ func (d *Distributor) TopUp(i int, extra int64) error {
 // the given parallelism and returns its report together with the auditor
 // (for gain/timings inspection).
 func (d *Distributor) Audit(workers int) (core.Report, *core.Auditor, error) {
+	start := time.Now()
+	defer M.AuditSeconds.ObserveSince(start)
 	aud, err := core.NewAuditor(d.corpus, d.log)
 	if err != nil {
 		return core.Report{}, nil, err
@@ -240,6 +249,7 @@ func (d *Distributor) Audit(workers int) (core.Report, *core.Auditor, error) {
 	if err != nil {
 		return core.Report{}, nil, err
 	}
+	M.Audits.Inc()
 	return rep, aud, nil
 }
 

@@ -72,6 +72,7 @@ func (m *Mem) Append(r Record) error {
 		return err
 	}
 	m.records = append(m.records, r)
+	M.Appends.Inc()
 	return nil
 }
 
@@ -206,6 +207,7 @@ func (s *File) Append(r Record) error {
 		return fmt.Errorf("logstore: append: %w", err)
 	}
 	s.n++
+	M.Appends.Inc()
 	return nil
 }
 
@@ -227,6 +229,7 @@ func (s *File) flushLocked() error {
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("logstore: flush: %w", err)
 	}
+	M.Flushes.Inc()
 	return nil
 }
 

@@ -1,0 +1,28 @@
+package logstore
+
+import "repro/internal/obs"
+
+// M holds the package's metric hooks, nil until Instrument is called; obs
+// metric methods are no-ops on nil receivers, so uninstrumented stores
+// record nothing and allocate nothing.
+var M Metrics
+
+// Metrics are the issuance-log signals: append throughput and durability
+// flushes.
+type Metrics struct {
+	// Appends counts records appended across all stores (Mem and File).
+	Appends *obs.Counter
+	// Flushes counts explicit File flushes (ForEach replays flush too).
+	Flushes *obs.Counter
+}
+
+// Instrument registers the log-store metric families on reg and points
+// the hooks at them.
+func Instrument(reg *obs.Registry) {
+	M = Metrics{
+		Appends: reg.Counter("drm_log_appends_total",
+			"Issuance records appended to log stores."),
+		Flushes: reg.Counter("drm_log_flushes_total",
+			"Explicit flushes of durable log files."),
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry in Prometheus text format — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The response is already streaming; nothing useful to do.
+			_ = err
+		}
+	})
+}
+
+// HTTPMetrics instruments HTTP handlers with the server's standard
+// signals: per-endpoint request counts bucketed by status class, a
+// per-endpoint latency histogram, and a server-wide in-flight gauge.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec("drm_http_requests_total",
+			"HTTP requests served, by endpoint and status class.",
+			"endpoint", "class"),
+		latency: reg.HistogramVec("drm_http_request_seconds",
+			"HTTP request latency by endpoint.", nil, "endpoint"),
+		inflight: reg.Gauge("drm_http_inflight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusClasses are the five Prometheus-conventional status classes;
+// index is status/100 - 1.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Wrap instruments next under the given endpoint label. Handles are
+// resolved once per endpoint at wiring time, so the per-request cost is
+// one gauge inc/dec, one histogram observation, and one counter inc —
+// no map lookups. A nil receiver returns next unchanged.
+func (m *HTTPMetrics) Wrap(endpoint string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	var classes [5]*Counter
+	for i, c := range statusClasses {
+		classes[i] = m.requests.With(endpoint, c)
+	}
+	latency := m.latency.With(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		defer m.inflight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		latency.ObserveSince(start)
+		if i := sw.status/100 - 1; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
+	})
+}
+
+// statusWriter captures the status code for class bucketing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

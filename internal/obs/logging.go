@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format:
+// "text" (human-oriented key=value lines) or "json" (one JSON object per
+// line, for log shippers). This is the -log-format flag's backend shared
+// by the server and CLI tools.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bitset"
 )
@@ -33,6 +34,7 @@ type FlatTree struct {
 // snapshot is immutable and safe for concurrent readers; later Inserts
 // into t are not reflected (flatten again after mutating).
 func (t *Tree) Flatten() *FlatTree {
+	start := time.Now()
 	total := 1
 	var countNodes func(n *Node)
 	countNodes = func(n *Node) {
@@ -66,6 +68,8 @@ func (t *Tree) Flatten() *FlatTree {
 		}
 		f.childEnd[idx] = next
 	}
+	M.Flattens.Inc()
+	M.FlattenSeconds.ObserveSince(start)
 	return f
 }
 
@@ -109,6 +113,22 @@ func (f *FlatTree) ValidateAll(a []int64) (Result, error) {
 	return f.ValidateAllSharded(a, 1)
 }
 
+// ShardCount returns the number of contiguous mask shards a sharded
+// validation over n licenses fans out to under the given worker budget:
+// the smallest power of two >= workers, capped at 2^n so every shard
+// spans at least one mask. ValidateAllSharded uses exactly this count,
+// and audit run-stats reuse it to report shards without re-running.
+func ShardCount(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	shardBits := bits.Len(uint(workers - 1))
+	if shardBits > n {
+		shardBits = n
+	}
+	return 1 << uint(shardBits)
+}
+
 // ValidateAllSharded evaluates all 2^N−1 validation equations with the
 // subset space partitioned across workers. The mask range [1, 2^N) is
 // split by the top ⌈log₂ workers⌉ bits into equal contiguous shards, so
@@ -134,15 +154,10 @@ func (f *FlatTree) ValidateAllSharded(a []int64, workers int) (Result, error) {
 	if f.n == 0 {
 		return Result{}, nil
 	}
+	start := time.Now()
 
-	// Shard count: the smallest power of two >= workers, capped so every
-	// shard spans at least one mask.
-	shardBits := bits.Len(uint(workers - 1))
-	if shardBits > f.n {
-		shardBits = f.n
-	}
-	shards := 1 << uint(shardBits)
-	width := uint(f.n - shardBits) // masks per shard = 2^width
+	shards := ShardCount(f.n, workers)
+	width := uint(f.n - bits.Len(uint(shards-1))) // masks per shard = 2^width
 
 	results := make([]Result, shards)
 	if shards == 1 {
@@ -178,6 +193,11 @@ func (f *FlatTree) ValidateAllSharded(a []int64, workers int) (Result, error) {
 	sort.Slice(res.Violations, func(i, j int) bool {
 		return res.Violations[i].Set < res.Violations[j].Set
 	})
+	M.ValidateRuns.Inc()
+	M.ValidateSeconds.ObserveSince(start)
+	M.EquationsChecked.Add(res.Equations)
+	M.Violations.Add(int64(len(res.Violations)))
+	M.Shards.Add(int64(shards))
 	return res, nil
 }
 

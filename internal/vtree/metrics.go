@@ -1,0 +1,55 @@
+package vtree
+
+import "repro/internal/obs"
+
+// M holds the package's metric hooks. Every field stays nil until
+// Instrument wires the package to a registry; obs metric methods are
+// no-ops on nil receivers, so the uninstrumented path records nothing and
+// allocates nothing. Recording sites sit at run granularity (one flatten,
+// one sharded validation, one headroom query), never inside the
+// per-equation loops, so instrumentation cannot perturb the O(2^N) sweep.
+//
+// Instrument must be called before any concurrent use of the package
+// (server startup, before serving), since M is a plain package variable.
+var M Metrics
+
+// Metrics are the validation-layer signals: snapshot construction cost,
+// equation throughput, and shard fan-out.
+type Metrics struct {
+	// Flattens / FlattenSeconds cover Tree.Flatten.
+	Flattens       *obs.Counter
+	FlattenSeconds *obs.Histogram
+	// ValidateRuns / ValidateSeconds cover FlatTree.ValidateAllSharded.
+	ValidateRuns    *obs.Counter
+	ValidateSeconds *obs.Histogram
+	// EquationsChecked totals evaluated validation equations across
+	// sharded runs and online headroom queries — the denominator of the
+	// paper's realized gain.
+	EquationsChecked *obs.Counter
+	// Violations totals violated equations found.
+	Violations *obs.Counter
+	// Shards totals mask shards fanned out by sharded runs.
+	Shards *obs.Counter
+}
+
+// Instrument registers the package's metric families on reg and points
+// the hooks at them. Calling it again with another registry re-points
+// them.
+func Instrument(reg *obs.Registry) {
+	M = Metrics{
+		Flattens: reg.Counter("drm_flatten_total",
+			"Validation-tree flat snapshots built."),
+		FlattenSeconds: reg.Histogram("drm_flatten_seconds",
+			"Wall time of one Tree.Flatten.", nil),
+		ValidateRuns: reg.Counter("drm_validate_runs_total",
+			"Sharded validation runs over flat trees."),
+		ValidateSeconds: reg.Histogram("drm_validate_seconds",
+			"Wall time of one sharded validation run.", nil),
+		EquationsChecked: reg.Counter("drm_validate_equations_checked_total",
+			"Validation equations evaluated (sharded runs + headroom queries)."),
+		Violations: reg.Counter("drm_validate_violations_total",
+			"Violated validation equations found."),
+		Shards: reg.Counter("drm_validate_shards_total",
+			"Intra-group mask shards fanned out by sharded runs."),
+	}
+}

@@ -325,6 +325,9 @@ func (t *Tree) Headroom(base bitset.Mask, a []int64) (int64, error) {
 		consider(base.Union(extra))
 		return true
 	})
+	// One aggregated hook update per query: consider ran once per superset
+	// of base, i.e. 2^(N−|base|) times.
+	M.EquationsChecked.Add(int64(1) << uint(full.Diff(base).Len()))
 	return headroom, nil
 }
 
