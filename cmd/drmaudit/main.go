@@ -12,13 +12,18 @@
 // contiguous mask shards inside each group — so even a single dominant
 // group uses every core; the report is identical at any setting. With
 // -compare it also runs the original undivided validator and reports the
-// measured speed-up (refusing when N exceeds -max-original). The exit
-// status is 2 when violations are found.
+// measured speed-up (refusing when N exceeds -max-original). With
+// -timeout the audit runs under a deadline; when it expires the
+// verified-so-far report and per-group completeness are printed. The exit
+// status is 2 when violations are found and 3 when the deadline cut the
+// audit short.
 package main
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drmerr"
 	"repro/internal/forecast"
 	"repro/internal/license"
 	"repro/internal/logstore"
@@ -64,6 +70,8 @@ func run(args []string, out io.Writer) (int, error) {
 		signed      = fs.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
 		issuerKey   = fs.String("issuer", "", "pinned issuer public key (base64; with -signed)")
 		compactLog  = fs.Bool("compact", false, "compact the log file in place after reading it")
+		timeout     = fs.Duration("timeout", 0,
+			"audit deadline (0 = none); an expired deadline prints the verified-so-far report, per-group completeness, and exits 3")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
@@ -103,13 +111,21 @@ func run(args []string, out io.Writer) (int, error) {
 		return 0, err
 	}
 
-	aud, err := core.NewAuditor(corpus, log)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	aud, err := core.NewAuditorContext(ctx, corpus, log)
 	if err != nil {
 		return 0, err
 	}
 	aud.Workers = *workers
-	rep, err := aud.Audit()
-	if err != nil {
+	rep, err := aud.AuditContext(ctx)
+	partial := errors.Is(err, drmerr.ErrAuditIncomplete)
+	if err != nil && !partial {
 		return 0, err
 	}
 
@@ -123,7 +139,7 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if *jsonOut {
-		return writeJSONReport(out, corpus, log, aud, rep)
+		return writeJSONReport(out, corpus, log, aud, rep, partial)
 	}
 
 	gr := aud.Grouping()
@@ -224,6 +240,24 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 
+	if partial {
+		fmt.Fprintf(out, "completeness: %d/%d groups fully checked before the deadline\n",
+			rep.GroupsComplete(), len(rep.Completeness))
+		for _, gc := range rep.Completeness {
+			state := "complete"
+			if !gc.Complete {
+				state = "cut short"
+			}
+			fmt.Fprintf(out, "  group %d: %d/%d equations (%s)\n",
+				gc.Group+1, gc.MasksScanned, gc.MasksTotal, state)
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "  %s\n", v)
+		}
+		fmt.Fprintf(out, "result:      INCOMPLETE — deadline expired; %d violations found so far (all real)\n",
+			len(rep.Violations))
+		return 3, nil
+	}
 	if rep.OK() {
 		fmt.Fprintln(out, "result:      OK — no aggregate violations")
 		return 0, nil
@@ -267,20 +301,28 @@ type jsonReport struct {
 	Gain       float64  `json:"gain"`
 	OK         bool     `json:"ok"`
 	Violations []string `json:"violations,omitempty"`
-	TimingsNS  struct {
+	// Complete is false when -timeout cut the audit short; Completeness
+	// then records the per-group scan progress.
+	Complete     bool                     `json:"complete"`
+	Completeness []core.GroupCompleteness `json:"completeness,omitempty"`
+	TimingsNS    struct {
 		Construction int64 `json:"construction"`
 		Division     int64 `json:"division"`
 		Validation   int64 `json:"validation"`
 	} `json:"timings_ns"`
 }
 
-func writeJSONReport(out io.Writer, corpus *license.Corpus, log *logstore.Mem, aud *core.Auditor, rep core.Report) (int, error) {
+func writeJSONReport(out io.Writer, corpus *license.Corpus, log *logstore.Mem, aud *core.Auditor, rep core.Report, partial bool) (int, error) {
 	doc := jsonReport{
 		Licenses:   corpus.Len(),
 		LogRecords: log.Len(),
 		Equations:  rep.Equations,
 		Gain:       aud.Gain(),
 		OK:         rep.OK(),
+		Complete:   rep.Complete(),
+	}
+	if partial {
+		doc.Completeness = rep.Completeness
 	}
 	for _, g := range aud.Grouping().Groups {
 		var ids []int
@@ -298,6 +340,9 @@ func writeJSONReport(out io.Writer, corpus *license.Corpus, log *logstore.Mem, a
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		return 0, err
+	}
+	if partial {
+		return 3, nil
 	}
 	if rep.OK() {
 		return 0, nil

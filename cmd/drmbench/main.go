@@ -19,14 +19,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/drmerr"
 	"repro/internal/logstore"
 	"repro/internal/workload"
 )
@@ -51,6 +55,8 @@ func run(args []string, out io.Writer) error {
 			"worker budget for the fig 12 sharded runs (groups × intra-group mask shards)")
 		statsPath = fs.String("stats", "",
 			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
+		timeout = fs.Duration("timeout", 0,
+			"deadline for the -stats audit (0 = none); an expired deadline still writes the partial run record")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -241,7 +247,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if *statsPath != "" {
 		ran = true
-		if err := writeStats(*statsPath, *maxN, *workers, *seed); err != nil {
+		if err := writeStats(*statsPath, *maxN, *workers, *seed, *timeout); err != nil {
 			return err
 		}
 		if !csvOut {
@@ -256,8 +262,10 @@ func run(args []string, out io.Writer) error {
 
 // writeStats audits the seeded synthetic workload at the sweep's largest N
 // and writes the typed run-stats record — the document CI archives per
-// build so validation economics are comparable across revisions.
-func writeStats(path string, n, workers int, seed int64) error {
+// build so validation economics are comparable across revisions. A
+// non-zero timeout bounds the audit; a deadline-cut run still writes its
+// (partial, Incomplete-marked) record.
+func writeStats(path string, n, workers int, seed int64, timeout time.Duration) error {
 	cfg := workload.Default(n)
 	cfg.Seed = seed
 	w, err := workload.Generate(cfg)
@@ -270,12 +278,18 @@ func writeStats(path string, n, workers int, seed int64) error {
 			return err
 		}
 	}
-	aud, err := core.NewAuditor(w.Corpus, log)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	aud, err := core.NewAuditorContext(ctx, w.Corpus, log)
 	if err != nil {
 		return err
 	}
 	aud.Workers = workers
-	if _, err := aud.Audit(); err != nil {
+	if _, err := aud.AuditContext(ctx); err != nil && !errors.Is(err, drmerr.ErrAuditIncomplete) {
 		return err
 	}
 	f, err := os.Create(path)

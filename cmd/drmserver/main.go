@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/drmerr"
 	"repro/internal/engine"
 	"repro/internal/license"
 	"repro/internal/logstore"
@@ -75,6 +76,12 @@ func run() error {
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		pprofAddr = flag.String("pprof-addr", "", "if set, serve net/http/pprof on this address")
 		maxBody   = flag.Int64("max-body", maxIssueBody, "max issue request body bytes (413 beyond)")
+		reqTO     = flag.Duration("request-timeout", 0,
+			"per-request deadline propagated through issuance and audits (0 disables); expired audits answer 504 with the verified-so-far report")
+		readHeaderTO = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTO       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		writeTO      = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bounds handler+response time)")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -84,6 +91,13 @@ func run() error {
 		return fmt.Errorf("max-body = %d, want >= 1", *maxBody)
 	}
 	maxIssueBody = *maxBody
+	srvTimeouts = serverTimeouts{
+		readHeader: *readHeaderTO,
+		read:       *readTO,
+		write:      *writeTO,
+		idle:       *idleTO,
+		request:    *reqTO,
+	}
 
 	l, err := obs.NewLogger(*logFormat, os.Stderr)
 	if err != nil {
@@ -171,13 +185,49 @@ func run() error {
 	return serve(*addr, srv.routes(), srv.obs)
 }
 
+// serverTimeouts carries the http.Server hardening knobs plus the
+// per-request deadline from -request-timeout.
+type serverTimeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	write      time.Duration
+	idle       time.Duration
+	request    time.Duration
+}
+
+// srvTimeouts is set from flags in run(); the zero value (no timeouts)
+// keeps tests that call handlers directly unaffected.
+var srvTimeouts serverTimeouts
+
+// withRequestTimeout wraps handler so every request's context carries the
+// given deadline. Handlers propagate r.Context() into issuance and
+// audits, so an expired deadline surfaces as a typed 499/504 body instead
+// of a hung connection.
+func withRequestTimeout(handler http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return handler
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		handler.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
 // requests before returning, so deferred log/catalog closes always run
 // and buffered issuance records reach disk. The health state flips to
 // draining before Shutdown, so /v1/healthz answers 503 for the whole
 // drain window.
 func serve(addr string, handler http.Handler, o *serverObs) error {
-	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           withRequestTimeout(handler, srvTimeouts.request),
+		ReadHeaderTimeout: srvTimeouts.readHeader,
+		ReadTimeout:       srvTimeouts.read,
+		WriteTimeout:      srvTimeouts.write,
+		IdleTimeout:       srvTimeouts.idle,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -258,6 +308,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Kind is the drmerr taxonomy name ("violation", "incomplete", ...),
+	// empty for errors outside the taxonomy.
+	Kind string `json:"kind,omitempty"`
+}
+
+// body builds the structured error body for a classified error.
+func body(err error) errorBody {
+	b := errorBody{Error: err.Error()}
+	if k := drmerr.KindOf(err); k != drmerr.KindUnknown {
+		b.Kind = k.String()
+	}
+	return b
+}
+
+// writeError maps a pipeline error to its taxonomy HTTP status (409
+// violation, 422 model errors, 499 client cancelled, 503 store corrupt,
+// 504 deadline-cut audit, ...) with a structured JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, drmerr.HTTPStatus(err), body(err))
 }
 
 func (s corpusAPI) handleCorpus(w http.ResponseWriter, r *http.Request) {
@@ -328,7 +397,7 @@ func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	issued, err := s.dist.Issue(kind, rect, req.Count)
+	issued, err := s.dist.IssueContext(r.Context(), kind, rect, req.Count)
 	var belongs []int
 	if err == nil {
 		s.dist.BelongsTo(rect).ForEach(func(j int) bool {
@@ -338,18 +407,18 @@ func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	switch {
-	case errors.Is(err, engine.ErrInstanceInvalid):
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
-	case errors.Is(err, engine.ErrAggregateExhausted):
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
-	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-	default:
+	case err == nil:
 		writeJSON(w, http.StatusOK, issueResponse{
 			Name:      issued.Name,
 			BelongsTo: belongs,
 			Count:     issued.Aggregate,
 		})
+	case drmerr.KindOf(err) != drmerr.KindUnknown:
+		// Taxonomy errors carry their own status: 422 instance-invalid,
+		// 409 aggregate violation, 400 invalid input, 499 cancelled, ...
+		writeError(w, err)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	}
 }
 
@@ -383,26 +452,43 @@ type auditResponse struct {
 	Equations  int64    `json:"equations"`
 	Gain       float64  `json:"gain"`
 	Violations []string `json:"violations,omitempty"`
+	// Complete is false when the request deadline cut the audit short;
+	// GroupsComplete counts the groups whose equations were all checked.
+	Complete       bool   `json:"complete"`
+	GroupsComplete int    `json:"groups_complete"`
+	Error          string `json:"error,omitempty"`
+	Kind           string `json:"kind,omitempty"`
 }
 
 func (s corpusAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
 	// Auditing builds its own tree from corpus + log and mutates neither,
 	// so concurrent audits (and other reads) proceed in parallel.
 	s.mu.RLock()
-	rep, aud, err := s.dist.Audit(s.workers)
+	rep, aud, err := s.dist.AuditContext(r.Context(), s.workers)
 	s.mu.RUnlock()
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	if err != nil && !errors.Is(err, drmerr.ErrAuditIncomplete) {
+		writeError(w, err)
 		return
 	}
-	body := auditResponse{
-		OK:        rep.OK(),
-		Groups:    aud.Grouping().NumGroups(),
-		Equations: rep.Equations,
-		Gain:      aud.Gain(),
+	resp := auditResponse{
+		OK:             rep.OK(),
+		Groups:         aud.Grouping().NumGroups(),
+		Equations:      rep.Equations,
+		Gain:           aud.Gain(),
+		Complete:       rep.Complete(),
+		GroupsComplete: rep.GroupsComplete(),
 	}
 	for _, v := range rep.Violations {
-		body.Violations = append(body.Violations, v.String())
+		resp.Violations = append(resp.Violations, v.String())
 	}
-	writeJSON(w, http.StatusOK, body)
+	status := http.StatusOK
+	if err != nil {
+		// Deadline-cut audit: the verified-so-far report rides along with
+		// the 504 so callers still see every violation found (all real —
+		// completed groups' verdicts are independent of the cut-off ones).
+		status = drmerr.HTTPStatus(err)
+		resp.Error = err.Error()
+		resp.Kind = drmerr.KindOf(err).String()
+	}
+	writeJSON(w, status, resp)
 }

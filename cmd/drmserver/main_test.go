@@ -159,6 +159,9 @@ func TestIssueInstanceRejection(t *testing.T) {
 	if e.Error == "" {
 		t.Error("empty error body")
 	}
+	if e.Kind != "instance_invalid" {
+		t.Errorf("kind = %q, want instance_invalid", e.Kind)
+	}
 }
 
 func TestIssueAggregateRejection(t *testing.T) {
@@ -173,6 +176,9 @@ func TestIssueAggregateRejection(t *testing.T) {
 	var e errorBody
 	if code := postJSON(t, ts.URL+"/v1/issue", req, &e); code != http.StatusConflict {
 		t.Fatalf("status = %d, want 409", code)
+	}
+	if e.Kind != "violation" {
+		t.Errorf("kind = %q, want violation", e.Kind)
 	}
 	// The audit must still be clean: the violation was prevented.
 	var audit auditResponse

@@ -37,6 +37,7 @@
 package drm
 
 import (
+	"context"
 	"crypto/ed25519"
 	"io"
 
@@ -44,6 +45,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/drmerr"
 	"repro/internal/engine"
 	"repro/internal/forecast"
 	"repro/internal/geometry"
@@ -127,6 +129,9 @@ type (
 	GroupTree = core.GroupTree
 	// Report is the merged outcome of a grouped validation run.
 	Report = core.Report
+	// GroupCompleteness records how much of one group a deadline-bounded
+	// audit actually scanned.
+	GroupCompleteness = core.GroupCompleteness
 	// Auditor runs the full offline pipeline: log → tree → groups →
 	// divided trees → per-group validation.
 	Auditor = core.Auditor
@@ -157,6 +162,58 @@ var (
 	// ErrAggregateExhausted marks online-mode aggregate rejections.
 	ErrAggregateExhausted = engine.ErrAggregateExhausted
 )
+
+// Typed error taxonomy (internal/drmerr). Match with errors.Is against
+// the sentinels, or classify with ErrorKind for mechanical dispatch.
+type (
+	// ErrorKind classifies a pipeline failure (violation, corpus
+	// mismatch, cancelled, incomplete, ...).
+	ErrorKind = drmerr.Kind
+)
+
+// Error kinds.
+const (
+	KindViolation       = drmerr.KindViolation
+	KindInstanceInvalid = drmerr.KindInstanceInvalid
+	KindCorpusMismatch  = drmerr.KindCorpusMismatch
+	KindCrossGroup      = drmerr.KindCrossGroup
+	KindStoreCorrupt    = drmerr.KindStoreCorrupt
+	KindCancelled       = drmerr.KindCancelled
+	KindIncomplete      = drmerr.KindIncomplete
+	KindInvalidInput    = drmerr.KindInvalidInput
+	KindNotFound        = drmerr.KindNotFound
+)
+
+var (
+	// ErrAuditIncomplete matches audits cut short by a deadline or
+	// cancellation; the verified-so-far Report accompanies the error and
+	// Report.Completeness records which groups finished.
+	ErrAuditIncomplete = drmerr.ErrAuditIncomplete
+	// ErrCancelled matches work abandoned on context cancellation before
+	// any partial result was worth returning.
+	ErrCancelled = drmerr.ErrCancelled
+	// ErrViolation matches aggregate-constraint violations.
+	ErrViolation = drmerr.ErrViolation
+	// ErrCrossGroup matches log records whose belongs-to set spans
+	// overlap groups (impossible under Corollary 1.1 — corrupt log).
+	ErrCrossGroup = drmerr.ErrCrossGroup
+	// ErrCorpusMismatch matches corpus/grouping/aggregate shape
+	// mismatches.
+	ErrCorpusMismatch = drmerr.ErrCorpusMismatch
+	// ErrStoreCorrupt matches undecodable or invalid persisted state.
+	ErrStoreCorrupt = drmerr.ErrStoreCorrupt
+	// ErrNotFound matches missing-entity lookups.
+	ErrNotFound = drmerr.ErrNotFound
+)
+
+// ErrorKindOf returns the kind of the outermost classified error in err's
+// chain (KindUnknown for errors outside the taxonomy).
+func ErrorKindOf(err error) ErrorKind { return drmerr.KindOf(err) }
+
+// ErrorHTTPStatus maps a pipeline error to the HTTP status the validation
+// service uses for it (409 violation, 422 model errors, 499 cancelled,
+// 503 store corrupt, 504 incomplete, ...).
+func ErrorHTTPStatus(err error) int { return drmerr.HTTPStatus(err) }
 
 // Workloads.
 type (
@@ -214,6 +271,12 @@ func Gain(g Grouping) float64 { return core.Gain(g) }
 
 // NewAuditor prepares the grouped offline validator for a corpus and log.
 func NewAuditor(c *Corpus, log LogStore) (*Auditor, error) { return core.NewAuditor(c, log) }
+
+// NewAuditorContext is NewAuditor with a cancellable log replay: the
+// dominant preparation cost on huge logs can be abandoned early.
+func NewAuditorContext(ctx context.Context, c *Corpus, log LogStore) (*Auditor, error) {
+	return core.NewAuditorContext(ctx, c, log)
+}
 
 // NewDistributor creates a distribution endpoint for one (content,
 // permission) corpus.

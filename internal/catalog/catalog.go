@@ -17,6 +17,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/url"
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/drmerr"
 	"repro/internal/engine"
 	"repro/internal/license"
 	"repro/internal/logstore"
@@ -92,10 +94,10 @@ func (c *Catalog) load(corpusPath string) error {
 	corpus, err := license.DecodeCorpus(f)
 	f.Close()
 	if err != nil {
-		return fmt.Errorf("catalog: %s: %w", corpusPath, err)
+		return drmerr.Wrapf(drmerr.KindStoreCorrupt, "catalog.load", err, "catalog: %s", corpusPath)
 	}
 	if corpus.Len() == 0 {
-		return fmt.Errorf("catalog: %s holds no licenses", corpusPath)
+		return drmerr.New(drmerr.KindStoreCorrupt, "catalog.load", "catalog: %s holds no licenses", corpusPath)
 	}
 	stem := strings.TrimSuffix(corpusPath, corpusSuffix)
 	return c.wire(corpus, stem)
@@ -175,7 +177,7 @@ func writeCorpusAtomic(path string, corpus *license.Corpus) error {
 func (c *Catalog) Acquire(content string, perm license.Permission, l *license.License) error {
 	e := c.Get(content, perm)
 	if e == nil {
-		return fmt.Errorf("catalog: no corpus for (%s, %s)", content, perm)
+		return drmerr.New(drmerr.KindNotFound, "catalog.acquire", "catalog: no corpus for (%s, %s)", content, perm)
 	}
 	if _, err := e.Dist.AddRedistribution(l); err != nil {
 		return err
@@ -207,12 +209,28 @@ func (c *Catalog) Entries() []*Entry {
 // Len returns the number of entries.
 func (c *Catalog) Len() int { return len(c.entries) }
 
-// AuditAll runs the geometric audit over every entry.
+// AuditAll runs the geometric audit over every entry. It is
+// AuditAllContext with a background context.
 func (c *Catalog) AuditAll(workers int) (map[*Entry]core.Report, error) {
+	return c.AuditAllContext(context.Background(), workers)
+}
+
+// AuditAllContext runs the geometric audit over every entry under ctx.
+// A deadline that expires mid-sweep returns the reports gathered so far
+// (the cut-off entry's partial report included) and an error matching
+// drmerr.ErrAuditIncomplete.
+func (c *Catalog) AuditAllContext(ctx context.Context, workers int) (map[*Entry]core.Report, error) {
 	out := make(map[*Entry]core.Report, len(c.entries))
 	for _, e := range c.entries {
-		rep, _, err := e.Dist.Audit(workers)
+		rep, _, err := e.Dist.AuditContext(ctx, workers)
+		if errors.Is(err, drmerr.ErrAuditIncomplete) {
+			out[e] = rep
+			return out, fmt.Errorf("catalog: auditing (%s, %s): %w", e.Content, e.Permission, err)
+		}
 		if err != nil {
+			if drmerr.IsCancellation(err) {
+				return out, fmt.Errorf("catalog: auditing (%s, %s): %w", e.Content, e.Permission, err)
+			}
 			return nil, fmt.Errorf("catalog: auditing (%s, %s): %w", e.Content, e.Permission, err)
 		}
 		out[e] = rep

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
+	"repro/internal/drmerr"
 	"repro/internal/license"
 	"repro/internal/logstore"
 	"repro/internal/obs"
@@ -56,19 +57,27 @@ func (t Timings) DT() time.Duration { return t.Grouping + t.Division }
 // dividing the resulting tree. The log must only contain belongs-to sets
 // over the corpus' indexes.
 func NewAuditor(corpus *license.Corpus, log logstore.Store) (*Auditor, error) {
+	return NewAuditorContext(context.Background(), corpus, log)
+}
+
+// NewAuditorContext is NewAuditor under a context: the log replay — the
+// paper's C_T, linear in the log but the dominant cost on huge logs — is
+// cancellable. A cancelled preparation returns a KindCancelled error and
+// no auditor.
+func NewAuditorContext(ctx context.Context, corpus *license.Corpus, log logstore.Store) (*Auditor, error) {
 	a := &Auditor{corpus: corpus, Workers: 1}
-	if err := a.prepare(log); err != nil {
+	if err := a.prepare(ctx, log); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
-func (a *Auditor) prepare(log logstore.Store) error {
+func (a *Auditor) prepare(ctx context.Context, log logstore.Store) error {
 	a.logRecords = log.Len()
 	start := time.Now()
-	tree, err := vtree.Build(a.corpus.Len(), log)
+	tree, err := vtree.BuildContext(ctx, a.corpus.Len(), log)
 	if err != nil {
-		return fmt.Errorf("core: building validation tree: %w", err)
+		return drmerr.Wrapf(drmerr.KindOf(err), "core.prepare", err, "core: building validation tree")
 	}
 	a.timings.Construction = time.Since(start)
 
@@ -103,28 +112,31 @@ func (a *Auditor) Timings() Timings { return a.timings }
 // equals the grouping's theoretical G.
 func (a *Auditor) Stats() obs.AuditStats { return a.stats }
 
-// Audit runs the grouped validation and returns the merged report.
+// Audit runs the grouped validation and returns the merged report. It is
+// AuditContext with a background context.
 func (a *Auditor) Audit() (Report, error) {
-	workers := a.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	start := time.Now()
-	for _, gt := range a.trees {
-		gt.Flat()
-	}
-	a.timings.Flatten = time.Since(start)
+	return a.AuditContext(context.Background())
+}
 
-	start = time.Now()
-	rep, err := ValidateParallel(a.trees, workers)
-	a.timings.Validation = time.Since(start)
-	if err != nil {
+// AuditContext runs the grouped validation under ctx. On cancellation or
+// deadline expiry it returns the verified-so-far report together with an
+// error matching drmerr.ErrAuditIncomplete: Report.Completeness records
+// which groups were fully checked, and every reported violation is real
+// (Theorem 2 — groups are independent, so a fully scanned group's
+// verdict does not depend on the groups the deadline cut off). With no
+// deadline the report is identical to Audit's.
+func (a *Auditor) AuditContext(ctx context.Context) (Report, error) {
+	s := newAuditSession(a.corpus.Len(), a.logRecords, a.grouping, a.Workers)
+	s.batch = true
+	rep, err := s.run(ctx, a.trees)
+	a.timings.Flatten = s.flatten
+	a.timings.Validation = s.validate
+	if err != nil && !incomplete(err) {
 		return rep, err
 	}
-	a.stats = buildAuditStats(a.corpus.Len(), a.logRecords, a.grouping, rep,
-		rep.Equations, shardsUsed(a.trees, workers), len(a.trees), 0, a.phases())
-	a.observe()
-	return rep, nil
+	a.stats = s.finish(rep, rep.Equations, shardsUsed(a.trees, s.workers),
+		rep.GroupsComplete(), 0, a.phases(), err != nil)
+	return rep, err
 }
 
 // phases converts the timing decomposition to the stats record's form.
@@ -136,18 +148,4 @@ func (a *Auditor) phases() obs.AuditPhases {
 		Flatten:  a.timings.Flatten.Nanoseconds(),
 		Validate: a.timings.Validation.Nanoseconds(),
 	}
-}
-
-// observe publishes the last audit to the metric hooks (no-ops when the
-// package is uninstrumented).
-func (a *Auditor) observe() {
-	M.AuditRuns.Inc()
-	M.GroupsRevalidated.Add(int64(a.stats.GroupsRevalidated))
-	M.CacheMisses.Add(int64(a.stats.CacheMisses))
-	M.Gain.Set(a.stats.GainRealized)
-	M.PhaseBuild.Observe(a.timings.Construction.Seconds())
-	M.PhaseOverlap.Observe(a.timings.Grouping.Seconds())
-	M.PhaseDivide.Observe(a.timings.Division.Seconds())
-	M.PhaseFlatten.Observe(a.timings.Flatten.Seconds())
-	M.PhaseValidate.Observe(a.timings.Validation.Seconds())
 }

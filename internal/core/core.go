@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/drmerr"
 	"repro/internal/overlap"
 	"repro/internal/vtree"
 )
@@ -94,10 +96,12 @@ func (gt *GroupTree) ToGlobal(local bitset.Mask) bitset.Mask {
 func Divide(t *vtree.Tree, gr overlap.Grouping, a []int64) ([]*GroupTree, error) {
 	n := t.N()
 	if gr.N != n {
-		return nil, fmt.Errorf("core: grouping over %d licenses, tree over %d", gr.N, n)
+		return nil, drmerr.New(drmerr.KindCorpusMismatch, "core.divide",
+			"core: grouping over %d licenses, tree over %d", gr.N, n)
 	}
 	if len(a) != n {
-		return nil, fmt.Errorf("core: aggregate array has %d entries, want %d", len(a), n)
+		return nil, drmerr.New(drmerr.KindCorpusMismatch, "core.divide",
+			"core: aggregate array has %d entries, want %d", len(a), n)
 	}
 	if err := gr.Validate(); err != nil {
 		return nil, err
@@ -153,7 +157,8 @@ func Divide(t *vtree.Tree, gr overlap.Grouping, a []int64) ([]*GroupTree, error)
 func relabel(root *vtree.Node, gr overlap.Grouping, k int, position []int) error {
 	for _, c := range root.Children {
 		if !gr.Groups[k].Members.Has(c.L) {
-			return fmt.Errorf("core: log record crosses groups: license %d in group-%d tree (impossible under Corollary 1.1 — corrupt or non-instance-validated log)", c.L+1, k+1)
+			return drmerr.New(drmerr.KindCrossGroup, "core.divide",
+				"core: log record crosses groups: license %d in group-%d tree (impossible under Corollary 1.1 — corrupt or non-instance-validated log)", c.L+1, k+1)
 		}
 		c.L = position[c.L]
 		if err := relabel(c, gr, k, position); err != nil {
@@ -165,7 +170,9 @@ func relabel(root *vtree.Node, gr overlap.Grouping, k int, position []int) error
 
 // Report is the outcome of a grouped validation run.
 type Report struct {
-	// Equations is the total number of equations evaluated: Σ_k (2^{N_k}−1).
+	// Equations is the total number of equations evaluated. For a
+	// complete run this is Σ_k (2^{N_k}−1); a deadline-bounded run cut
+	// short counts only the masks actually scanned.
 	Equations int64
 	// Violations lists every violated equation with GLOBAL license masks,
 	// ordered by ascending set.
@@ -173,10 +180,51 @@ type Report struct {
 	// PerGroup holds each group's raw result (local masks), index-aligned
 	// with the GroupTree slice.
 	PerGroup []vtree.Result
+	// Completeness reports per-group coverage, index-aligned with the
+	// GroupTree slice. Group independence (Theorem 2) is what makes a
+	// partial audit well-defined: every fully scanned group's verdict is
+	// final regardless of the groups the deadline cut off.
+	Completeness []GroupCompleteness
+}
+
+// GroupCompleteness is one group's equation-space coverage in a run.
+type GroupCompleteness struct {
+	// Group indexes the GroupTree slice.
+	Group int `json:"group"`
+	// MasksScanned counts equations evaluated for this group; MasksTotal
+	// is the full 2^{N_k}−1 space.
+	MasksScanned int64 `json:"masks_scanned"`
+	MasksTotal   int64 `json:"masks_total"`
+	// Complete reports MasksScanned == MasksTotal.
+	Complete bool `json:"complete"`
 }
 
 // OK reports whether no equation was violated.
 func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Complete reports whether every group's equation space was fully
+// checked. Runs that returned a nil error are always complete; runs that
+// returned ErrAuditIncomplete are not.
+func (r Report) Complete() bool {
+	for _, c := range r.Completeness {
+		if !c.Complete {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupsComplete counts the groups whose equation space was fully
+// checked.
+func (r Report) GroupsComplete() int {
+	n := 0
+	for _, c := range r.Completeness {
+		if c.Complete {
+			n++
+		}
+	}
+	return n
+}
 
 // Validate runs Algorithm 2 on every group tree serially and merges the
 // results, mapping violated sets back to global indexes. The evaluation
@@ -200,25 +248,50 @@ func Validate(trees []*GroupTree) (Report, error) {
 // single goroutine; now that group receives (nearly) the whole budget and
 // saturates all cores. Results are identical to Validate's.
 func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
+	return ValidateParallelContext(context.Background(), trees, workers)
+}
+
+// ValidateParallelContext is ValidateParallel under a context. When ctx
+// is cancelled or its deadline expires mid-run, the verified-so-far
+// report is returned together with an error matching
+// drmerr.ErrAuditIncomplete (wrapping ctx.Err()): every violation in it
+// is real, Report.Completeness says which groups were fully checked, and
+// groups the deadline cut off contribute only the masks they scanned.
+// With an already-expired context the report covers zero groups.
+func ValidateParallelContext(ctx context.Context, trees []*GroupTree, workers int) (Report, error) {
 	if workers < 1 {
-		return Report{}, fmt.Errorf("core: workers = %d, want >= 1", workers)
+		return Report{}, drmerr.New(drmerr.KindInvalidInput, "core.validate",
+			"core: workers = %d, want >= 1", workers)
 	}
 	start := time.Now()
-	// Flatten serially, once per audit, so the concurrent phase only reads.
+	results := make([]vtree.Result, len(trees))
+	// Flatten serially, once per audit, so the concurrent phase only
+	// reads; poll ctx between groups so an expired deadline skips both
+	// the flatten and the walk.
 	for _, gt := range trees {
+		if ctx.Err() != nil {
+			return merge(trees, results), drmerr.Incomplete("core.validate", ctx.Err())
+		}
 		gt.Flat()
 	}
 	budgets := shardBudgets(trees, workers)
-	results := make([]vtree.Result, len(trees))
 	errs := make([]error, len(trees))
+	validateGroup := func(k int) {
+		if err := ctx.Err(); err != nil {
+			errs[k] = drmerr.Wrap(drmerr.KindCancelled, "core.validate", err)
+			return
+		}
+		gt := trees[k]
+		results[k], errs[k] = gt.Flat().ValidateAllShardedContext(ctx, gt.Aggregates, budgets[k])
+	}
 
 	groupWorkers := workers
 	if groupWorkers > len(trees) {
 		groupWorkers = len(trees)
 	}
 	if groupWorkers <= 1 {
-		for k, gt := range trees {
-			results[k], errs[k] = gt.Flat().ValidateAllSharded(gt.Aggregates, budgets[k])
+		for k := range trees {
+			validateGroup(k)
 		}
 	} else {
 		groups := make(chan int)
@@ -228,8 +301,7 @@ func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
 			go func() {
 				defer wg.Done()
 				for k := range groups {
-					gt := trees[k]
-					results[k], errs[k] = gt.Flat().ValidateAllSharded(gt.Aggregates, budgets[k])
+					validateGroup(k)
 				}
 			}()
 		}
@@ -239,14 +311,24 @@ func ValidateParallel(trees []*GroupTree, workers int) (Report, error) {
 		close(groups)
 		wg.Wait()
 	}
+	cut := false
 	for k, err := range errs {
-		if err != nil {
-			return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
+		if err == nil {
+			continue
 		}
+		if drmerr.IsCancellation(err) {
+			cut = true
+			continue
+		}
+		return Report{}, fmt.Errorf("core: group %d: %w", k+1, err)
 	}
 	M.GroupedRuns.Inc()
 	M.GroupedSeconds.ObserveSince(start)
-	return merge(trees, results), nil
+	rep := merge(trees, results)
+	if cut {
+		return rep, drmerr.Incomplete("core.validate", ctx.Err())
+	}
+	return rep, nil
 }
 
 // shardBudgets splits the worker budget across groups proportionally to
@@ -283,10 +365,19 @@ func shardBudgets(trees []*GroupTree, workers int) []int {
 	return budgets
 }
 
-// merge lifts per-group results to a global report.
+// merge lifts per-group results to a global report. Completeness falls
+// out of the counts alone: a group is complete iff its result evaluated
+// all 2^{N_k}−1 equations (cached results from clean groups always are).
 func merge(trees []*GroupTree, results []vtree.Result) Report {
-	rep := Report{PerGroup: results}
+	rep := Report{PerGroup: results, Completeness: make([]GroupCompleteness, len(results))}
 	for k, res := range results {
+		total := int64(1)<<uint(trees[k].Tree.N()) - 1
+		rep.Completeness[k] = GroupCompleteness{
+			Group:        k,
+			MasksScanned: res.Equations,
+			MasksTotal:   total,
+			Complete:     res.Equations == total,
+		}
 		rep.Equations += res.Equations
 		for _, v := range res.Violations {
 			rep.Violations = append(rep.Violations, vtree.Violation{

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/drmerr"
 	"repro/internal/license"
 	"repro/internal/logstore"
 	"repro/internal/obs"
@@ -114,14 +115,16 @@ func (ia *IncrementalAuditor) rebuild(records []logstore.Record) error {
 // fails if the mask spans groups (impossible for instance-validated logs).
 func (ia *IncrementalAuditor) route(set bitset.Mask) (int, bitset.Mask, error) {
 	if set.Empty() {
-		return 0, 0, fmt.Errorf("core: empty belongs-to set")
+		return 0, 0, drmerr.New(drmerr.KindInvalidInput, "core.route", "core: empty belongs-to set")
 	}
 	if !set.SubsetOf(bitset.FullMask(ia.corpus.Len())) {
-		return 0, 0, fmt.Errorf("core: set %v outside corpus of %d licenses", set, ia.corpus.Len())
+		return 0, 0, drmerr.New(drmerr.KindCorpusMismatch, "core.route",
+			"core: set %v outside corpus of %d licenses", set, ia.corpus.Len())
 	}
 	k := ia.groupOf[set.Min()]
 	if !set.SubsetOf(ia.grouping.Groups[k].Members) {
-		return 0, 0, fmt.Errorf("core: record %v crosses groups (Corollary 1.1 violation)", set)
+		return 0, 0, drmerr.New(drmerr.KindCrossGroup, "core.route",
+			"core: record %v crosses groups (Corollary 1.1 violation)", set)
 	}
 	var local bitset.Mask
 	set.ForEach(func(j int) bool {
@@ -174,8 +177,18 @@ func (ia *IncrementalAuditor) DirtyGroups() []int {
 // ones, and merges the report (global masks). A fully clean auditor costs
 // only the merge; a fully dirty one costs the same as a batch Validate.
 // Workers bounds the parallelism across the dirty groups and their
-// intra-group shards.
+// intra-group shards. It is AuditContext with a background context.
 func (ia *IncrementalAuditor) Audit() (Report, error) {
+	return ia.AuditContext(context.Background())
+}
+
+// AuditContext is Audit under a context. A run cut short by cancellation
+// or deadline expiry returns the verified-so-far report with an error
+// matching drmerr.ErrAuditIncomplete; dirty groups whose walk did not
+// finish STAY dirty (their partial result is reported but never cached),
+// so a later audit with a fresh context completes exactly the missing
+// work and produces the same report an uninterrupted audit would have.
+func (ia *IncrementalAuditor) AuditContext(ctx context.Context) (Report, error) {
 	var dirtyTrees []*GroupTree
 	var dirtyIdx []int
 	for k, gt := range ia.trees {
@@ -184,52 +197,50 @@ func (ia *IncrementalAuditor) Audit() (Report, error) {
 			dirtyIdx = append(dirtyIdx, k)
 		}
 	}
-	workers := ia.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	s := newAuditSession(ia.corpus.Len(), ia.records, ia.grouping, ia.Workers)
 	var checked int64
-	var flatten, validate time.Duration
-	if len(dirtyTrees) > 0 {
-		start := time.Now()
-		for _, gt := range dirtyTrees {
-			gt.Flat()
-		}
-		flatten = time.Since(start)
-		start = time.Now()
-		rep, err := ValidateParallel(dirtyTrees, workers)
-		validate = time.Since(start)
-		if err != nil {
-			return Report{}, err
-		}
-		checked = rep.Equations
-		for i, k := range dirtyIdx {
-			ia.cached[k] = rep.PerGroup[i]
-			ia.dirty[k] = false
-		}
-	}
+	var wasIncomplete, ran bool
+	var revalidated int
 	results := make([]vtree.Result, len(ia.trees))
 	copy(results, ia.cached)
+	if len(dirtyTrees) > 0 {
+		ran = true
+		rep, err := s.run(ctx, dirtyTrees)
+		if err != nil && !incomplete(err) {
+			return Report{}, err
+		}
+		wasIncomplete = err != nil
+		checked = rep.Equations
+		for i, k := range dirtyIdx {
+			// Only a fully verified group may be cached and marked
+			// clean; an interrupted walk's partial result still feeds
+			// this merge but is recomputed next audit.
+			if rep.Completeness[i].Complete {
+				ia.cached[k] = rep.PerGroup[i]
+				ia.dirty[k] = false
+				revalidated++
+			}
+			results[k] = rep.PerGroup[i]
+		}
+	}
 	merged := merge(ia.trees, results)
 
 	hits := len(ia.trees) - len(dirtyTrees)
-	ia.stats = buildAuditStats(ia.corpus.Len(), ia.records, ia.grouping, merged,
-		checked, shardsUsed(dirtyTrees, workers), len(dirtyTrees), hits,
+	var flatten, validate time.Duration
+	if ran {
+		flatten, validate = s.flatten, s.validate
+	}
+	ia.stats = s.finish(merged, checked, shardsUsed(dirtyTrees, s.workers),
+		revalidated, hits,
 		obs.AuditPhases{
 			Overlap:  ia.overlapTime.Nanoseconds(),
 			Divide:   ia.divideTime.Nanoseconds(),
 			Flatten:  flatten.Nanoseconds(),
 			Validate: validate.Nanoseconds(),
-		})
-	M.AuditRuns.Inc()
-	M.GroupsRevalidated.Add(int64(len(dirtyTrees)))
-	M.CacheMisses.Add(int64(len(dirtyTrees)))
-	M.CacheHits.Add(int64(hits))
-	M.Gain.Set(ia.stats.GainRealized)
-	M.PhaseOverlap.Observe(ia.overlapTime.Seconds())
-	M.PhaseDivide.Observe(ia.divideTime.Seconds())
-	M.PhaseFlatten.Observe(flatten.Seconds())
-	M.PhaseValidate.Observe(validate.Seconds())
+		}, wasIncomplete)
+	if wasIncomplete {
+		return merged, drmerr.Incomplete("core.audit", ctx.Err())
+	}
 	return merged, nil
 }
 
@@ -243,15 +254,26 @@ func (ia *IncrementalAuditor) LastStats() obs.AuditStats { return ia.stats }
 // group received new records since the last audit. A clean group returns
 // its cached result without re-walking the tree.
 func (ia *IncrementalAuditor) AuditGroup(k int) (vtree.Result, error) {
+	return ia.AuditGroupContext(context.Background(), k)
+}
+
+// AuditGroupContext is AuditGroup under a context. A walk cut short
+// returns the partial result with an ErrAuditIncomplete-matching error;
+// the group stays dirty so the next call redoes it in full.
+func (ia *IncrementalAuditor) AuditGroupContext(ctx context.Context, k int) (vtree.Result, error) {
 	if k < 0 || k >= len(ia.trees) {
-		return vtree.Result{}, fmt.Errorf("core: group %d out of range [0,%d)", k, len(ia.trees))
+		return vtree.Result{}, drmerr.New(drmerr.KindNotFound, "core.audit",
+			"core: group %d out of range [0,%d)", k, len(ia.trees))
 	}
 	if !ia.dirty[k] {
 		M.CacheHits.Inc()
 		return ia.cached[k], nil
 	}
-	res, err := ia.trees[k].Flat().ValidateAllSharded(ia.trees[k].Aggregates, 1)
+	res, err := ia.trees[k].Flat().ValidateAllShardedContext(ctx, ia.trees[k].Aggregates, 1)
 	if err != nil {
+		if drmerr.IsCancellation(err) {
+			return res, drmerr.Incomplete("core.audit", ctx.Err())
+		}
 		return vtree.Result{}, err
 	}
 	M.CacheMisses.Inc()
@@ -278,10 +300,12 @@ func (ia *IncrementalAuditor) Headroom(set bitset.Mask) (int64, error) {
 // which does both).
 func (ia *IncrementalAuditor) TopUp(j int, extra int64) error {
 	if j < 0 || j >= ia.corpus.Len() {
-		return fmt.Errorf("core: top-up index %d outside corpus of %d", j, ia.corpus.Len())
+		return drmerr.New(drmerr.KindNotFound, "core.topup",
+			"core: top-up index %d outside corpus of %d", j, ia.corpus.Len())
 	}
 	if extra <= 0 {
-		return fmt.Errorf("core: top-up of %d; budgets only grow", extra)
+		return drmerr.New(drmerr.KindInvalidInput, "core.topup",
+			"core: top-up of %d; budgets only grow", extra)
 	}
 	ia.trees[ia.groupOf[j]].Aggregates[ia.position[j]] += extra
 	// The group's RHS changed, so its cached validation result is stale.

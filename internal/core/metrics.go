@@ -22,6 +22,9 @@ type Metrics struct {
 	GroupedSeconds *obs.Histogram
 	// AuditRuns counts Auditor/IncrementalAuditor audits.
 	AuditRuns *obs.Counter
+	// AuditsIncomplete counts audits cut short by context cancellation
+	// or deadline expiry (they still count in AuditRuns).
+	AuditsIncomplete *obs.Counter
 	// GroupsRevalidated, CacheHits, CacheMisses track the dirty-group
 	// result cache: a hit is a clean group served from cache, a miss a
 	// group whose equations were re-evaluated.
@@ -51,6 +54,8 @@ func Instrument(reg *obs.Registry) {
 			"Wall time of one grouped validation run.", nil),
 		AuditRuns: reg.Counter("drm_audit_runs_total",
 			"Offline audits (batch and incremental)."),
+		AuditsIncomplete: reg.Counter("drm_audit_incomplete_total",
+			"Audits cut short by context cancellation or deadline expiry."),
 		GroupsRevalidated: reg.Counter("drm_audit_groups_revalidated_total",
 			"Groups whose equations were re-evaluated by audits."),
 		CacheHits: reg.Counter("drm_audit_cache_hits_total",

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/drmerr"
 	"repro/internal/vtree"
 )
 
@@ -96,11 +98,24 @@ func Plan(trees []*GroupTree) []GroupPlan {
 // ValidateWithPlan evaluates every group with its planned strategy and
 // merges the results exactly like Validate.
 func ValidateWithPlan(trees []*GroupTree, plans []GroupPlan) (Report, error) {
+	return ValidateWithPlanContext(context.Background(), trees, plans)
+}
+
+// ValidateWithPlanContext is ValidateWithPlan under a context. The
+// planner's baseline evaluators run whole groups atomically, so ctx is
+// polled between groups: cancellation returns the groups verified so far
+// (Completeness marks the rest unscanned) and an error matching
+// drmerr.ErrAuditIncomplete.
+func ValidateWithPlanContext(ctx context.Context, trees []*GroupTree, plans []GroupPlan) (Report, error) {
 	if len(plans) != len(trees) {
-		return Report{}, fmt.Errorf("core: %d plans for %d groups", len(plans), len(trees))
+		return Report{}, drmerr.New(drmerr.KindInvalidInput, "core.plan",
+			"core: %d plans for %d groups", len(plans), len(trees))
 	}
 	results := make([]vtree.Result, len(trees))
 	for k, gt := range trees {
+		if cerr := ctx.Err(); cerr != nil {
+			return merge(trees, results), drmerr.Incomplete("core.plan", cerr)
+		}
 		var res vtree.Result
 		var err error
 		switch plans[k].Strategy {
@@ -111,7 +126,8 @@ func ValidateWithPlan(trees []*GroupTree, plans []GroupPlan) (Report, error) {
 		case StrategyDirect:
 			res, err = baseline.DirectValidate(gt.Tree.N(), gt.Tree.Records(), gt.Aggregates)
 		default:
-			err = fmt.Errorf("core: unknown strategy %v", plans[k].Strategy)
+			err = drmerr.New(drmerr.KindInvalidInput, "core.plan",
+				"core: unknown strategy %v", plans[k].Strategy)
 		}
 		if err != nil {
 			return Report{}, fmt.Errorf("core: group %d (%v): %w", k+1, plans[k].Strategy, err)

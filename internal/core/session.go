@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/drmerr"
+	"repro/internal/obs"
+	"repro/internal/overlap"
+)
+
+// auditSession is the shared lifecycle of one audit run, unifying what
+// Auditor and IncrementalAuditor used to duplicate: the flatten/validate
+// phase timing, the run-stats assembly, and the metric publication. The
+// two auditors differ only in which trees they hand to run (all of them
+// vs the dirty subset) and in how they fold the result back into their
+// own state (timings vs the per-group cache).
+type auditSession struct {
+	licenses   int
+	logRecords int
+	grouping   overlap.Grouping
+	workers    int
+	// batch marks a full-pipeline audit (log replay included), which is
+	// the only kind with a build phase to observe.
+	batch bool
+
+	flatten  time.Duration
+	validate time.Duration
+}
+
+func newAuditSession(licenses, logRecords int, gr overlap.Grouping, workers int) *auditSession {
+	if workers < 1 {
+		workers = 1
+	}
+	return &auditSession{licenses: licenses, logRecords: logRecords, grouping: gr, workers: workers}
+}
+
+// run flattens and validates trees under ctx, recording the two phase
+// durations. The returned report and error follow
+// ValidateParallelContext's contract: on cancellation or deadline expiry
+// the verified-so-far report comes back with an error matching
+// drmerr.ErrAuditIncomplete.
+func (s *auditSession) run(ctx context.Context, trees []*GroupTree) (Report, error) {
+	start := time.Now()
+	for _, gt := range trees {
+		if ctx.Err() != nil {
+			break // ValidateParallelContext reports the cancellation
+		}
+		gt.Flat()
+	}
+	s.flatten = time.Since(start)
+
+	start = time.Now()
+	rep, err := ValidateParallelContext(ctx, trees, s.workers)
+	s.validate = time.Since(start)
+	return rep, err
+}
+
+// incomplete reports whether err is the audit-incomplete outcome (as
+// opposed to a genuine failure, which callers propagate without stats).
+func incomplete(err error) bool { return errors.Is(err, drmerr.ErrAuditIncomplete) }
+
+// finish assembles the typed run record and publishes the audit-layer
+// metrics. checked is the number of equations evaluated this run;
+// revalidated counts groups whose full equation space was re-verified,
+// hits the clean groups served from cache. An incomplete run (cut short
+// by its context) additionally bumps the incomplete-audit counter.
+func (s *auditSession) finish(rep Report, checked int64, shards, revalidated, hits int,
+	phases obs.AuditPhases, wasIncomplete bool) obs.AuditStats {
+	st := buildAuditStats(s.licenses, s.logRecords, s.grouping, rep,
+		checked, shards, revalidated, hits, phases)
+	st.Incomplete = wasIncomplete
+	M.AuditRuns.Inc()
+	if wasIncomplete {
+		M.AuditsIncomplete.Inc()
+	}
+	M.GroupsRevalidated.Add(int64(revalidated))
+	M.CacheMisses.Add(int64(revalidated))
+	M.CacheHits.Add(int64(hits))
+	M.Gain.Set(st.GainRealized)
+	if s.batch {
+		M.PhaseBuild.Observe(time.Duration(phases.Build).Seconds())
+	}
+	M.PhaseOverlap.Observe(time.Duration(phases.Overlap).Seconds())
+	M.PhaseDivide.Observe(time.Duration(phases.Divide).Seconds())
+	M.PhaseFlatten.Observe(time.Duration(phases.Flatten).Seconds())
+	M.PhaseValidate.Observe(time.Duration(phases.Validate).Seconds())
+	return st
+}

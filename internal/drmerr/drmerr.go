@@ -1,0 +1,268 @@
+// Package drmerr defines the typed error taxonomy of the validation
+// pipeline. Every failure that crosses a package boundary — from log
+// replay through tree division and equation evaluation up to the HTTP
+// surface — is classified by a Kind, so callers dispatch with errors.Is
+// against the kind sentinels (or errors.As against *Error) instead of
+// matching message strings, and the server maps kinds to HTTP statuses
+// mechanically.
+//
+// The taxonomy mirrors the failure modes the paper's model admits:
+//
+//   - KindViolation — an aggregate validation equation does not hold
+//     (eq. 1's C⟨S⟩ > A[S]), or an online issuance would make one fail;
+//   - KindInstanceInvalid — an issuance rectangle outside every
+//     redistribution license (fig 2's L_U^2);
+//   - KindCorpusMismatch — corpus, grouping, and aggregate shapes
+//     disagree (caller wiring bug, not corrupt data);
+//   - KindCrossGroup — a log record's belongs-to set spans overlap
+//     groups, impossible under Corollary 1.1 for instance-validated
+//     logs, so the log is corrupt or was never instance-validated;
+//   - KindStoreCorrupt — the issuance log cannot be decoded or holds
+//     structurally invalid records;
+//   - KindCancelled — work abandoned because the caller's context was
+//     cancelled before any partial result is worth returning;
+//   - KindIncomplete — a deadline-bounded audit ran out of time: the
+//     verified-so-far report is returned alongside the error;
+//   - KindInvalidInput / KindNotFound — argument validation failures
+//     and missing-entity lookups.
+package drmerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Kind classifies a pipeline failure for programmatic dispatch.
+type Kind int
+
+const (
+	// KindUnknown is the zero Kind: an error outside the taxonomy.
+	KindUnknown Kind = iota
+	// KindViolation marks aggregate-constraint violations.
+	KindViolation
+	// KindInstanceInvalid marks issuances failing instance validation.
+	KindInstanceInvalid
+	// KindCorpusMismatch marks corpus/grouping/aggregate shape mismatches.
+	KindCorpusMismatch
+	// KindCrossGroup marks records whose belongs-to set spans groups.
+	KindCrossGroup
+	// KindStoreCorrupt marks undecodable or invalid persisted state.
+	KindStoreCorrupt
+	// KindCancelled marks work abandoned on context cancellation.
+	KindCancelled
+	// KindIncomplete marks deadline-bounded audits cut short; partial
+	// results accompany the error.
+	KindIncomplete
+	// KindInvalidInput marks argument validation failures.
+	KindInvalidInput
+	// KindNotFound marks missing-entity lookups.
+	KindNotFound
+)
+
+// String returns the kind's wire name (the "kind" field of HTTP error
+// bodies and structured logs).
+func (k Kind) String() string {
+	switch k {
+	case KindViolation:
+		return "violation"
+	case KindInstanceInvalid:
+		return "instance_invalid"
+	case KindCorpusMismatch:
+		return "corpus_mismatch"
+	case KindCrossGroup:
+		return "cross_group"
+	case KindStoreCorrupt:
+		return "store_corrupt"
+	case KindCancelled:
+		return "cancelled"
+	case KindIncomplete:
+		return "incomplete"
+	case KindInvalidInput:
+		return "invalid_input"
+	case KindNotFound:
+		return "not_found"
+	default:
+		return "unknown"
+	}
+}
+
+// sentinel is a comparable kind marker. Package-level sentinels below are
+// the targets callers pass to errors.Is; *Error values of the same kind
+// match them without being identical.
+type sentinel struct {
+	kind Kind
+	msg  string
+}
+
+func (s *sentinel) Error() string { return s.msg }
+
+// Is matches other sentinels of the same kind, so package-local sentinels
+// (e.g. engine.ErrInstanceInvalid) satisfy errors.Is against the package
+// sentinels here and vice versa.
+func (s *sentinel) Is(target error) bool {
+	t, ok := target.(*sentinel)
+	return ok && t.kind == s.kind
+}
+
+// Sentinel creates a named kind-carrying sentinel error. Packages use it
+// for their own public error values (e.g. engine.ErrInstanceInvalid) so
+// wrapping with %w preserves both the identity match and the kind.
+func Sentinel(kind Kind, msg string) error { return &sentinel{kind: kind, msg: msg} }
+
+// Kind sentinels: errors.Is(err, drmerr.ErrX) holds for any error in
+// err's chain whose kind matches, however it was constructed.
+var (
+	ErrViolation       = Sentinel(KindViolation, "drm: aggregate constraint violated")
+	ErrInstanceInvalid = Sentinel(KindInstanceInvalid, "drm: instance validation failed")
+	ErrCorpusMismatch  = Sentinel(KindCorpusMismatch, "drm: corpus shape mismatch")
+	ErrCrossGroup      = Sentinel(KindCrossGroup, "drm: record crosses overlap groups")
+	ErrStoreCorrupt    = Sentinel(KindStoreCorrupt, "drm: store corrupt")
+	ErrCancelled       = Sentinel(KindCancelled, "drm: operation cancelled")
+	ErrAuditIncomplete = Sentinel(KindIncomplete, "drm: audit incomplete")
+	ErrInvalidInput    = Sentinel(KindInvalidInput, "drm: invalid input")
+	ErrNotFound        = Sentinel(KindNotFound, "drm: not found")
+)
+
+// Error is a classified pipeline error: the Kind for dispatch, the
+// operation that failed (package-qualified, e.g. "core.divide"), a
+// human-readable message, and an optional wrapped cause.
+type Error struct {
+	Kind Kind
+	Op   string
+	Msg  string
+	Err  error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	switch {
+	case e.Msg != "" && e.Err != nil:
+		return e.Msg + ": " + e.Err.Error()
+	case e.Msg != "":
+		return e.Msg
+	case e.Err != nil:
+		return e.Op + ": " + e.Err.Error()
+	default:
+		return e.Op + ": " + e.Kind.String()
+	}
+}
+
+// Unwrap exposes the cause, so context errors (context.Canceled,
+// context.DeadlineExceeded) remain matchable through the chain.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the kind sentinels: errors.Is(e, ErrCrossGroup) is true iff
+// e.Kind == KindCrossGroup, regardless of how e was built.
+func (e *Error) Is(target error) bool {
+	if s, ok := target.(*sentinel); ok {
+		return s.kind == e.Kind
+	}
+	return false
+}
+
+// New builds a classified error with a formatted message and no cause.
+func New(kind Kind, op, format string, args ...any) error {
+	return &Error{Kind: kind, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies an existing error; nil stays nil. If err is already an
+// *Error of the same kind it is returned unchanged, so layers can wrap
+// defensively without stacking duplicate frames.
+func Wrap(kind Kind, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) && e.Kind == kind {
+		return err
+	}
+	return &Error{Kind: kind, Op: op, Err: err}
+}
+
+// Wrapf classifies an existing error with a formatted message prefix;
+// nil stays nil.
+func Wrapf(kind Kind, op string, err error, format string, args ...any) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Kind: kind, Op: op, Msg: fmt.Sprintf(format, args...), Err: err}
+}
+
+// KindOf returns the kind of the outermost classified error in err's
+// chain. Bare context errors classify as cancelled/incomplete so callers
+// can pass raw ctx.Err() values through the same dispatch.
+func KindOf(err error) Kind {
+	for ; err != nil; err = errors.Unwrap(err) {
+		switch v := err.(type) {
+		case *Error:
+			return v.Kind
+		case *sentinel:
+			return v.kind
+		}
+		if err == context.Canceled {
+			return KindCancelled
+		}
+		if err == context.DeadlineExceeded {
+			return KindIncomplete
+		}
+	}
+	return KindUnknown
+}
+
+// Incomplete builds the audit-incomplete error for a run cut short by
+// ctx: errors.Is matches ErrAuditIncomplete, and the context's own error
+// stays matchable (context.Canceled vs context.DeadlineExceeded) so the
+// HTTP layer can distinguish client cancellation from deadline expiry.
+func Incomplete(op string, cause error) error {
+	return &Error{Kind: KindIncomplete, Op: op,
+		Msg: op + ": audit incomplete, returning verified-so-far results", Err: cause}
+}
+
+// IsCancellation reports whether err means "the context cut this short"
+// in any form: a cancelled/incomplete kind or a bare context error.
+func IsCancellation(err error) bool {
+	switch KindOf(err) {
+	case KindCancelled, KindIncomplete:
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// HTTPStatus maps an error to the taxonomy's HTTP status:
+//
+//	violation         → 409 Conflict
+//	instance invalid  → 422 Unprocessable Entity
+//	corpus mismatch   → 422 Unprocessable Entity
+//	cross group       → 422 Unprocessable Entity
+//	invalid input     → 400 Bad Request
+//	not found         → 404 Not Found
+//	cancelled         → 499 (client closed request)
+//	store corrupt     → 503 Service Unavailable
+//	incomplete        → 504 Gateway Timeout
+//	anything else     → 500 Internal Server Error
+func HTTPStatus(err error) int {
+	switch KindOf(err) {
+	case KindViolation:
+		return http.StatusConflict
+	case KindInstanceInvalid, KindCorpusMismatch, KindCrossGroup:
+		return http.StatusUnprocessableEntity
+	case KindInvalidInput:
+		return http.StatusBadRequest
+	case KindNotFound:
+		return http.StatusNotFound
+	case KindCancelled:
+		return StatusClientClosedRequest
+	case KindStoreCorrupt:
+		return http.StatusServiceUnavailable
+	case KindIncomplete:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// StatusClientClosedRequest is nginx's non-standard 499, the
+// conventional status for requests abandoned by the client.
+const StatusClientClosedRequest = 499

@@ -1,0 +1,139 @@
+package drmerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindUnknown:         "unknown",
+		KindViolation:       "violation",
+		KindInstanceInvalid: "instance_invalid",
+		KindCorpusMismatch:  "corpus_mismatch",
+		KindCrossGroup:      "cross_group",
+		KindStoreCorrupt:    "store_corrupt",
+		KindCancelled:       "cancelled",
+		KindIncomplete:      "incomplete",
+		KindInvalidInput:    "invalid_input",
+		KindNotFound:        "not_found",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestErrorsIsMatchesByKind(t *testing.T) {
+	err := New(KindCrossGroup, "core.route", "record %v crosses groups", 3)
+	if !errors.Is(err, ErrCrossGroup) {
+		t.Error("New(KindCrossGroup) does not match ErrCrossGroup")
+	}
+	if errors.Is(err, ErrViolation) {
+		t.Error("cross-group error matches ErrViolation")
+	}
+	// Wrapping with %w keeps the kind matchable.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.Is(wrapped, ErrCrossGroup) {
+		t.Error("kind lost through fmt.Errorf wrapping")
+	}
+	// errors.As recovers the typed error with Op intact.
+	var e *Error
+	if !errors.As(wrapped, &e) || e.Op != "core.route" {
+		t.Errorf("errors.As = %+v", e)
+	}
+}
+
+func TestSentinelCrossMatch(t *testing.T) {
+	// A package-local sentinel of the same kind matches the taxonomy
+	// sentinel (and vice versa), so engine.ErrInstanceInvalid callers and
+	// drmerr.ErrInstanceInvalid callers agree.
+	local := Sentinel(KindInstanceInvalid, "engine: issuance fails instance-based validation")
+	if !errors.Is(local, ErrInstanceInvalid) {
+		t.Error("local sentinel does not match taxonomy sentinel")
+	}
+	wrapped := fmt.Errorf("%w: rect outside every license", local)
+	if !errors.Is(wrapped, local) {
+		t.Error("identity match lost through wrapping")
+	}
+	if !errors.Is(wrapped, ErrInstanceInvalid) {
+		t.Error("kind match lost through wrapping")
+	}
+}
+
+func TestWrapIsIdempotentPerKind(t *testing.T) {
+	base := New(KindStoreCorrupt, "logstore.read", "bad line")
+	if again := Wrap(KindStoreCorrupt, "catalog.load", base); again != base {
+		t.Error("same-kind Wrap stacked a duplicate frame")
+	}
+	other := Wrap(KindIncomplete, "core.audit", base)
+	if other == base || KindOf(other) != KindIncomplete {
+		t.Error("cross-kind Wrap did not reclassify")
+	}
+	if Wrap(KindViolation, "x", nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+}
+
+func TestKindOfContextErrors(t *testing.T) {
+	if KindOf(context.Canceled) != KindCancelled {
+		t.Error("bare context.Canceled not classified")
+	}
+	if KindOf(context.DeadlineExceeded) != KindIncomplete {
+		t.Error("bare context.DeadlineExceeded not classified")
+	}
+	if KindOf(errors.New("plain")) != KindUnknown {
+		t.Error("plain error classified")
+	}
+	if KindOf(nil) != KindUnknown {
+		t.Error("nil classified")
+	}
+	// The chain walk finds a kind behind fmt wrapping.
+	deep := fmt.Errorf("a: %w", fmt.Errorf("b: %w", ErrNotFound))
+	if KindOf(deep) != KindNotFound {
+		t.Errorf("KindOf(deep) = %v", KindOf(deep))
+	}
+}
+
+func TestIncompletePreservesCause(t *testing.T) {
+	err := Incomplete("core.audit", context.DeadlineExceeded)
+	if !errors.Is(err, ErrAuditIncomplete) {
+		t.Error("Incomplete does not match ErrAuditIncomplete")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("deadline cause lost")
+	}
+	if !IsCancellation(err) {
+		t.Error("IsCancellation(incomplete) = false")
+	}
+	if IsCancellation(New(KindViolation, "x", "v")) {
+		t.Error("violation counted as cancellation")
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{New(KindViolation, "op", "v"), http.StatusConflict},
+		{New(KindInstanceInvalid, "op", "v"), http.StatusUnprocessableEntity},
+		{New(KindCorpusMismatch, "op", "v"), http.StatusUnprocessableEntity},
+		{New(KindCrossGroup, "op", "v"), http.StatusUnprocessableEntity},
+		{New(KindInvalidInput, "op", "v"), http.StatusBadRequest},
+		{New(KindNotFound, "op", "v"), http.StatusNotFound},
+		{New(KindStoreCorrupt, "op", "v"), http.StatusServiceUnavailable},
+		{Incomplete("op", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{Wrap(KindCancelled, "op", context.Canceled), StatusClientClosedRequest},
+		{errors.New("plain"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/drmerr"
+	"repro/internal/license"
+	"repro/internal/logstore"
+)
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestIssueContextCancelled(t *testing.T) {
+	ex, d := ex1Distributor(t, ModeOnline)
+	if _, err := d.IssueContext(cancelledCtx(), license.Usage, ex.Usage1.Rect, 10); !errors.Is(err, drmerr.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if st := d.Stats(); st.Issued != 0 {
+		t.Errorf("cancelled issuance was logged: %+v", st)
+	}
+	// The distributor is unharmed: the same request succeeds afterwards.
+	if _, err := d.IssueContext(context.Background(), license.Usage, ex.Usage1.Rect, 10); err != nil {
+		t.Fatalf("post-cancel issuance failed: %v", err)
+	}
+}
+
+func TestIssueTypedErrors(t *testing.T) {
+	ex, d := ex1Distributor(t, ModeOffline)
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 0); !errors.Is(err, drmerr.ErrInvalidInput) {
+		t.Errorf("zero count err = %v, want ErrInvalidInput", err)
+	}
+	// The engine sentinel and the taxonomy sentinel agree on kind.
+	empty := NewDistributor("empty", ex.Schema, ModeOffline, logstore.NewMem(0))
+	_, err := empty.Issue(license.Usage, ex.Usage1.Rect, 5)
+	if !errors.Is(err, ErrInstanceInvalid) || !errors.Is(err, drmerr.ErrInstanceInvalid) {
+		t.Errorf("err = %v, want both ErrInstanceInvalid sentinels", err)
+	}
+}
+
+func TestAuditContextDeadlineAndResume(t *testing.T) {
+	ex, d := ex1Distributor(t, ModeOffline)
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 800); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Issue(license.Usage, ex.Usage2.Rect, 400); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := d.Audit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An already-expired deadline is noticed during the log replay, before
+	// any auditor exists — that surfaces as a cancellation, not a partial
+	// report (there is nothing verified-so-far to return).
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, aud, err := d.AuditContext(ctx, 1)
+	if err == nil || !drmerr.IsCancellation(err) {
+		t.Fatalf("err = %v, want a cancellation", err)
+	}
+	if aud != nil {
+		t.Error("cancelled preparation returned an auditor")
+	}
+	got, _, err := d.AuditContext(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed audit diverges:\n got %+v\nwant %+v", got, want)
+	}
+}

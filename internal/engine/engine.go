@@ -21,12 +21,14 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/drmerr"
 	"repro/internal/geometry"
 	"repro/internal/license"
 	"repro/internal/logstore"
@@ -59,14 +61,18 @@ func (m Mode) String() string {
 	}
 }
 
-// Sentinel errors distinguish the two rejection classes.
+// Sentinel errors distinguish the two rejection classes. They are typed
+// with drmerr kinds, so errors.Is against the sentinel and
+// drmerr.KindOf both classify a rejection.
 var (
 	// ErrInstanceInvalid marks an issuance whose rectangle is not
 	// contained in any redistribution license (like L_U^2 in fig 2).
-	ErrInstanceInvalid = errors.New("engine: issuance fails instance-based validation")
+	ErrInstanceInvalid = drmerr.Sentinel(drmerr.KindInstanceInvalid,
+		"engine: issuance fails instance-based validation")
 	// ErrAggregateExhausted marks an online-mode issuance that would
 	// violate a validation equation.
-	ErrAggregateExhausted = errors.New("engine: issuance would violate an aggregate constraint")
+	ErrAggregateExhausted = drmerr.Sentinel(drmerr.KindViolation,
+		"engine: issuance would violate an aggregate constraint")
 )
 
 // Stats counts a distributor's issuance outcomes.
@@ -143,13 +149,15 @@ func (d *Distributor) AddRedistribution(l *license.License) (int, error) {
 	return idx, nil
 }
 
-// rebuildLive replays the log into a fresh tree sized to the corpus, if a
-// corpus change invalidated the current one.
-func (d *Distributor) rebuildLive() error {
+// rebuildLiveContext replays the log into a fresh tree sized to the
+// corpus, if a corpus change invalidated the current one. The replay is
+// cancellable; a cut-short rebuild leaves the previous tree (and the
+// dirty flag) in place.
+func (d *Distributor) rebuildLiveContext(ctx context.Context) error {
 	if d.live != nil && !d.liveDirty {
 		return nil
 	}
-	t, err := vtree.Build(d.corpus.Len(), d.log)
+	t, err := vtree.BuildContext(ctx, d.corpus.Len(), d.log)
 	if err != nil {
 		return err
 	}
@@ -170,15 +178,27 @@ func (d *Distributor) BelongsTo(rect geometry.Rect) bitset.Mask {
 
 // Issue processes one issuance request: a new license of the given kind
 // with constraint rectangle rect and permission count. On success the
-// issued license is returned and the issuance is logged.
+// issued license is returned and the issuance is logged. It is
+// IssueContext with a background context.
 func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
+	return d.IssueContext(context.Background(), kind, rect, count)
+}
+
+// IssueContext is Issue under a context: cancellation is checked before
+// the instance search and again before the (potentially log-replaying)
+// online aggregate check, so an abandoned request never appends to the
+// log. A cancelled issuance returns a KindCancelled error.
+func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
 	start := time.Now()
 	defer M.IssueSeconds.ObserveSince(start)
+	if err := ctx.Err(); err != nil {
+		return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
+	}
 	if d.corpus.Len() == 0 {
 		return nil, fmt.Errorf("%w: distributor %s holds no redistribution licenses", ErrInstanceInvalid, d.name)
 	}
 	if count <= 0 {
-		return nil, fmt.Errorf("engine: non-positive count %d", count)
+		return nil, drmerr.New(drmerr.KindInvalidInput, "engine.issue", "engine: non-positive count %d", count)
 	}
 	set := d.BelongsTo(rect)
 	if set.Empty() {
@@ -187,7 +207,10 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 		return nil, fmt.Errorf("%w: %s not contained in any redistribution license", ErrInstanceInvalid, rect)
 	}
 	if d.mode == ModeOnline {
-		if err := d.rebuildLive(); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
+		}
+		if err := d.rebuildLiveContext(ctx); err != nil {
 			return nil, err
 		}
 		room, err := d.live.Headroom(set, d.corpus.Aggregates())
@@ -234,23 +257,33 @@ func (d *Distributor) TopUp(i int, extra int64) error {
 
 // Audit runs the geometric offline validator over the accumulated log with
 // the given parallelism and returns its report together with the auditor
-// (for gain/timings inspection).
+// (for gain/timings inspection). It is AuditContext with a background
+// context.
 func (d *Distributor) Audit(workers int) (core.Report, *core.Auditor, error) {
+	return d.AuditContext(context.Background(), workers)
+}
+
+// AuditContext is Audit under a context: log replay, tree division, and
+// the per-group equation walks all observe ctx. On deadline expiry the
+// verified-so-far report and auditor are returned together with an error
+// matching drmerr.ErrAuditIncomplete; a cancellation during preparation
+// returns a KindCancelled error and no auditor.
+func (d *Distributor) AuditContext(ctx context.Context, workers int) (core.Report, *core.Auditor, error) {
 	start := time.Now()
 	defer M.AuditSeconds.ObserveSince(start)
-	aud, err := core.NewAuditor(d.corpus, d.log)
+	aud, err := core.NewAuditorContext(ctx, d.corpus, d.log)
 	if err != nil {
 		return core.Report{}, nil, err
 	}
 	if workers > 1 {
 		aud.Workers = workers
 	}
-	rep, err := aud.Audit()
-	if err != nil {
+	rep, err := aud.AuditContext(ctx)
+	if err != nil && !errors.Is(err, drmerr.ErrAuditIncomplete) {
 		return core.Report{}, nil, err
 	}
 	M.Audits.Inc()
-	return rep, aud, nil
+	return rep, aud, err
 }
 
 // Network is a directory of distributors keyed by (name, content,
@@ -303,12 +336,27 @@ func (n *Network) Distributors() []*Distributor {
 }
 
 // AuditAll audits every corpus in the network, returning reports keyed the
-// same way lookups are.
+// same way lookups are. It is AuditAllContext with a background context.
 func (n *Network) AuditAll(workers int) (map[*Distributor]core.Report, error) {
+	return n.AuditAllContext(context.Background(), workers)
+}
+
+// AuditAllContext audits every corpus in the network under ctx. A
+// deadline that expires mid-sweep returns the reports gathered so far
+// (including the partially verified one, with its Completeness filled in)
+// and an error matching drmerr.ErrAuditIncomplete.
+func (n *Network) AuditAllContext(ctx context.Context, workers int) (map[*Distributor]core.Report, error) {
 	out := make(map[*Distributor]core.Report, len(n.distributors))
 	for _, d := range n.distributors {
-		rep, _, err := d.Audit(workers)
+		rep, _, err := d.AuditContext(ctx, workers)
+		if errors.Is(err, drmerr.ErrAuditIncomplete) {
+			out[d] = rep
+			return out, fmt.Errorf("engine: auditing %s: %w", d.Name(), err)
+		}
 		if err != nil {
+			if drmerr.IsCancellation(err) {
+				return out, fmt.Errorf("engine: auditing %s: %w", d.Name(), err)
+			}
 			return nil, fmt.Errorf("engine: auditing %s: %w", d.Name(), err)
 		}
 		out[d] = rep

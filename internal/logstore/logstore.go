@@ -12,6 +12,7 @@ package logstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/drmerr"
 )
 
 // Record is one issuance log row: Table 2's (Set, Set Counts) pair.
@@ -55,6 +57,31 @@ type Store interface {
 	ForEach(fn func(Record) error) error
 }
 
+// replayPollRecords is how many records ForEachContext replays between
+// context polls: frequent enough that cancelling a multi-million-record
+// replay takes microseconds, rare enough to stay off the per-record path.
+const replayPollRecords = 1024
+
+// ForEachContext replays s under a context, polling ctx every
+// replayPollRecords records. A cancelled replay stops with a
+// KindCancelled error wrapping ctx.Err(). It is the context-aware replay
+// every pipeline layer (vtree.BuildContext, the auditors) goes through;
+// Store implementations themselves stay context-free.
+func ForEachContext(ctx context.Context, s Store, fn func(Record) error) error {
+	if err := ctx.Err(); err != nil {
+		return drmerr.Wrap(drmerr.KindCancelled, "logstore.replay", err)
+	}
+	n := 0
+	return s.ForEach(func(r Record) error {
+		if n++; n%replayPollRecords == 0 {
+			if err := ctx.Err(); err != nil {
+				return drmerr.Wrap(drmerr.KindCancelled, "logstore.replay", err)
+			}
+		}
+		return fn(r)
+	})
+}
+
 // Mem is an in-memory Store. The zero value is ready to use.
 // Mem is not safe for concurrent use; wrap it if you need that.
 type Mem struct {
@@ -69,7 +96,7 @@ func NewMem(capacity int) *Mem {
 // Append implements Store.
 func (m *Mem) Append(r Record) error {
 	if err := r.Validate(); err != nil {
-		return err
+		return drmerr.Wrap(drmerr.KindInvalidInput, "logstore.append", err)
 	}
 	m.records = append(m.records, r)
 	M.Appends.Inc()
@@ -199,7 +226,7 @@ func countRecords(path string) (int, error) {
 // Append implements Store.
 func (s *File) Append(r Record) error {
 	if err := r.Validate(); err != nil {
-		return err
+		return drmerr.Wrap(drmerr.KindInvalidInput, "logstore.append", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -267,7 +294,9 @@ func ReadFile(path string, fn func(Record) error) error {
 	return Read(f, fn)
 }
 
-// Read replays JSONL records from r.
+// Read replays JSONL records from r. Undecodable input and structurally
+// invalid persisted records surface as KindStoreCorrupt errors — a log
+// that fails replay is corrupt state, not a caller mistake.
 func Read(r io.Reader, fn func(Record) error) error {
 	dec := json.NewDecoder(r)
 	for {
@@ -275,10 +304,10 @@ func Read(r io.Reader, fn func(Record) error) error {
 		if err := dec.Decode(&rec); err == io.EOF {
 			return nil
 		} else if err != nil {
-			return fmt.Errorf("logstore: decode: %w", err)
+			return drmerr.Wrapf(drmerr.KindStoreCorrupt, "logstore.read", err, "logstore: decode")
 		}
 		if err := rec.Validate(); err != nil {
-			return err
+			return drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.read", err)
 		}
 		if err := fn(rec); err != nil {
 			return err

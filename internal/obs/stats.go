@@ -49,6 +49,11 @@ type AuditStats struct {
 	// Violations counts violated equations in the merged report.
 	Violations int `json:"violations"`
 
+	// Incomplete is true when the run was cut short by context
+	// cancellation or deadline expiry; EquationsChecked then counts only
+	// the masks actually scanned.
+	Incomplete bool `json:"incomplete,omitempty"`
+
 	// Phases records per-phase wall time in nanoseconds.
 	Phases AuditPhases `json:"phases_ns"`
 }

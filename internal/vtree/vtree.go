@@ -21,12 +21,14 @@
 package vtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/bitset"
+	"repro/internal/drmerr"
 	"repro/internal/logstore"
 )
 
@@ -81,13 +83,14 @@ func (t *Tree) Root() *Node { return t.root }
 // within [0, N); count must be positive.
 func (t *Tree) Insert(set bitset.Mask, count int64) error {
 	if set.Empty() {
-		return errors.New("vtree: insert with empty set")
+		return drmerr.New(drmerr.KindInvalidInput, "vtree.insert", "vtree: insert with empty set")
 	}
 	if !set.SubsetOf(bitset.FullMask(t.n)) {
-		return fmt.Errorf("vtree: set %v outside universe of %d licenses", set, t.n)
+		return drmerr.New(drmerr.KindCorpusMismatch, "vtree.insert",
+			"vtree: set %v outside universe of %d licenses", set, t.n)
 	}
 	if count <= 0 {
-		return fmt.Errorf("vtree: non-positive count %d", count)
+		return drmerr.New(drmerr.KindInvalidInput, "vtree.insert", "vtree: non-positive count %d", count)
 	}
 	cur := t.root
 	set.ForEach(func(e int) bool {
@@ -123,11 +126,20 @@ func (t *Tree) InsertRecord(r logstore.Record) error {
 
 // Build replays an issuance log into a fresh tree over n licenses.
 func Build(n int, log logstore.Store) (*Tree, error) {
+	return BuildContext(context.Background(), n, log)
+}
+
+// BuildContext replays an issuance log into a fresh tree over n licenses,
+// polling ctx between batches of records so replaying a large log is
+// cancellable. A cancelled build returns a KindCancelled error (the
+// partially built tree is discarded — unlike audits, a half-replayed tree
+// has no sound partial interpretation).
+func BuildContext(ctx context.Context, n int, log logstore.Store) (*Tree, error) {
 	t, err := New(n)
 	if err != nil {
 		return nil, err
 	}
-	if err := log.ForEach(t.InsertRecord); err != nil {
+	if err := logstore.ForEachContext(ctx, log, t.InsertRecord); err != nil {
 		return nil, err
 	}
 	return t, nil
