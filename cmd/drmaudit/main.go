@@ -5,6 +5,15 @@
 // Usage:
 //
 //	drmaudit -corpus corpus.json -log log.jsonl [-workers 4] [-compare]
+//	drmaudit -corpus corpus.json -log issued.wal            # WAL directory
+//	drmaudit -corpus corpus.json -log log.jsonl -repair      # fix a torn tail
+//	drmaudit -corpus corpus.json -log log.jsonl -migrate-wal issued.wal
+//
+// The issuance log may be a JSONL file or a WAL directory (internal/wal);
+// -log-backend auto (the default) tells them apart by whether -log is a
+// directory. -repair truncates a torn JSONL tail (a WAL repairs its own
+// tail during recovery). -migrate-wal converts the log into a fresh WAL
+// store, snapshot included, after the audit passes over it.
 //
 // It prints the grouping, the theoretical gain, per-stage timings, and any
 // violated validation equations. -workers (default: all CPUs) bounds the
@@ -41,6 +50,7 @@ import (
 	"repro/internal/overlap"
 	"repro/internal/signature"
 	"repro/internal/vtree"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -69,8 +79,14 @@ func run(args []string, out io.Writer) (int, error) {
 		statsPath   = fs.String("stats", "", "write the typed AuditStats record (JSON) to this path")
 		signed      = fs.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
 		issuerKey   = fs.String("issuer", "", "pinned issuer public key (base64; with -signed)")
-		compactLog  = fs.Bool("compact", false, "compact the log file in place after reading it")
-		timeout     = fs.Duration("timeout", 0,
+		compactLog  = fs.Bool("compact", false, "compact the log in place after reading it (JSONL rewrite, or WAL snapshot + segment retirement)")
+		logBackend  = fs.String("log-backend", "auto",
+			"issuance log backend: auto (directory = wal, file = jsonl), jsonl, or wal")
+		repairLog = fs.Bool("repair", false,
+			"truncate a torn JSONL tail before reading (WAL recovery repairs its own tail)")
+		migrateWAL = fs.String("migrate-wal", "",
+			"after the audit, migrate the log records into a fresh WAL store at this directory and snapshot it")
+		timeout = fs.Duration("timeout", 0,
 			"audit deadline (0 = none); an expired deadline prints the verified-so-far report, per-group completeness, and exits 3")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,8 +122,38 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 
+	isWAL, err := detectWAL(*logPath, *logBackend)
+	if err != nil {
+		return 0, err
+	}
+	if *repairLog && !isWAL {
+		removed, err := logstore.RepairFile(*logPath)
+		if err != nil {
+			return 0, err
+		}
+		if removed > 0 {
+			fmt.Fprintf(out, "repaired:    %s: truncated %d torn-tail bytes\n", *logPath, removed)
+		}
+	}
 	log := logstore.NewMem(0)
-	if err := logstore.ReadFile(*logPath, log.Append); err != nil {
+	if isWAL {
+		ws, err := wal.Open(*logPath, wal.Options{})
+		if err != nil {
+			return 0, err
+		}
+		rerr := ws.ForEach(log.Append)
+		st := ws.RecoveryStats()
+		if cerr := ws.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return 0, rerr
+		}
+		if st.TruncatedBytes > 0 {
+			fmt.Fprintf(out, "repaired:    %s: truncated %d torn-tail bytes during recovery\n",
+				*logPath, st.TruncatedBytes)
+		}
+	} else if err := logstore.ReadFile(*logPath, log.Append); err != nil {
 		return 0, err
 	}
 
@@ -218,11 +264,34 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if *compactLog {
-		before, after, err := logstore.CompactFile(*logPath)
-		if err != nil {
+		if isWAL {
+			ws, err := wal.Open(*logPath, wal.Options{})
+			if err != nil {
+				return 0, err
+			}
+			info, err := ws.Snapshot()
+			if cerr := ws.Close(); err == nil { // Close waits for segment retirement
+				err = cerr
+			}
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(out, "compacted:   %s: snapshot of %d records at seq %d\n",
+				*logPath, info.Records, info.Seq)
+		} else {
+			before, after, err := logstore.CompactFile(*logPath)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(out, "compacted:   %s: %d -> %d records\n", *logPath, before, after)
+		}
+	}
+
+	if *migrateWAL != "" {
+		if err := migrateToWAL(*migrateWAL, log); err != nil {
 			return 0, err
 		}
-		fmt.Fprintf(out, "compacted:   %s: %d -> %d records\n", *logPath, before, after)
+		fmt.Fprintf(out, "migrated:    %d records -> %s (wal, snapshotted)\n", log.Len(), *migrateWAL)
 	}
 
 	if *capacity {
@@ -277,6 +346,48 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 	return 2, nil
+}
+
+// detectWAL resolves the -log-backend flag against what exists at path:
+// "auto" answers wal exactly when path is a directory.
+func detectWAL(path, backend string) (bool, error) {
+	switch backend {
+	case "jsonl":
+		return false, nil
+	case "wal":
+		return true, nil
+	case "auto":
+		fi, err := os.Stat(path)
+		if err == nil && fi.IsDir() {
+			return true, nil
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown log backend %q (want auto, jsonl, or wal)", backend)
+	}
+}
+
+// migrateToWAL writes the in-memory log into a fresh WAL store at dir and
+// snapshots it, so the first server open replays nothing. A non-empty
+// target is refused — migration never merges histories.
+func migrateToWAL(dir string, log *logstore.Mem) error {
+	ws, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return err
+	}
+	if ws.Len() != 0 {
+		ws.Close()
+		return fmt.Errorf("refusing to migrate into non-empty WAL %s (%d records)", dir, ws.Len())
+	}
+	if err := ws.AppendBatch(log.Records()); err != nil {
+		ws.Close()
+		return err
+	}
+	if _, err := ws.Snapshot(); err != nil {
+		ws.Close()
+		return err
+	}
+	return ws.Close()
 }
 
 // writeStats writes the typed run-stats record to path.

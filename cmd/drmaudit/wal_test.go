@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/logstore"
+	"repro/internal/wal"
+)
+
+func TestAuditMigrateThenAuditWAL(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	walDir := filepath.Join(dir, "issued.wal")
+
+	// Audit the JSONL log and migrate it.
+	var out bytes.Buffer
+	code, err := run([]string{"-corpus", corpus, "-log", logPath, "-migrate-wal", walDir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "migrated:") {
+		t.Errorf("output missing migration line:\n%s", out.String())
+	}
+
+	// Auditing the migrated WAL (backend auto-detected from the
+	// directory) gives the same verdict and equation count.
+	out.Reset()
+	code, err = run([]string{"-corpus", corpus, "-log", walDir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("WAL audit exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"groups:      2 [{1,2,4} {3,5}]",
+		"10 grouped (vs 31 undivided)",
+		"OK — no aggregate violations",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("WAL audit output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Re-running the migration into the now-populated target must refuse.
+	out.Reset()
+	if _, err := run([]string{"-corpus", corpus, "-log", logPath, "-migrate-wal", walDir}, &out); err == nil {
+		t.Error("migration into non-empty WAL accepted")
+	}
+}
+
+func TestAuditMigratePreservesViolations(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 700) // over-issues {L2}
+	walDir := filepath.Join(dir, "issued.wal")
+	var out bytes.Buffer
+	code, err := run([]string{"-corpus", corpus, "-log", logPath, "-migrate-wal", walDir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("JSONL audit exit code = %d, want 2\n%s", code, out.String())
+	}
+	out.Reset()
+	code, err = run([]string{"-corpus", corpus, "-log", walDir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("WAL audit exit code = %d, want 2 (violation lost in migration)\n%s", code, out.String())
+	}
+}
+
+func TestAuditRepairFlag(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("{\"set\":3,\"cou")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Without -repair the torn tail is a typed failure.
+	var out bytes.Buffer
+	if _, err := run([]string{"-corpus", corpus, "-log", logPath}, &out); err == nil {
+		t.Fatal("audit over torn log succeeded without -repair")
+	}
+	// With -repair the tail is truncated and the audit proceeds.
+	out.Reset()
+	code, err := run([]string{"-corpus", corpus, "-log", logPath, "-repair"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "repaired:") {
+		t.Errorf("output missing repair line:\n%s", out.String())
+	}
+}
+
+func TestAuditCompactWAL(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	walDir := filepath.Join(dir, "issued.wal")
+	var out bytes.Buffer
+	if _, err := run([]string{"-corpus", corpus, "-log", logPath, "-migrate-wal", walDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err := run([]string{"-corpus", corpus, "-log", walDir, "-compact"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "compacted:") {
+		t.Errorf("output missing compaction line:\n%s", out.String())
+	}
+	// The compacted WAL still audits clean.
+	ws, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	recs, err := logstore.Collect(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("compaction emptied the WAL")
+	}
+}

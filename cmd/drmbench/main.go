@@ -16,6 +16,11 @@
 //	11 issuance-policy loss extension
 //	12 intra-group sharding ablation: serial vs sharded single-group V_T
 //	   (-workers bounds the shard budget; default: all CPUs)
+//
+// Beyond the figures, -recover benchmarks WAL crash recovery (full log
+// replay vs snapshot+tail) over decades of record counts:
+//
+//	drmbench -recover -recover-max 10000000
 package main
 
 import (
@@ -53,6 +58,10 @@ func run(args []string, out io.Writer) error {
 		format  = fs.String("format", "table", "output format: table or csv")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0),
 			"worker budget for the fig 12 sharded runs (groups × intra-group mask shards)")
+		recoverMode = fs.Bool("recover", false,
+			"benchmark WAL recovery: full replay vs snapshot+tail over decades of record counts")
+		recoverMax = fs.Int("recover-max", 1_000_000,
+			"largest record count in the -recover sweep (decades from 100k)")
 		statsPath = fs.String("stats", "",
 			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
 		timeout = fs.Duration("timeout", 0,
@@ -78,7 +87,15 @@ func run(args []string, out io.Writer) error {
 		ns = append(ns, n)
 	}
 
-	want := func(f int) bool { return *fig == 0 || *fig == f }
+	// -recover suppresses the default all-figures sweep (a 10^7-record
+	// recovery run should not drag the full N sweep along); an explicit
+	// -fig still combines with it.
+	want := func(f int) bool {
+		if *fig != 0 {
+			return *fig == f
+		}
+		return !*recoverMode
+	}
 	ran := false
 
 	if want(6) {
@@ -237,6 +254,29 @@ func run(args []string, out io.Writer) error {
 		write := bench.WriteIntraGroup
 		if csvOut {
 			write = bench.WriteIntraGroupCSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if *recoverMode {
+		ran = true
+		if *recoverMax < 1 {
+			return fmt.Errorf("recover-max must be positive, got %d", *recoverMax)
+		}
+		if !csvOut {
+			fmt.Fprintln(out, "== Recovery: full WAL replay vs snapshot+tail ==")
+		}
+		rows, err := benchRecover(*recoverMax)
+		if err != nil {
+			return err
+		}
+		write := writeRecover
+		if csvOut {
+			write = writeRecoverCSV
 		}
 		if err := write(out, rows); err != nil {
 			return err

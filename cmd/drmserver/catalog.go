@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"net/http"
+	"sort"
 	"sync"
 
 	"repro/internal/catalog"
@@ -43,7 +44,47 @@ func (s *catalogServer) routes() http.Handler {
 	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
+	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/snapshot", s.entry(corpusAPI.handleSnapshot))
+	s.obs.wrap(mux, "POST /v1/snapshot", s.handleSnapshotAll)
 	return mux
+}
+
+// snapshotAllEntry is one entry's outcome in a catalog-wide snapshot.
+type snapshotAllEntry struct {
+	Content    string `json:"content"`
+	Permission string `json:"permission"`
+	Records    int    `json:"records"`
+	Seq        uint64 `json:"seq"`
+}
+
+// handleSnapshotAll checkpoints every WAL-backed entry. JSONL entries are
+// skipped (an all-JSONL catalog answers with an empty list).
+func (s *catalogServer) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos, err := s.cat.SnapshotAll()
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := struct {
+		Entries []snapshotAllEntry `json:"entries"`
+	}{Entries: []snapshotAllEntry{}}
+	for e, info := range infos {
+		out.Entries = append(out.Entries, snapshotAllEntry{
+			Content:    e.Content,
+			Permission: string(e.Permission),
+			Records:    info.Records,
+			Seq:        info.Seq,
+		})
+	}
+	sort.Slice(out.Entries, func(i, j int) bool {
+		if out.Entries[i].Content != out.Entries[j].Content {
+			return out.Entries[i].Content < out.Entries[j].Content
+		}
+		return out.Entries[i].Permission < out.Entries[j].Permission
+	})
+	writeJSON(w, http.StatusOK, out)
 }
 
 // entry resolves the path's (content, perm) to a corpusAPI and dispatches,
@@ -61,7 +102,7 @@ func (s *catalogServer) entry(h func(corpusAPI, http.ResponseWriter, *http.Reque
 			})
 			return
 		}
-		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist, workers: s.workers}, w, r)
+		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist, workers: s.workers, wal: e.WAL()}, w, r)
 	}
 }
 

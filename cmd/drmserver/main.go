@@ -53,6 +53,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/signature"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -64,12 +65,21 @@ func main() {
 
 func run() error {
 	var (
-		corpusPath  = flag.String("corpus", "corpus.json", "corpus document path (single-corpus mode)")
-		logPath     = flag.String("log", "issued.jsonl", "durable issuance log path (single-corpus mode)")
+		corpusPath = flag.String("corpus", "corpus.json", "corpus document path (single-corpus mode)")
+		logPath    = flag.String("log", "issued.jsonl",
+			"durable issuance log path (single-corpus mode): a JSONL file, or a WAL directory with -log-backend wal")
 		catalogPath = flag.String("catalog", "", "catalog directory (multi-content mode; overrides -corpus/-log)")
-		addr        = flag.String("addr", ":8080", "listen address")
-		mode        = flag.String("mode", "online", "validation mode: online or offline")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0),
+		logBackend  = flag.String("log-backend", "jsonl",
+			"issuance log backend for new logs: jsonl or wal (existing logs auto-detect)")
+		fsyncMode = flag.String("fsync", "always",
+			"WAL durability policy: always, os, or interval[=duration] (group commit)")
+		segmentBytes = flag.Int64("segment-bytes", 0,
+			"WAL segment rotation size in bytes (0 = 64 MiB default)")
+		snapshotEvery = flag.Int("snapshot-every", 0,
+			"WAL auto-snapshot after this many appends (0 = snapshot only via POST /v1/snapshot and at shutdown)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		mode    = flag.String("mode", "online", "validation mode: online or offline")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"audit parallelism: groups × intra-group shards (default: all CPUs)")
 		signed    = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
 		issuerKey = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
@@ -129,15 +139,34 @@ func run() error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	backend, err := catalog.ParseBackend(*logBackend)
+	if err != nil {
+		return err
+	}
+	fsyncPolicy, fsyncInterval, err := wal.ParseFsync(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	walOpts := wal.Options{
+		SegmentBytes:  *segmentBytes,
+		Fsync:         fsyncPolicy,
+		Interval:      fsyncInterval,
+		SnapshotEvery: *snapshotEvery,
+	}
+
 	if *catalogPath != "" {
-		cat, err := catalog.Open(*catalogPath, m)
+		cat, err := catalog.OpenWith(*catalogPath, catalog.Config{Mode: m, Backend: backend, WAL: walOpts})
 		if err != nil {
 			return err
 		}
 		defer cat.Close()
+		// Drain-time checkpoint: once serve returns (requests drained) and
+		// before the log closes, snapshot every WAL-backed entry so the next
+		// open replays nothing.
+		defer snapshotCatalogOnExit(cat)
 		srv := newCatalogServer(cat, *workers)
 		logger.Info("drmserver listening", "catalog", *catalogPath,
-			"entries", cat.Len(), "mode", m.String(), "addr", *addr)
+			"entries", cat.Len(), "mode", m.String(), "addr", *addr, "log_backend", string(backend))
 		return serve(*addr, srv.routes(), srv.obs)
 	}
 
@@ -170,19 +199,63 @@ func run() error {
 		}
 	}
 
-	store, err := logstore.OpenFile(*logPath)
+	store, err := openLog(*logPath, backend, walOpts)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
+	if ws, ok := store.(*wal.Store); ok {
+		st := ws.RecoveryStats()
+		logger.Info("wal recovered", "snapshot_records", st.SnapshotRecords,
+			"tail_records", st.TailRecords, "segments", st.SegmentsScanned,
+			"truncated_bytes", st.TruncatedBytes, "duration", st.Duration.String())
+		// Drain-time checkpoint; runs before the deferred Close above.
+		defer func() {
+			info, err := ws.Snapshot()
+			if err != nil {
+				logger.Error("final snapshot failed", "err", err)
+				return
+			}
+			logger.Info("final snapshot installed", "records", info.Records, "seq", info.Seq)
+		}()
+	}
 
 	srv, err := newServer(corpus, store, m, *workers)
 	if err != nil {
 		return err
 	}
 	logger.Info("drmserver listening", "licenses", corpus.Len(),
-		"mode", m.String(), "addr", *addr)
+		"mode", m.String(), "addr", *addr, "log_backend", string(backend))
 	return serve(*addr, srv.routes(), srv.obs)
+}
+
+// openLog opens the single-corpus issuance log, auto-detecting the
+// backend from what exists at path (a directory is a WAL, a file is
+// JSONL) and falling back to the -log-backend flag for fresh logs.
+func openLog(path string, backend catalog.Backend, walOpts wal.Options) (logstore.Durable, error) {
+	if fi, err := os.Stat(path); err == nil {
+		if fi.IsDir() {
+			return wal.Open(path, walOpts)
+		}
+		return logstore.OpenFile(path)
+	}
+	if backend == catalog.BackendWAL {
+		return wal.Open(path, walOpts)
+	}
+	return logstore.OpenFile(path)
+}
+
+// snapshotCatalogOnExit checkpoints every WAL-backed entry, logging the
+// outcome; JSONL-only catalogs do nothing.
+func snapshotCatalogOnExit(cat *catalog.Catalog) {
+	infos, err := cat.SnapshotAll()
+	if err != nil {
+		logger.Error("final snapshot failed", "err", err)
+	}
+	for e, info := range infos {
+		logger.Info("final snapshot installed", "content", e.Content,
+			"permission", string(e.Permission), "records", info.Records, "seq", info.Seq)
+	}
 }
 
 // serverTimeouts carries the http.Server hardening knobs plus the
@@ -259,6 +332,10 @@ type corpusAPI struct {
 	corpus  *license.Corpus
 	dist    *engine.Distributor
 	workers int
+	// wal is the entry's log when it is WAL-backed (snapshot endpoint);
+	// nil for JSONL logs. The store synchronises snapshots internally, so
+	// handleSnapshot does not take mu — appends proceed during a snapshot.
+	wal *wal.Store
 }
 
 // server is the single-corpus mode: one corpusAPI at fixed routes.
@@ -267,7 +344,7 @@ type server struct {
 	obs *serverObs
 }
 
-func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode, workers int) (*server, error) {
+func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode, workers int) (*server, error) {
 	d := engine.NewDistributor("drmserver", corpus.Schema(), mode, store)
 	for _, l := range corpus.Licenses() {
 		cp := *l
@@ -281,8 +358,9 @@ func newServer(corpus *license.Corpus, store *logstore.File, mode engine.Mode, w
 		}
 		return nil
 	})
+	ws, _ := store.(*wal.Store)
 	return &server{
-		api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers},
+		api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers, wal: ws},
 		obs: o,
 	}, nil
 }
@@ -295,6 +373,7 @@ func (s *server) routes() http.Handler {
 	s.obs.wrap(mux, "POST /v1/issue", s.api.handleIssue)
 	s.obs.wrap(mux, "GET /v1/audit", s.api.handleAudit)
 	s.obs.wrap(mux, "GET /v1/stats", s.api.handleStats)
+	s.obs.wrap(mux, "POST /v1/snapshot", s.api.handleSnapshot)
 	return mux
 }
 
@@ -444,6 +523,25 @@ func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSnapshot checkpoints a WAL-backed log on demand: fsync, compact
+// the history into per-set counts, install atomically, retire covered
+// segments in the background. JSONL logs answer 409 — they have no
+// snapshot concept.
+func (s corpusAPI) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: "issuance log backend has no snapshots (run with -log-backend wal)",
+		})
+		return
+	}
+	info, err := s.wal.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 type auditResponse struct {

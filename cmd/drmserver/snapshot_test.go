@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/license"
+	"repro/internal/wal"
+)
+
+// newWALTestServer is newTestServer with the issuance log on the WAL
+// backend.
+func newWALTestServer(t *testing.T) (*httptest.Server, *license.Example1, *wal.Store) {
+	t.Helper()
+	ex := license.NewExample1()
+	store, err := wal.Open(filepath.Join(t.TempDir(), "issued.wal"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv, err := newServer(ex.Corpus, store, engine.ModeOnline, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, ex, store
+}
+
+func TestSnapshotEndpointWAL(t *testing.T) {
+	ts, ex, store := newWALTestServer(t)
+	for i := 0; i < 3; i++ {
+		req := issueRequest{Values: usageValues(ex), Count: 10}
+		if code := postJSON(t, ts.URL+"/v1/issue", req, nil); code != http.StatusOK {
+			t.Fatalf("issue status = %d", code)
+		}
+	}
+	var info wal.SnapshotInfo
+	if code := postJSON(t, ts.URL+"/v1/snapshot", nil, &info); code != http.StatusOK {
+		t.Fatalf("snapshot status = %d", code)
+	}
+	if info.Seq != 3 {
+		t.Errorf("snapshot seq = %d, want 3", info.Seq)
+	}
+	if store.SnapshotSeq() != 3 {
+		t.Errorf("store SnapshotSeq = %d, want 3", store.SnapshotSeq())
+	}
+	// Issuance keeps working after the checkpoint, and the audit still
+	// sees the whole history.
+	req := issueRequest{Values: usageValues(ex), Count: 10}
+	if code := postJSON(t, ts.URL+"/v1/issue", req, nil); code != http.StatusOK {
+		t.Fatalf("issue after snapshot status = %d", code)
+	}
+	var audit auditResponse
+	if code := getJSON(t, ts.URL+"/v1/audit", &audit); code != http.StatusOK {
+		t.Fatalf("audit status = %d", code)
+	}
+	if !audit.OK {
+		t.Errorf("audit after snapshot = %+v", audit)
+	}
+}
+
+func TestSnapshotEndpointJSONLConflict(t *testing.T) {
+	ts, _ := newTestServer(t, engine.ModeOnline)
+	var e errorBody
+	if code := postJSON(t, ts.URL+"/v1/snapshot", nil, &e); code != http.StatusConflict {
+		t.Fatalf("snapshot on jsonl backend: status = %d, want 409", code)
+	}
+	if e.Error == "" {
+		t.Error("empty error body")
+	}
+}

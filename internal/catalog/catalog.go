@@ -2,24 +2,29 @@
 // issuance logs — the persistent, multi-content store behind a validation
 // authority that serves more than one content item.
 //
-// Layout: for every (content, permission) pair the catalog keeps two
-// files in its directory,
+// Layout: for every (content, permission) pair the catalog keeps a corpus
+// document and an issuance log in its directory,
 //
 //	<escape(content)>__<escape(permission)>.corpus.json
-//	<escape(content)>__<escape(permission)>.log.jsonl
+//	<escape(content)>__<escape(permission)>.log.jsonl   (jsonl backend)
+//	<escape(content)>__<escape(permission)>.wal/        (wal backend)
 //
-// in the formats of internal/license (EncodeCorpus) and internal/logstore
-// (JSONL records). Open scans the directory and wires every pair into an
-// engine.Distributor, so issuance, instance validation, and geometric
-// auditing work per content out of the box. Reopening a catalog resumes
-// exactly where it left off — logs are append-only and corpora immutable
-// on disk (license acquisition rewrites the corpus file atomically).
+// in the formats of internal/license (EncodeCorpus), internal/logstore
+// (JSONL records), and internal/wal (segmented checksummed WAL). Open
+// scans the directory and wires every pair into an engine.Distributor, so
+// issuance, instance validation, and geometric auditing work per content
+// out of the box. Reopening a catalog resumes exactly where it left off —
+// logs are append-only and corpora immutable on disk (license acquisition
+// rewrites the corpus file atomically). Each entry's log backend is
+// auto-detected from what exists on disk; Config.Backend only decides
+// what NEW logs are created as, so a catalog can migrate entry by entry.
 package catalog
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -29,8 +34,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/drmerr"
 	"repro/internal/engine"
+	"repro/internal/fsx"
 	"repro/internal/license"
 	"repro/internal/logstore"
+	"repro/internal/wal"
 )
 
 // Entry is one (content, permission) corpus with its distributor state.
@@ -42,21 +49,64 @@ type Entry struct {
 	Corpus *license.Corpus
 	// Dist wraps the corpus for issuance and audits.
 	Dist *engine.Distributor
-	// Log is the durable issuance log backing Dist.
-	Log *logstore.File
+	// Log is the durable issuance log backing Dist — a *logstore.File
+	// (jsonl) or *wal.Store (wal), depending on what exists on disk.
+	Log logstore.Durable
+}
+
+// WAL returns the entry's log as a WAL store, or nil when the entry is
+// JSONL-backed — the type gate for snapshot and recovery operations.
+func (e *Entry) WAL() *wal.Store {
+	s, _ := e.Log.(*wal.Store)
+	return s
+}
+
+// Backend selects the log format for newly created entries. Existing
+// entries always open with whatever backend their files are in.
+type Backend string
+
+const (
+	// BackendJSONL appends JSON lines — human-greppable, no checksums.
+	BackendJSONL Backend = "jsonl"
+	// BackendWAL appends checksummed binary frames to segmented files with
+	// snapshots and crash recovery (internal/wal).
+	BackendWAL Backend = "wal"
+)
+
+// ParseBackend parses a -log-backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case BackendJSONL, BackendWAL:
+		return Backend(s), nil
+	default:
+		return "", fmt.Errorf("catalog: unknown log backend %q (want jsonl or wal)", s)
+	}
+}
+
+// Config tunes how a catalog opens and creates entries.
+type Config struct {
+	// Mode is the validation mode every distributor runs in.
+	Mode engine.Mode
+	// Backend is the log format for entries created from now on; empty
+	// means BackendJSONL.
+	Backend Backend
+	// WAL configures WAL-backed logs (segment size, fsync policy,
+	// auto-snapshot cadence).
+	WAL wal.Options
 }
 
 // Catalog is a directory of entries. It is not safe for concurrent use;
 // callers serialise access (cmd/drmserver wraps it in a mutex).
 type Catalog struct {
 	dir     string
-	mode    engine.Mode
+	cfg     Config
 	entries map[string]*Entry
 }
 
 const (
 	corpusSuffix = ".corpus.json"
 	logSuffix    = ".log.jsonl"
+	walSuffix    = ".wal"
 )
 
 // key builds the map key and file stem for a pair.
@@ -65,12 +115,25 @@ func key(content string, perm license.Permission) string {
 }
 
 // Open loads every corpus in dir (creating dir if needed) and prepares a
-// distributor per entry in the given validation mode.
+// distributor per entry in the given validation mode, creating new logs
+// as JSONL. It is OpenWith with a default Config.
 func Open(dir string, mode engine.Mode) (*Catalog, error) {
+	return OpenWith(dir, Config{Mode: mode})
+}
+
+// OpenWith loads every corpus in dir (creating dir if needed) under the
+// given configuration.
+func OpenWith(dir string, cfg Config) (*Catalog, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = BackendJSONL
+	}
+	if _, err := ParseBackend(string(cfg.Backend)); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("catalog: creating %s: %w", dir, err)
 	}
-	c := &Catalog{dir: dir, mode: mode, entries: make(map[string]*Entry)}
+	c := &Catalog{dir: dir, cfg: cfg, entries: make(map[string]*Entry)}
 	names, err := filepath.Glob(filepath.Join(dir, "*"+corpusSuffix))
 	if err != nil {
 		return nil, fmt.Errorf("catalog: scanning %s: %w", dir, err)
@@ -110,11 +173,11 @@ func (c *Catalog) wire(corpus *license.Corpus, stem string) error {
 	if _, dup := c.entries[k]; dup {
 		return fmt.Errorf("catalog: duplicate corpus for (%s, %s)", first.Content, first.Permission)
 	}
-	log, err := logstore.OpenFile(stem + logSuffix)
+	log, err := c.openLog(stem)
 	if err != nil {
 		return err
 	}
-	dist := engine.NewDistributor(first.Content, corpus.Schema(), c.mode, log)
+	dist := engine.NewDistributor(first.Content, corpus.Schema(), c.cfg.Mode, log)
 	for _, l := range corpus.Licenses() {
 		cp := *l
 		if _, err := dist.AddRedistribution(&cp); err != nil {
@@ -130,6 +193,25 @@ func (c *Catalog) wire(corpus *license.Corpus, stem string) error {
 		Log:        log,
 	}
 	return nil
+}
+
+// openLog opens the issuance log for stem, auto-detecting the backend
+// from what exists on disk (a populated catalog keeps working however the
+// process is configured) and falling back to Config.Backend for new
+// entries.
+func (c *Catalog) openLog(stem string) (logstore.Durable, error) {
+	walDir := stem + walSuffix
+	if _, err := os.Stat(walDir); err == nil {
+		return wal.Open(walDir, c.cfg.WAL)
+	}
+	jsonl := stem + logSuffix
+	if _, err := os.Stat(jsonl); err == nil {
+		return logstore.OpenFile(jsonl)
+	}
+	if c.cfg.Backend == BackendWAL {
+		return wal.Open(walDir, c.cfg.WAL)
+	}
+	return logstore.OpenFile(jsonl)
 }
 
 // Add registers a new corpus, persisting it to disk. The corpus'
@@ -149,23 +231,15 @@ func (c *Catalog) Add(corpus *license.Corpus) (*Entry, error) {
 	return c.entries[key(first.Content, first.Permission)], nil
 }
 
-// writeCorpusAtomic writes the corpus document via a temp file + rename.
+// writeCorpusAtomic installs the corpus document durably: temp file,
+// fsync, rename, directory fsync (fsx.WriteFileAtomic — the same install
+// idiom WAL snapshots use). A crash mid-install leaves either the old
+// document or the new one, never a torn or unsynced file.
 func writeCorpusAtomic(path string, corpus *license.Corpus) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".corpus-*")
+	err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return license.EncodeCorpus(w, corpus)
+	})
 	if err != nil {
-		return fmt.Errorf("catalog: temp file: %w", err)
-	}
-	if err := license.EncodeCorpus(tmp, corpus); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("catalog: closing temp file: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("catalog: installing %s: %w", path, err)
 	}
 	return nil
@@ -236,6 +310,30 @@ func (c *Catalog) AuditAllContext(ctx context.Context, workers int) (map[*Entry]
 		out[e] = rep
 	}
 	return out, nil
+}
+
+// SnapshotAll checkpoints every WAL-backed entry (JSONL entries have no
+// snapshot concept and are skipped), returning per-entry snapshot infos.
+// It keeps going after a failure and returns the first error alongside
+// whatever succeeded.
+func (c *Catalog) SnapshotAll() (map[*Entry]wal.SnapshotInfo, error) {
+	out := make(map[*Entry]wal.SnapshotInfo)
+	var firstErr error
+	for _, e := range c.entries {
+		w := e.WAL()
+		if w == nil {
+			continue
+		}
+		info, err := w.Snapshot()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("catalog: snapshotting (%s, %s): %w", e.Content, e.Permission, err)
+			}
+			continue
+		}
+		out[e] = info
+	}
+	return out, firstErr
 }
 
 // Flush forces all issuance logs to the OS.

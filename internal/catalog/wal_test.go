@@ -1,0 +1,175 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/license"
+	"repro/internal/wal"
+)
+
+var walCfg = Config{Mode: engine.ModeOnline, Backend: BackendWAL}
+
+func TestWALBackendReopenResumesState(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cat")
+	c, err := OpenWith(dir, walCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := testCorpus(t, "m", license.Play, 100)
+	e, err := c.Add(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.WAL() == nil {
+		t.Fatal("new entry is not WAL-backed under BackendWAL")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "m__play.wal")); err != nil {
+		t.Fatalf("WAL dir missing: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Dist.Issue(license.Usage, usageRect(t, corpus, 1, 3), 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenWith(dir, walCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	e2 := c2.Get("m", license.Play)
+	if e2 == nil {
+		t.Fatal("entry lost on reopen")
+	}
+	if e2.Log.Len() != 3 {
+		t.Errorf("reopened log Len = %d, want 3", e2.Log.Len())
+	}
+	// 100 − 60 issued leaves 40 of headroom: online mode enforces it.
+	r := usageRect(t, e2.Corpus, 1, 3)
+	if _, err := e2.Dist.Issue(license.Usage, r, 41); err == nil {
+		t.Error("over-issuance accepted after WAL reopen")
+	}
+	if _, err := e2.Dist.Issue(license.Usage, r, 40); err != nil {
+		t.Errorf("exact headroom rejected after WAL reopen: %v", err)
+	}
+}
+
+// TestBackendAutoDetect opens a catalog holding one JSONL entry and one
+// WAL entry with either configured default: each entry must keep its
+// on-disk backend.
+func TestBackendAutoDetect(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cat")
+	c, err := Open(dir, engine.ModeOnline) // default: jsonl
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(testCorpus(t, "jsonl-movie", license.Play, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err = OpenWith(dir, walCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(testCorpus(t, "wal-movie", license.Play, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, backend := range []Backend{BackendJSONL, BackendWAL} {
+		c, err := OpenWith(dir, Config{Mode: engine.ModeOnline, Backend: backend})
+		if err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+		if got := c.Get("jsonl-movie", license.Play).WAL(); got != nil {
+			t.Errorf("backend %s: jsonl entry reopened as WAL", backend)
+		}
+		if got := c.Get("wal-movie", license.Play).WAL(); got == nil {
+			t.Errorf("backend %s: wal entry reopened as JSONL", backend)
+		}
+		c.Close()
+	}
+}
+
+func TestSnapshotAll(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cat")
+	c, err := OpenWith(dir, walCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	corpus := testCorpus(t, "m", license.Play, 100)
+	e, err := c.Add(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Dist.Issue(license.Usage, usageRect(t, corpus, 1, 3), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := c.SnapshotAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := infos[e]
+	if !ok {
+		t.Fatal("no snapshot info for WAL entry")
+	}
+	if info.Seq != 4 {
+		t.Errorf("snapshot Seq = %d, want 4", info.Seq)
+	}
+	if e.WAL().SnapshotSeq() != 4 {
+		t.Errorf("store SnapshotSeq = %d, want 4", e.WAL().SnapshotSeq())
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for in, want := range map[string]Backend{"jsonl": BackendJSONL, "wal": BackendWAL} {
+		got, err := ParseBackend(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseBackend("csv"); err == nil {
+		t.Error("ParseBackend accepted csv")
+	}
+}
+
+// TestWALConfigPropagates checks Config.WAL reaches the opened store.
+func TestWALConfigPropagates(t *testing.T) {
+	cfg := walCfg
+	cfg.WAL = wal.Options{SnapshotEvery: 2}
+	c, err := OpenWith(filepath.Join(t.TempDir(), "cat"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	corpus := testCorpus(t, "m", license.Play, 100)
+	e, err := c.Add(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Dist.Issue(license.Usage, usageRect(t, corpus, 1, 3), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.WAL().SnapshotSeq(); got != 4 {
+		t.Errorf("SnapshotSeq = %d, want 4 (auto-snapshot every 2)", got)
+	}
+	st := e.WAL().RecoveryStats()
+	if st.SnapshotRecords != 0 || st.TailRecords != 0 || st.TruncatedBytes != 0 {
+		t.Errorf("fresh store has nonzero recovery stats: %+v", st)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/vtree"
+	"repro/internal/wal"
 )
 
 // M holds the package's metric hooks, nil until Instrument is called; obs
@@ -53,12 +54,13 @@ func Instrument(reg *obs.Registry) {
 }
 
 // InstrumentAll wires every instrumentable package below the engine —
-// vtree, core, logstore, and the engine itself — to one registry. Callers
-// (drmserver, drmaudit, drmbench) do this once at startup, before any
-// concurrent use.
+// vtree, core, logstore, wal, and the engine itself — to one registry.
+// Callers (drmserver, drmaudit, drmbench) do this once at startup,
+// before any concurrent use.
 func InstrumentAll(reg *obs.Registry) {
 	vtree.Instrument(reg)
 	core.Instrument(reg)
 	logstore.Instrument(reg)
+	wal.Instrument(reg)
 	Instrument(reg)
 }

@@ -1,0 +1,61 @@
+// Package fsx provides the crash-safe filesystem idioms the durable
+// stores share. Writing a file "atomically" on POSIX needs three steps
+// beyond temp-file-plus-rename: fsync the temp file before the rename
+// (otherwise the rename can be durable while the content is not, leaving
+// an empty or truncated file after power loss), rename over the target,
+// then fsync the parent directory (otherwise the rename itself may not
+// survive). catalog corpus installs and wal snapshot installs both go
+// through WriteFileAtomic so neither can vanish or tear on power loss.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably installs a file at path: write writes the
+// content to a temp file in the same directory, which is fsynced, closed,
+// renamed over path, and made durable with a parent-directory fsync.
+// On any error the temp file is removed and the target is untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsx: temp file: %w", err)
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fsx: sync temp file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fsx: close temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fsx: installing %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making previously renamed/created/removed
+// entries durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: open dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("fsx: sync dir %s: %w", dir, err)
+	}
+	return d.Close()
+}

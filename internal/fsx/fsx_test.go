@@ -1,0 +1,76 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Errorf("content = %q, want %q", got, "v1")
+	}
+
+	// Overwrites replace the whole file.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "version two")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "version two" {
+		t.Errorf("content after overwrite = %q", got)
+	}
+}
+
+func TestWriteFileAtomicWriteErrorLeavesTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "intact" {
+		t.Errorf("target clobbered: %q", got)
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

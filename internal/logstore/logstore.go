@@ -12,6 +12,7 @@ package logstore
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -55,6 +56,17 @@ type Store interface {
 	// ForEach replays all records in append order, stopping at the first
 	// error returned by fn.
 	ForEach(fn func(Record) error) error
+}
+
+// Durable is a Store backed by persistent media: Flush pushes buffered
+// records toward the OS, Close releases the backing resources. Both
+// *File (JSONL) and *wal.Store (segmented checksummed WAL) implement it;
+// catalog entries hold their logs through this interface so the two
+// backends interchange.
+type Durable interface {
+	Store
+	Flush() error
+	Close() error
 }
 
 // replayPollRecords is how many records ForEachContext replays between
@@ -188,10 +200,15 @@ type File struct {
 	n   int
 }
 
-// OpenFile opens (creating if needed) a JSONL log at path and counts the
-// existing records so Len is correct for pre-existing logs.
+// OpenFile opens (creating if needed) a JSONL log at path, decoding the
+// existing records so Len is correct for pre-existing logs. A log whose
+// tail was torn by a crash (trailing bytes that do not decode into a
+// valid record) is rejected with a KindStoreCorrupt error carrying a
+// *CorruptError that names the byte offset — callers repair it explicitly
+// with RepairFile (or drmaudit -repair) rather than silently appending
+// after garbage.
 func OpenFile(path string) (*File, error) {
-	n, err := countRecords(path)
+	n, _, err := scanFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -203,24 +220,151 @@ func OpenFile(path string) (*File, error) {
 	return &File{f: f, w: w, enc: json.NewEncoder(w), n: n}, nil
 }
 
-func countRecords(path string) (int, error) {
+// CorruptError reports undecodable bytes in a JSONL log: everything
+// before Offset decodes into valid records, the bytes at Offset do not.
+// Torn reports whether the damage is a torn tail (no valid record follows
+// the bad bytes, the shape a crashed append leaves) — repairable by
+// truncating at Offset — as opposed to mid-log corruption, where valid
+// records after the bad region would be lost by truncation.
+type CorruptError struct {
+	Path string
+	// Offset is the byte offset of the first undecodable content;
+	// Records counts the valid records before it.
+	Offset  int64
+	Records int
+	Torn    bool
+	Err     error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	shape := "mid-log corruption"
+	if e.Torn {
+		shape = "torn tail"
+	}
+	return fmt.Sprintf("logstore: %s: %s at byte offset %d (%d valid records before it): %v",
+		e.Path, shape, e.Offset, e.Records, e.Err)
+}
+
+// Unwrap exposes the decode failure.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// scanFile decodes every record in a JSONL log, returning the record
+// count and the byte offset just past the last valid record. Undecodable
+// content yields a KindStoreCorrupt error wrapping a *CorruptError; a
+// missing file is an empty log. Note the limits of JSONL self-checking:
+// a tail torn at a byte position that still parses as a valid record
+// (e.g. a count cut from 800 to 80) is undetectable here — the CRC-framed
+// internal/wal backend exists for exactly that reason.
+func scanFile(path string) (n int, validEnd int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("logstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	for {
+		var rec Record
+		derr := dec.Decode(&rec)
+		if derr == io.EOF {
+			return n, validEnd, nil
+		}
+		if derr == nil {
+			derr = rec.Validate()
+		}
+		if derr != nil {
+			torn, terr := tailBeyondRepair(f, validEnd)
+			if terr != nil {
+				return 0, 0, terr
+			}
+			cerr := &CorruptError{Path: path, Offset: validEnd, Records: n, Torn: torn, Err: derr}
+			return 0, 0, drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.open", cerr)
+		}
+		n++
+		validEnd = dec.InputOffset()
+	}
+}
+
+// tailBeyondRepair classifies the undecodable region starting at off:
+// true means it is a torn tail (no later line decodes into a valid
+// record, so truncating at off loses nothing), false means valid records
+// follow the damage and truncation would drop them.
+func tailBeyondRepair(f *os.File, off int64) (torn bool, err error) {
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, fmt.Errorf("logstore: seek: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	first := true
+	for sc.Scan() {
+		if first {
+			// The first line is (part of) the bad region itself.
+			first = false
+			continue
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) == nil && rec.Validate() == nil {
+			return false, nil
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return false, fmt.Errorf("logstore: scanning tail: %w", err)
+	}
+	return true, nil
+}
+
+// RepairFile truncates a torn tail off a JSONL log, returning the number
+// of bytes removed. A clean log is left untouched (0, nil). Mid-log
+// corruption — valid records after the damaged region — is refused with
+// the scan's KindStoreCorrupt error, since truncating there would drop
+// real records. The truncation is fsynced so a repair survives power
+// loss.
+func RepairFile(path string) (removed int64, err error) {
+	_, _, serr := scanFile(path)
+	if serr == nil {
 		return 0, nil
 	}
+	var cerr *CorruptError
+	if !errors.As(serr, &cerr) || !cerr.Torn {
+		return 0, serr
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("logstore: open %s: %w", path, err)
 	}
 	defer f.Close()
-	n := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		if len(sc.Bytes()) > 0 {
-			n++
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("logstore: stat %s: %w", path, err)
+	}
+	if err := f.Truncate(cerr.Offset); err != nil {
+		return 0, fmt.Errorf("logstore: truncate %s: %w", path, err)
+	}
+	// InputOffset stops just past the JSON value, before the newline the
+	// writer emitted; restore it so appends start on a fresh line.
+	if cerr.Offset > 0 {
+		if _, err := f.WriteAt([]byte("\n"), cerr.Offset); err != nil {
+			return 0, fmt.Errorf("logstore: terminating %s: %w", path, err)
 		}
 	}
-	return n, sc.Err()
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("logstore: sync %s: %w", path, err)
+	}
+	removed = fi.Size() - cerr.Offset
+	if cerr.Offset > 0 {
+		removed-- // the newline written back
+	}
+	if removed < 0 {
+		removed = 0
+	}
+	return removed, nil
 }
 
 // Append implements Store.
@@ -285,13 +429,41 @@ func (s *File) ForEach(fn func(Record) error) error {
 }
 
 // ReadFile replays a JSONL log file produced by File (or WriteAll).
+// Undecodable content is classified exactly like OpenFile: the returned
+// KindStoreCorrupt error carries a *CorruptError naming the byte offset
+// and whether the damage is a repairable torn tail.
 func ReadFile(path string, fn func(Record) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("logstore: open %s: %w", path, err)
 	}
 	defer f.Close()
-	return Read(f, fn)
+	dec := json.NewDecoder(f)
+	var validEnd int64
+	n := 0
+	for {
+		var rec Record
+		derr := dec.Decode(&rec)
+		if derr == io.EOF {
+			return nil
+		}
+		if derr == nil {
+			derr = rec.Validate()
+		}
+		if derr != nil {
+			torn, terr := tailBeyondRepair(f, validEnd)
+			if terr != nil {
+				return terr
+			}
+			cerr := &CorruptError{Path: path, Offset: validEnd, Records: n, Torn: torn, Err: derr}
+			return drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.read", cerr)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		n++
+		validEnd = dec.InputOffset()
+	}
 }
 
 // Read replays JSONL records from r. Undecodable input and structurally

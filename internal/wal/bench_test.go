@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/logstore"
+)
+
+// benchRecords mirrors a long-lived issuance log: many records over a
+// small population of belongs-to sets.
+func benchRecords(n int) []logstore.Record {
+	sets := []bitset.Mask{
+		bitset.MaskOf(0), bitset.MaskOf(1), bitset.MaskOf(0, 1),
+		bitset.MaskOf(2), bitset.MaskOf(2, 3), bitset.MaskOf(4, 5),
+		bitset.MaskOf(6), bitset.MaskOf(6, 7),
+	}
+	out := make([]logstore.Record, n)
+	for i := range out {
+		out[i] = logstore.Record{Set: sets[i%len(sets)], Count: int64(1 + i%25)}
+	}
+	return out
+}
+
+// BenchmarkRecovery measures Open on a 10^6-record WAL (10^5 under
+// -short): FullReplay with no snapshot, SnapshotTail with a snapshot
+// covering all but a 1% tail. The acceptance bar is SnapshotTail ≥10×
+// faster; EXPERIMENTS.md records the measured ratio.
+func BenchmarkRecovery(b *testing.B) {
+	n := 1_000_000
+	if testing.Short() {
+		n = 100_000
+	}
+	recs := benchRecords(n)
+	opts := Options{Fsync: FsyncOS}
+
+	build := func(b *testing.B, snapshot bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		s, err := Open(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AppendBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if snapshot {
+			if _, err := s.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.AppendBatch(recs[:n/100]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	bench := func(snapshot bool) func(*testing.B) {
+		return func(b *testing.B) {
+			dir := build(b, snapshot)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := Open(dir, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	}
+	b.Run("FullReplay", bench(false))
+	b.Run("SnapshotTail", bench(true))
+}

@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment files are named <index>.seg with a fixed-width decimal index so
+// lexicographic order is numeric order; indexes start at 1 and never
+// reuse. Each segment opens with a 16-byte header:
+//
+//	offset  size  field
+//	0       8     magic "DRMWAL1\n"
+//	8       8     base sequence number (records appended before this
+//	              segment, uint64 LE) — self-describing, and recovery
+//	              cross-checks it against the running replay count
+//
+// followed by frames (frame.go) until EOF.
+
+const (
+	segmentSuffix     = ".seg"
+	segmentHeaderSize = 16
+)
+
+var segmentMagic = [8]byte{'D', 'R', 'M', 'W', 'A', 'L', '1', '\n'}
+
+// segmentName formats the file name of segment index i.
+func segmentName(i uint64) string {
+	return fmt.Sprintf("%016d%s", i, segmentSuffix)
+}
+
+// segmentPath is the full path of segment index i in dir.
+func segmentPath(dir string, i uint64) string {
+	return filepath.Join(dir, segmentName(i))
+}
+
+// parseSegmentName extracts the index from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	stem, ok := strings.CutSuffix(name, segmentSuffix)
+	if !ok || len(stem) != 16 {
+		return 0, false
+	}
+	i, err := strconv.ParseUint(stem, 10, 64)
+	if err != nil || i == 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// listSegments returns the indexes of all segment files in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if i, ok := parseSegmentName(e.Name()); ok {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// encodeSegmentHeader renders the header for a segment whose first frame
+// holds record number baseSeq (0-based).
+func encodeSegmentHeader(baseSeq uint64) []byte {
+	h := make([]byte, segmentHeaderSize)
+	copy(h[:8], segmentMagic[:])
+	binary.LittleEndian.PutUint64(h[8:16], baseSeq)
+	return h
+}
+
+// parseSegmentHeader validates the magic and extracts the base sequence.
+func parseSegmentHeader(b []byte) (baseSeq uint64, ok bool) {
+	if len(b) < segmentHeaderSize || [8]byte(b[:8]) != segmentMagic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b[8:16]), true
+}

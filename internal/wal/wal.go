@@ -1,0 +1,717 @@
+// Package wal is the durable issuance-log subsystem: an append-only,
+// segmented write-ahead log of issuance records with per-frame CRC32C
+// checksums, a configurable fsync policy, checkpoint snapshots, crash
+// recovery, and online segment compaction.
+//
+// Motivation (DESIGN.md §8): the paper's aggregate validation replays the
+// entire offline issuance log to rebuild the validation tree, so at
+// production scale log durability and restart time become the bottleneck.
+// The JSONL logstore.File is buffered with no fsync, no checksums, and no
+// torn-tail handling, and every open replays O(issued licenses). This
+// store bounds restart work to O(distinct sets) + the tail since the last
+// snapshot:
+//
+//   - Appends write binary frames (frame.go) into numbered segment files
+//     (segment.go), rotating at Options.SegmentBytes.
+//   - Durability follows Options.Fsync: FsyncAlways fsyncs before an
+//     append is acknowledged; FsyncInterval group-commits — a background
+//     syncer fsyncs at most once per Options.Interval, covering every
+//     append in the window with one fsync; FsyncOS leaves flushing to the
+//     page cache.
+//   - A snapshot persists the compacted per-set counts (at most 2^{N_k}−1
+//     per overlap group, Table 2's compacted form) plus the watermark
+//     (segment, offset, seq) up to which they aggregate the log. Open
+//     loads the snapshot and replays only the tail beyond the watermark.
+//   - Recovery scans frames, verifies checksums, truncates a torn tail
+//     (the suffix a crashed append leaves), and surfaces mid-log
+//     corruption — a bad frame with valid frames after it — as a typed
+//     drmerr.KindStoreCorrupt error instead of guessing.
+//   - Compaction retires segments wholly covered by the snapshot in the
+//     background, without closing the store.
+//
+// Invariants:
+//
+//   - Watermark invariant: the snapshot watermark never points past
+//     fsynced bytes (Snapshot syncs the active segment before computing
+//     it), so a loaded snapshot's replay start always lands on durable,
+//     frame-aligned data.
+//   - Recovery ≡ uninterrupted audit: the records a recovered store
+//     replays are a compaction-equivalent prefix of the records appended,
+//     containing every fsync-acknowledged record, inventing none; the
+//     audit report over the recovered store is identical to the report an
+//     uninterrupted store holding that prefix produces (crash_test.go
+//     proves this at every injected failure offset).
+//
+// Store implements logstore.Store (and logstore.Durable), so the engine,
+// catalog, server, and CLI tools use it interchangeably with the JSONL
+// backend.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/drmerr"
+	"repro/internal/fsx"
+	"repro/internal/logstore"
+)
+
+// FsyncPolicy selects when appended frames are made durable.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs before Append returns: an acknowledged record is
+	// durable. The safest and slowest policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval group-commits: a background syncer fsyncs the active
+	// segment at most once per Options.Interval when there are unsynced
+	// appends, so concurrent appenders share one fsync. Acknowledged
+	// records may be lost to a crash within the window.
+	FsyncInterval
+	// FsyncOS never fsyncs: appends reach the OS page cache on write and
+	// survive process crashes, but not power loss.
+	FsyncOS
+)
+
+// String returns the policy's flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOS:
+		return "os"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsync parses a -fsync flag value: "always", "os", "interval", or
+// "interval=<duration>" (e.g. "interval=20ms").
+func ParseFsync(s string) (FsyncPolicy, time.Duration, error) {
+	switch {
+	case s == "always":
+		return FsyncAlways, 0, nil
+	case s == "os":
+		return FsyncOS, 0, nil
+	case s == "interval":
+		return FsyncInterval, 0, nil // Options default
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("wal: bad fsync interval %q", s)
+		}
+		return FsyncInterval, d, nil
+	default:
+		return 0, 0, fmt.Errorf("wal: unknown fsync policy %q (want always, os, interval[=d])", s)
+	}
+}
+
+// Options configure a Store. The zero value is usable: 64 MiB segments,
+// FsyncAlways, manual snapshots only.
+type Options struct {
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// Default 64 MiB.
+	SegmentBytes int64
+	// Fsync is the durability policy.
+	Fsync FsyncPolicy
+	// Interval is the FsyncInterval group-commit period. Default 50ms.
+	Interval time.Duration
+	// SnapshotEvery, when positive, writes a snapshot automatically after
+	// that many appends since the last one. 0 = snapshot only on demand.
+	SnapshotEvery int
+
+	// openSegFile lets tests substitute a failing writer to inject
+	// crashes at arbitrary byte offsets; nil means os.OpenFile.
+	openSegFile func(path string, flag int) (segFile, error)
+}
+
+// segFile is the writable handle of the active segment; the indirection
+// exists for crash injection.
+type segFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.openSegFile == nil {
+		o.openSegFile = func(path string, flag int) (segFile, error) {
+			return os.OpenFile(path, flag, 0o644)
+		}
+	}
+	return o
+}
+
+// RecoveryStats describes what Open found and fixed.
+type RecoveryStats struct {
+	// SnapshotRecords is the compacted entry count loaded from the
+	// snapshot (0 when none); TailRecords counts frames replayed beyond
+	// the watermark.
+	SnapshotRecords int
+	TailRecords     int
+	// SegmentsScanned counts segment files read; TruncatedBytes is the
+	// torn tail removed, if any.
+	SegmentsScanned int
+	TruncatedBytes  int64
+	// Duration is the wall time of Open.
+	Duration time.Duration
+}
+
+// Store is a durable, segmented, checksummed issuance log. All methods
+// are safe for concurrent use. The in-memory state mirrors the durable
+// one — compacted snapshot entries plus the tail since the watermark — so
+// ForEach replays without touching disk.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      segFile
+	size   int64  // active segment size, bytes (header included)
+	segIdx uint64 // active segment index
+	seq    uint64 // records appended over the store's lifetime
+	synced uint64 // records covered by a completed fsync
+	dirty  bool   // unsynced bytes in the active segment
+	failed error  // sticky: a failed write, sync, or snapshot poisons the store
+	closed bool
+
+	snap      []logstore.Record // compacted records covered by the snapshot
+	snapSeq   uint64            // watermark: records snap aggregates
+	snapSeg   uint64            // watermark segment of the installed snapshot
+	tail      []logstore.Record // records appended after the watermark
+	sinceSnap int               // appends since the last snapshot
+	lastSnap  time.Time
+
+	buf []byte // frame scratch, reused across appends
+
+	stopSync  chan struct{}
+	syncDone  chan struct{}
+	compactWG sync.WaitGroup
+
+	rec RecoveryStats
+}
+
+// Open opens (creating if needed) the WAL in dir and recovers its state:
+// load the snapshot if present, replay segment frames beyond the
+// watermark verifying checksums, truncate a torn tail, and resume
+// appending. Mid-log corruption — a bad frame with valid frames after
+// it, or a checksum-failing snapshot — surfaces as a
+// drmerr.KindStoreCorrupt error.
+func Open(dir string, opts Options) (*Store, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.rec.Duration = time.Since(start)
+	M.RecoverySeconds.Set(s.rec.Duration.Seconds())
+	M.TruncatedBytes.Add(s.rec.TruncatedBytes)
+	s.updateSegmentsGauge()
+	if opts.Fsync == FsyncInterval {
+		s.stopSync = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// RecoveryStats returns what Open found and fixed.
+func (s *Store) RecoveryStats() RecoveryStats { return s.rec }
+
+// Dir returns the WAL directory.
+func (s *Store) Dir() string { return s.dir }
+
+// recover rebuilds in-memory state from the snapshot and segments,
+// repairing a torn tail, and leaves the store ready to append.
+func (s *Store) recover() error {
+	doc, err := loadSnapshot(s.dir)
+	if err != nil {
+		return err
+	}
+	if doc != nil {
+		s.snap = doc.Records
+		s.seq = uint64(doc.Seq)
+		s.snapSeq = uint64(doc.Seq)
+		s.snapSeg = doc.Segment
+		s.rec.SnapshotRecords = len(doc.Records)
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	// With a snapshot, segments before the watermark are fully aggregated
+	// into it — compaction fodder, not replay input.
+	replay := segs
+	if doc != nil {
+		replay = replay[:0:0]
+		for _, idx := range segs {
+			if idx >= doc.Segment {
+				replay = append(replay, idx)
+			}
+		}
+		if len(replay) == 0 || replay[0] != doc.Segment {
+			return drmerr.New(drmerr.KindStoreCorrupt, "wal.open",
+				"wal: %s: snapshot watermark names segment %d, which is missing", s.dir, doc.Segment)
+		}
+	}
+	for i, idx := range replay {
+		last := i == len(replay)-1
+		startOff := int64(segmentHeaderSize)
+		if doc != nil && idx == doc.Segment {
+			startOff = doc.Offset
+		}
+		if err := s.replaySegment(idx, startOff, i == 0, doc, last); err != nil {
+			return err
+		}
+		s.rec.SegmentsScanned++
+	}
+	s.rec.TailRecords = len(s.tail)
+	if s.segIdx == 0 {
+		// Fresh store, or the only segment was a headerless stub (the
+		// watermark segment always replays, so doc == nil here).
+		return s.createSegmentLocked(1)
+	}
+	// Resume appending to the recovered last segment.
+	f, err := s.opts.openSegFile(segmentPath(s.dir, s.segIdx), os.O_WRONLY|os.O_APPEND)
+	if err != nil {
+		return fmt.Errorf("wal: reopening segment %d: %w", s.segIdx, err)
+	}
+	s.f = f
+	s.synced = s.seq // everything recovered came off durable media
+	return nil
+}
+
+// replaySegment reads segment idx from startOff, appending valid frames
+// to the tail. first marks the first replayed segment (whose base
+// sequence cannot be cross-checked exactly); last marks the final one,
+// the only place a torn tail is legal.
+func (s *Store) replaySegment(idx uint64, startOff int64, first bool, doc *snapshotDoc, last bool) error {
+	path := segmentPath(s.dir, idx)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: reading segment %d: %w", idx, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: reading segment %d: %w", idx, err)
+	}
+	size := fi.Size()
+	corrupt := func(off int64, format string, args ...any) error {
+		return drmerr.New(drmerr.KindStoreCorrupt, "wal.open",
+			"wal: %s: byte offset %d: %s", path, off, fmt.Sprintf(format, args...))
+	}
+	var hdr [segmentHeaderSize]byte
+	hn, err := f.ReadAt(hdr[:], 0)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("wal: reading segment %d: %w", idx, err)
+	}
+	baseSeq, ok := parseSegmentHeader(hdr[:hn])
+	if !ok {
+		if doc != nil && idx == doc.Segment {
+			// The watermark segment's header was synced before the
+			// snapshot was installed; a bad one is real corruption.
+			return corrupt(0, "bad segment header under snapshot watermark")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: reading segment %d: %w", idx, err)
+		}
+		if !last || anyValidFrame(data) {
+			return corrupt(0, "bad segment header")
+		}
+		// A crash during segment creation left a headerless stub as the
+		// newest segment: discard it.
+		s.rec.TruncatedBytes += size
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("wal: removing stub segment %d: %w", idx, err)
+		}
+		return fsx.SyncDir(s.dir)
+	}
+	switch {
+	case first && doc != nil:
+		if baseSeq > uint64(doc.Seq) {
+			return corrupt(0, "segment base seq %d beyond snapshot watermark seq %d", baseSeq, doc.Seq)
+		}
+	case first:
+		if baseSeq != 0 {
+			return corrupt(0, "first segment base seq %d, want 0 (earlier segments removed without a snapshot?)", baseSeq)
+		}
+	default:
+		if baseSeq != s.seq {
+			return corrupt(0, "segment base seq %d does not continue the log at seq %d", baseSeq, s.seq)
+		}
+	}
+	if size < startOff {
+		// The watermark invariant says bytes below the watermark were
+		// fsynced before the snapshot existed; a shorter file is damage.
+		return corrupt(size, "segment shorter than snapshot watermark offset %d", startOff)
+	}
+	// Read only from the replay start: below a snapshot watermark the bytes
+	// are already aggregated into the snapshot, and skipping them is what
+	// makes snapshot+tail recovery O(tail) instead of O(segment).
+	data := make([]byte, size-startOff)
+	if n, err := f.ReadAt(data, startOff); err != nil && !(err == io.EOF && int64(n) == size-startOff) {
+		return fmt.Errorf("wal: reading segment %d: %w", idx, err)
+	}
+	var off int64
+	for off < int64(len(data)) {
+		rec, n, status := parseFrame(data[off:])
+		if status == frameOK {
+			s.tail = append(s.tail, rec)
+			s.seq++
+			off += int64(n)
+			continue
+		}
+		if !last || anyValidFrame(data[off+1:]) {
+			return corrupt(startOff+off, "invalid frame with valid frames after it (mid-log corruption)")
+		}
+		// Torn tail: everything from off on is the debris of an append
+		// that never completed. Truncate it away, durably.
+		s.rec.TruncatedBytes += int64(len(data)) - off
+		if err := truncateSegment(path, startOff+off); err != nil {
+			return err
+		}
+		break
+	}
+	s.segIdx = idx
+	s.size = startOff + off
+	return nil
+}
+
+// anyValidFrame reports whether a valid frame parses at any byte offset
+// of b — the recovery test distinguishing a torn tail (pure debris) from
+// mid-log corruption (real records beyond the damage).
+func anyValidFrame(b []byte) bool {
+	for off := 0; off+recordFrameSize <= len(b); off++ {
+		if _, _, status := parseFrame(b[off:]); status == frameOK {
+			return true
+		}
+	}
+	return false
+}
+
+// truncateSegment durably cuts a segment file to size.
+func truncateSegment(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s for truncation: %w", path, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing truncated %s: %w", path, err)
+	}
+	return nil
+}
+
+// createSegmentLocked creates segment idx with a header and makes the
+// creation durable, installing it as the active segment.
+func (s *Store) createSegmentLocked(idx uint64) error {
+	path := segmentPath(s.dir, idx)
+	f, err := s.opts.openSegFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %d: %w", idx, err)
+	}
+	if _, err := f.Write(encodeSegmentHeader(s.seq)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment %d header: %w", idx, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment %d header: %w", idx, err)
+	}
+	if err := fsx.SyncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.f = f
+	s.segIdx = idx
+	s.size = segmentHeaderSize
+	s.dirty = false
+	return nil
+}
+
+// rotateLocked seals the active segment (final fsync regardless of
+// policy, bounding any loss window to one segment) and opens the next.
+func (s *Store) rotateLocked() error {
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment %d: %w", s.segIdx, err)
+	}
+	if err := s.createSegmentLocked(s.segIdx + 1); err != nil {
+		return err
+	}
+	M.Rotations.Inc()
+	s.updateSegmentsGauge()
+	return nil
+}
+
+// Append implements logstore.Store. Durability of the acknowledgment
+// follows Options.Fsync; see the policy docs. Any write or sync failure
+// poisons the store — later appends fail fast — because the on-disk tail
+// is no longer in a state this process can reason about (recovery on the
+// next Open is).
+func (s *Store) Append(r logstore.Record) error {
+	if err := r.Validate(); err != nil {
+		return drmerr.Wrap(drmerr.KindInvalidInput, "wal.append", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(r)
+}
+
+// AppendBatch appends records with one write (and, under FsyncAlways,
+// one fsync) — the bulk path migrations and generators use.
+func (s *Store) AppendBatch(recs []logstore.Record) error {
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return drmerr.Wrap(drmerr.KindInvalidInput, "wal.append", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(recs) > 0 {
+		if err := s.stateErrLocked(); err != nil {
+			return err
+		}
+		if s.size >= s.opts.SegmentBytes && s.size > segmentHeaderSize {
+			if err := s.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		// Fill the active segment up to the rotation threshold.
+		room := int((s.opts.SegmentBytes - s.size + recordFrameSize - 1) / recordFrameSize)
+		n := min(max(room, 1), len(recs))
+		s.buf = s.buf[:0]
+		for _, r := range recs[:n] {
+			s.buf = appendFrame(s.buf, r)
+		}
+		if err := s.writeLocked(s.buf); err != nil {
+			return err
+		}
+		s.seq += uint64(n)
+		s.tail = append(s.tail, recs[:n]...)
+		s.sinceSnap += n
+		M.Appends.Add(int64(n))
+		recs = recs[n:]
+	}
+	return s.commitLocked()
+}
+
+func (s *Store) appendLocked(r logstore.Record) error {
+	if err := s.stateErrLocked(); err != nil {
+		return err
+	}
+	if s.size >= s.opts.SegmentBytes && s.size > segmentHeaderSize {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	s.buf = appendFrame(s.buf[:0], r)
+	if err := s.writeLocked(s.buf); err != nil {
+		return err
+	}
+	s.seq++
+	s.tail = append(s.tail, r)
+	s.sinceSnap++
+	M.Appends.Inc()
+	return s.commitLocked()
+}
+
+// stateErrLocked reports the sticky failure or closed state.
+func (s *Store) stateErrLocked() error {
+	if s.closed {
+		return errors.New("wal: store closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("wal: store failed: %w", s.failed)
+	}
+	return nil
+}
+
+// writeLocked writes frame bytes to the active segment, accounting for
+// partial writes and poisoning the store on failure.
+func (s *Store) writeLocked(b []byte) error {
+	n, err := s.f.Write(b)
+	s.size += int64(n)
+	if err != nil {
+		s.failed = err
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	s.dirty = true
+	return nil
+}
+
+// commitLocked applies the post-append durability policy and the
+// auto-snapshot trigger.
+func (s *Store) commitLocked() error {
+	if s.opts.Fsync == FsyncAlways {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		if _, err := s.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLocked fsyncs the active segment if it has unsynced bytes,
+// advancing the synced watermark.
+func (s *Store) syncLocked() error {
+	if !s.dirty {
+		s.synced = s.seq
+		return nil
+	}
+	start := time.Now()
+	err := s.f.Sync()
+	M.Fsyncs.Inc()
+	M.FsyncSeconds.ObserveSince(start)
+	if err != nil {
+		s.failed = err
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	s.dirty = false
+	s.synced = s.seq
+	return nil
+}
+
+// Sync forces an fsync of the active segment now, whatever the policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stateErrLocked(); err != nil {
+		return err
+	}
+	return s.syncLocked()
+}
+
+// syncLoop is the FsyncInterval group-committer: one fsync per interval
+// covers every append of the window.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSync:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.failed == nil && s.dirty {
+				s.syncLocked() // poisons the store on failure; appenders see it
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// SyncedSeq returns the number of records covered by a completed fsync
+// (== Seq under FsyncAlways).
+func (s *Store) SyncedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced
+}
+
+// Seq returns the number of records appended over the store's lifetime,
+// snapshot-covered records included.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Len implements logstore.Store: the record count a ForEach replay
+// yields — compacted snapshot entries plus the tail.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snap) + len(s.tail)
+}
+
+// ForEach implements logstore.Store, replaying the compacted snapshot
+// entries then the tail. The aggregation this store's snapshots apply is
+// exactly the one the validation tree applies anyway (summing counts per
+// belongs-to set), so audits over a snapshotted store equal audits over
+// the raw append sequence.
+func (s *Store) ForEach(fn func(logstore.Record) error) error {
+	s.mu.Lock()
+	snap, tail := s.snap, s.tail
+	s.mu.Unlock()
+	for _, r := range snap {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range tail {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements logstore.Durable. WAL appends are write-through to
+// the OS (there is no user-space buffer), so Flush has nothing to do;
+// durability against power loss is Sync's job.
+func (s *Store) Flush() error { return nil }
+
+// Close seals the store: final fsync, stop the group-committer, wait for
+// background compaction, close the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	var syncErr error
+	if !s.closed && s.failed == nil {
+		syncErr = s.syncLocked()
+	}
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if alreadyClosed {
+		return errors.New("wal: store closed")
+	}
+	if s.stopSync != nil {
+		close(s.stopSync)
+		<-s.syncDone
+	}
+	s.compactWG.Wait()
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return syncErr
+}
+
+// updateSegmentsGauge refreshes the live segment-count metric.
+func (s *Store) updateSegmentsGauge() {
+	if M.Segments == nil {
+		return
+	}
+	if segs, err := listSegments(s.dir); err == nil {
+		M.Segments.Set(int64(len(segs)))
+	}
+}
