@@ -8,6 +8,7 @@
 //	drmaudit -corpus corpus.json -log issued.wal            # WAL directory
 //	drmaudit -corpus corpus.json -log log.jsonl -repair      # fix a torn tail
 //	drmaudit -corpus corpus.json -log log.jsonl -migrate-wal issued.wal
+//	drmaudit -corpus corpus.json -log log.jsonl -trace out.json  # Perfetto trace
 //
 // The issuance log may be a JSONL file or a WAL directory (internal/wal);
 // -log-backend auto (the default) tells them apart by whether -log is a
@@ -36,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"text/tabwriter"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/signature"
+	"repro/internal/trace"
 	"repro/internal/vtree"
 	"repro/internal/wal"
 )
@@ -88,9 +91,29 @@ func run(args []string, out io.Writer) (int, error) {
 			"after the audit, migrate the log records into a fresh WAL store at this directory and snapshot it")
 		timeout = fs.Duration("timeout", 0,
 			"audit deadline (0 = none); an expired deadline prints the verified-so-far report, per-group completeness, and exits 3")
+		tracePath = fs.String("trace", "",
+			"trace the audit and write it as Chrome Trace Event JSON (Perfetto-loadable) to this path")
+		logLevel  = fs.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
+		logFormat = fs.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
+	}
+
+	// Diagnostics go to stderr (stdout is the report); -log-level debug
+	// narrates the load/audit stages, and every record carries the
+	// audit's trace_id when -trace is on.
+	lh, err := obs.NewLogHandler(*logFormat, *logLevel, os.Stderr)
+	if err != nil {
+		return 0, err
+	}
+	slogger := slog.New(trace.LogHandler(lh))
+
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		// The zero policy is "slow=0": the one audit trace is always
+		// retained, partial or not.
+		tracer = trace.New(trace.Options{Capacity: 4})
 	}
 
 	cf, err := os.Open(*corpusPath)
@@ -164,14 +187,55 @@ func run(args []string, out io.Writer) (int, error) {
 		defer cancel()
 	}
 
+	// The root span covers auditor construction (tree build + replay +
+	// division) and the validation walk; tracer nil makes Root a no-op.
+	// flushTrace runs on every exit after the root ends — a trace of a
+	// failed or deadline-cut audit is the one you want most.
+	ctx, root := tracer.Root(ctx, "drmaudit.audit")
+	slogger.DebugContext(ctx, "log loaded", "records", log.Len(), "wal", isWAL)
+	flushTrace := func() error {
+		if *tracePath == "" {
+			return nil
+		}
+		if err := writeTraceFile(*tracePath, tracer); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Fprintf(out, "trace:       wrote %s (Chrome Trace Event JSON; load in Perfetto)\n", *tracePath)
+		}
+		return nil
+	}
+
 	aud, err := core.NewAuditorContext(ctx, corpus, log)
 	if err != nil {
+		root.Fail(err)
+		root.End()
+		if ferr := flushTrace(); ferr != nil {
+			slogger.Warn("trace write failed", "error", ferr)
+		}
 		return 0, err
 	}
 	aud.Workers = *workers
 	rep, err := aud.AuditContext(ctx)
 	partial := errors.Is(err, drmerr.ErrAuditIncomplete)
+	if root != nil {
+		root.SetInt("licenses", int64(corpus.Len()))
+		root.SetInt("records", int64(log.Len()))
+		root.SetInt("workers", int64(*workers))
+		if err != nil && !partial {
+			root.Fail(err)
+		}
+		root.End()
+	}
+	slogger.DebugContext(ctx, "audit finished",
+		"partial", partial, "equations", rep.Equations, "violations", len(rep.Violations))
 	if err != nil && !partial {
+		if ferr := flushTrace(); ferr != nil {
+			slogger.Warn("trace write failed", "error", ferr)
+		}
+		return 0, err
+	}
+	if err := flushTrace(); err != nil {
 		return 0, err
 	}
 
@@ -388,6 +452,20 @@ func migrateToWAL(dir string, log *logstore.Mem) error {
 		return err
 	}
 	return ws.Close()
+}
+
+// writeTraceFile writes every retained trace (here: the one audit trace)
+// as a Chrome Trace Event document.
+func writeTraceFile(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeStats writes the typed run-stats record to path.

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAuditTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	code, err := run([]string{"-corpus", corpus, "-log", logPath, "-trace", tracePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Errorf("report does not mention the trace file:\n%s", out.String())
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := trace.DecodeChrome(f)
+	if err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace file has no duration events")
+	}
+
+	// The audit pipeline spans must all be present by name.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"drmaudit.audit", "core.build", "core.divide", "core.validate", "vtree.shard", "logstore.replay"} {
+		if !bytes.Contains(raw, []byte(`"`+want+`"`)) {
+			t.Errorf("trace file missing span %q", want)
+		}
+	}
+}
+
+func TestAuditTraceExportOnDeadlineCut(t *testing.T) {
+	// A deadline the auditor cannot meet still leaves a decodable trace
+	// of whatever ran — the spent deadline fails construction itself
+	// (run() errors), and the error trace is flushed on the way out.
+	dir := t.TempDir()
+	corpus, logPath := writeExample1(t, dir, 0)
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	code, err := run([]string{"-corpus", corpus, "-log", logPath,
+		"-trace", tracePath, "-timeout", "1ns"}, &out)
+	if err == nil && code != 3 {
+		t.Fatalf("exit = %d err = nil, want an error or exit 3\n%s", code, out.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := trace.DecodeChrome(f); err != nil {
+		t.Fatalf("deadline-cut trace file invalid: %v", err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"drmaudit.audit"`)) {
+		t.Error("deadline-cut trace missing the root span")
+	}
+}
+
+func TestAuditLogLevelFlag(t *testing.T) {
+	corpus, logPath := writeExample1(t, t.TempDir(), 0)
+	var out bytes.Buffer
+	if _, err := run([]string{"-corpus", corpus, "-log", logPath, "-log-level", "banana"}, &out); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if _, err := run([]string{"-corpus", corpus, "-log", logPath, "-log-level", "debug"}, &out); err != nil {
+		t.Errorf("-log-level debug rejected: %v", err)
+	}
+}

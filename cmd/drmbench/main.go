@@ -21,6 +21,11 @@
 // replay vs snapshot+tail) over decades of record counts:
 //
 //	drmbench -recover -recover-max 10000000
+//
+// -trace audits the N=max synthetic workload under a live tracer and
+// writes the span tree as Chrome Trace Event JSON (open in Perfetto):
+//
+//	drmbench -fig 6 -max 10 -trace trace.json
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -37,6 +43,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/drmerr"
 	"repro/internal/logstore"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -66,10 +74,21 @@ func run(args []string, out io.Writer) error {
 			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
 		timeout = fs.Duration("timeout", 0,
 			"deadline for the -stats audit (0 = none); an expired deadline still writes the partial run record")
+		tracePath = fs.String("trace", "",
+			"trace an audit of the N=max synthetic workload and write it as Chrome Trace Event JSON (Perfetto-loadable) to this path")
+		logLevel  = fs.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
+		logFormat = fs.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Diagnostics go to stderr so -format csv stdout stays machine-clean.
+	lh, err := obs.NewLogHandler(*logFormat, *logLevel, os.Stderr)
+	if err != nil {
+		return err
+	}
+	slogger := slog.New(trace.LogHandler(lh))
 
 	if *maxN < 1 || *maxN > 64 {
 		return fmt.Errorf("max must be in [1,64], got %d", *maxN)
@@ -294,10 +313,73 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "stats: wrote %s (audit of the N=%d workload)\n", *statsPath, *maxN)
 		}
 	}
+	if *tracePath != "" {
+		ran = true
+		if err := writeTraceFile(slogger, *tracePath, *maxN, *workers, *seed, *timeout); err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintf(out, "trace: wrote %s (Chrome Trace Event JSON; load in Perfetto)\n", *tracePath)
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown figure %d (valid: 6..12, 0 for all; 11 = policy-loss extension, 12 = sharding ablation)", *fig)
 	}
 	return nil
+}
+
+// writeTraceFile audits the seeded synthetic workload at the sweep's
+// largest N under a live tracer (zero policy: the trace is always
+// retained, even deadline-cut) and writes the span tree as a Chrome
+// Trace Event document — the same pipeline spans the server emits, but
+// reproducible offline for CI artifacts.
+func writeTraceFile(slogger *slog.Logger, path string, n, workers int, seed int64, timeout time.Duration) error {
+	cfg := workload.Default(n)
+	cfg.Seed = seed
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	log := logstore.NewMem(len(w.Records))
+	for _, r := range w.Records {
+		if err := log.Append(r); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	tr := trace.New(trace.Options{Capacity: 4})
+	ctx, root := tr.Root(ctx, "drmbench.audit")
+	aud, err := core.NewAuditorContext(ctx, w.Corpus, log)
+	if err != nil {
+		return err
+	}
+	aud.Workers = workers
+	_, aerr := aud.AuditContext(ctx)
+	partial := errors.Is(aerr, drmerr.ErrAuditIncomplete)
+	root.SetInt("n", int64(n))
+	root.SetInt("workers", int64(workers))
+	if aerr != nil && !partial {
+		root.Fail(aerr)
+	}
+	root.End()
+	slogger.DebugContext(ctx, "traced audit finished", "n", n, "partial", partial)
+	if aerr != nil && !partial {
+		return aerr
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeStats audits the seeded synthetic workload at the sweep's largest N

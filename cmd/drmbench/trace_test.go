@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestBenchTraceExport(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-max", "6", "-trace", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace: wrote") {
+		t.Errorf("output does not mention the trace file:\n%s", out.String())
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := trace.DecodeChrome(f)
+	if err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace file has no duration events")
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"drmbench.audit", "core.build", "core.validate"} {
+		if !bytes.Contains(raw, []byte(`"`+want+`"`)) {
+			t.Errorf("trace file missing span %q", want)
+		}
+	}
+}
+
+func TestBenchTraceAloneRuns(t *testing.T) {
+	// -trace alone is a valid invocation (ran=true), like -stats alone.
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-max", "6", "-format", "csv", "-trace", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "trace: wrote") {
+		t.Error("-format csv stdout polluted by the trace notice")
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("trace file not written: %v", err)
+	}
+}
+
+func TestBenchLogLevelFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6", "-max", "4", "-log-level", "banana"}, &out); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}

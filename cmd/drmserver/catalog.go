@@ -64,7 +64,7 @@ func (s *catalogServer) handleSnapshotAll(w http.ResponseWriter, r *http.Request
 	infos, err := s.cat.SnapshotAll()
 	s.mu.RUnlock()
 	if err != nil {
-		writeError(w, err)
+		writeError(r.Context(), w, err)
 		return
 	}
 	out := struct {
@@ -97,9 +97,8 @@ func (s *catalogServer) entry(h func(corpusAPI, http.ResponseWriter, *http.Reque
 		e := s.cat.Get(content, perm)
 		s.mu.RUnlock()
 		if e == nil {
-			writeJSON(w, http.StatusNotFound, errorBody{
-				Error: "no corpus for (" + content + ", " + string(perm) + ")",
-			})
+			clientError(r.Context(), w, http.StatusNotFound,
+				"no corpus for ("+content+", "+string(perm)+")")
 			return
 		}
 		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist, workers: s.workers, wal: e.WAL()}, w, r)

@@ -121,7 +121,7 @@ func TestWriteErrorTaxonomyBodies(t *testing.T) {
 	}
 	for _, c := range cases {
 		rec := httptest.NewRecorder()
-		writeError(rec, c.err)
+		writeError(context.Background(), rec, c.err)
 		if rec.Code != c.status {
 			t.Errorf("writeError(%v) status = %d, want %d", c.err, rec.Code, c.status)
 		}

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/signature"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -81,10 +83,14 @@ func run() error {
 		mode    = flag.String("mode", "online", "validation mode: online or offline")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"audit parallelism: groups × intra-group shards (default: all CPUs)")
-		signed    = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
-		issuerKey = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		pprofAddr = flag.String("pprof-addr", "", "if set, serve net/http/pprof on this address")
+		signed      = flag.Bool("signed", false, "treat -corpus as an Ed25519-signed document and verify it")
+		issuerKey   = flag.String("issuer", "", "pinned issuer public key (base64; with -signed)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		traceSample = flag.String("trace-sample", "slow=250ms",
+			"trace tail-sampling policy: off, all, error, or slow=<duration> (errors always retained; slow=0 retains everything)")
+		traceRing = flag.Int("trace-ring", 256, "retained traces in the /debug/traces ring buffer")
+		pprofAddr = flag.String("pprof-addr", "", "if set, serve net/http/pprof (and /debug/traces) on this address")
 		maxBody   = flag.Int64("max-body", maxIssueBody, "max issue request body bytes (413 beyond)")
 		reqTO     = flag.Duration("request-timeout", 0,
 			"per-request deadline propagated through issuance and audits (0 disables); expired audits answer 504 with the verified-so-far report")
@@ -109,11 +115,22 @@ func run() error {
 		request:    *reqTO,
 	}
 
-	l, err := obs.NewLogger(*logFormat, os.Stderr)
+	// The trace-correlating handler wraps the format/level handler so any
+	// record logged with a request context gains its trace_id.
+	h, err := obs.NewLogHandler(*logFormat, *logLevel, os.Stderr)
 	if err != nil {
 		return err
 	}
-	logger = l
+	logger = slog.New(trace.LogHandler(h))
+
+	policy, traceOn, err := trace.ParsePolicy(*traceSample)
+	if err != nil {
+		return err
+	}
+	if traceOn {
+		tracer = trace.New(trace.Options{Capacity: *traceRing, Policy: policy})
+		logger.Info("tracing enabled", "sample", *traceSample, "ring", *traceRing)
+	}
 
 	if *pprofAddr != "" {
 		pprofMux := http.NewServeMux()
@@ -122,9 +139,21 @@ func run() error {
 		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofMux.Handle("/debug/traces", traceHandler())
+		pprofMux.Handle("/debug/traces/", traceHandler())
+		// A real http.Server (not bare ListenAndServe) so the debug
+		// listener gets a slowloris guard and participates in graceful
+		// shutdown: serve() closes it during the drain window.
+		sideSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux,
+			ReadHeaderTimeout: srvTimeouts.readHeader,
+		}
 		go func() {
-			logger.Error("pprof server exited",
-				"addr", *pprofAddr, "err", http.ListenAndServe(*pprofAddr, pprofMux))
+			err := sideSrv.ListenAndServe()
+			if !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server exited", "addr", *pprofAddr, "err", err)
+			}
 		}()
 		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
@@ -272,6 +301,11 @@ type serverTimeouts struct {
 // keeps tests that call handlers directly unaffected.
 var srvTimeouts serverTimeouts
 
+// sideSrv is the pprof/debug side listener, when -pprof-addr is set;
+// serve() shuts it down during the drain window so the process exits
+// with no listener left behind.
+var sideSrv *http.Server
+
 // withRequestTimeout wraps handler so every request's context carries the
 // given deadline. Handlers propagate r.Context() into issuance and
 // audits, so an expired deadline surfaces as a typed 499/504 body instead
@@ -313,6 +347,11 @@ func serve(addr string, handler http.Handler, o *serverObs) error {
 		logger.Info("shutting down, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if sideSrv != nil {
+			if err := sideSrv.Shutdown(shutdownCtx); err != nil {
+				logger.Error("pprof shutdown", "err", err)
+			}
+		}
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("drmserver: shutdown: %w", err)
 		}
@@ -390,22 +429,33 @@ type errorBody struct {
 	// Kind is the drmerr taxonomy name ("violation", "incomplete", ...),
 	// empty for errors outside the taxonomy.
 	Kind string `json:"kind,omitempty"`
+	// TraceID is the request's trace (when tracing is on), the handle a
+	// caller quotes to pull the full span tree from /debug/traces/{id} —
+	// error traces are always retained by the sampler.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
-// body builds the structured error body for a classified error.
-func body(err error) errorBody {
-	b := errorBody{Error: err.Error()}
+// body builds the structured error body for a classified error,
+// stamping the request's trace ID when the context carries one.
+func body(ctx context.Context, err error) errorBody {
+	b := errorBody{Error: err.Error(), TraceID: trace.IDFromContext(ctx)}
 	if k := drmerr.KindOf(err); k != drmerr.KindUnknown {
 		b.Kind = k.String()
 	}
 	return b
 }
 
+// clientError writes a plain client-fault body (bad JSON, unknown kind,
+// oversized request) with the request's trace ID attached.
+func clientError(ctx context.Context, w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, TraceID: trace.IDFromContext(ctx)})
+}
+
 // writeError maps a pipeline error to its taxonomy HTTP status (409
 // violation, 422 model errors, 499 client cancelled, 503 store corrupt,
 // 504 deadline-cut audit, ...) with a structured JSON body.
-func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, drmerr.HTTPStatus(err), body(err))
+func writeError(ctx context.Context, w http.ResponseWriter, err error) {
+	writeJSON(w, drmerr.HTTPStatus(err), body(ctx, err))
 }
 
 func (s corpusAPI) handleCorpus(w http.ResponseWriter, r *http.Request) {
@@ -453,12 +503,11 @@ func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
-				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			})
+			clientError(r.Context(), w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		clientError(r.Context(), w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	kind := license.Usage
@@ -467,12 +516,12 @@ func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
 	case "redistribution":
 		kind = license.Redistribution
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown kind " + req.Kind})
+		clientError(r.Context(), w, http.StatusBadRequest, "unknown kind "+req.Kind)
 		return
 	}
 	rect, err := license.BuildRect(s.corpus.Schema(), req.Values)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		clientError(r.Context(), w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -495,9 +544,9 @@ func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
 	case drmerr.KindOf(err) != drmerr.KindUnknown:
 		// Taxonomy errors carry their own status: 422 instance-invalid,
 		// 409 aggregate violation, 400 invalid input, 499 cancelled, ...
-		writeError(w, err)
+		writeError(r.Context(), w, err)
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		clientError(r.Context(), w, http.StatusBadRequest, err.Error())
 	}
 }
 
@@ -531,14 +580,13 @@ func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
 // snapshot concept.
 func (s corpusAPI) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.wal == nil {
-		writeJSON(w, http.StatusConflict, errorBody{
-			Error: "issuance log backend has no snapshots (run with -log-backend wal)",
-		})
+		clientError(r.Context(), w, http.StatusConflict,
+			"issuance log backend has no snapshots (run with -log-backend wal)")
 		return
 	}
-	info, err := s.wal.Snapshot()
+	info, err := s.wal.SnapshotContext(r.Context())
 	if err != nil {
-		writeError(w, err)
+		writeError(r.Context(), w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -556,6 +604,7 @@ type auditResponse struct {
 	GroupsComplete int    `json:"groups_complete"`
 	Error          string `json:"error,omitempty"`
 	Kind           string `json:"kind,omitempty"`
+	TraceID        string `json:"trace_id,omitempty"`
 }
 
 func (s corpusAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
@@ -565,7 +614,7 @@ func (s corpusAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
 	rep, aud, err := s.dist.AuditContext(r.Context(), s.workers)
 	s.mu.RUnlock()
 	if err != nil && !errors.Is(err, drmerr.ErrAuditIncomplete) {
-		writeError(w, err)
+		writeError(r.Context(), w, err)
 		return
 	}
 	resp := auditResponse{
@@ -587,6 +636,7 @@ func (s corpusAPI) handleAudit(w http.ResponseWriter, r *http.Request) {
 		status = drmerr.HTTPStatus(err)
 		resp.Error = err.Error()
 		resp.Kind = drmerr.KindOf(err).String()
+		resp.TraceID = trace.IDFromContext(r.Context())
 	}
 	writeJSON(w, status, resp)
 }

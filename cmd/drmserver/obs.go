@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
@@ -8,11 +9,19 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // logger is the process-wide structured logger. run() replaces it
-// according to -log-format; handlers and serve() log through it.
+// according to -log-format/-log-level (wrapped in trace.LogHandler so
+// request-scoped records carry a trace_id); handlers and serve() log
+// through it.
 var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// tracer is the process-wide request tracer; nil when -trace-sample is
+// "off". A nil tracer starts no spans, so every instrumentation site
+// below is a no-op and /debug/traces answers 404.
+var tracer *trace.Tracer
 
 // maxIssueBody caps POST issue request bodies; oversized requests get a
 // structured 413. run() overrides it via -max-body.
@@ -39,18 +48,93 @@ func newServerObs(ready func() error) *serverObs {
 	return &serverObs{reg: reg, httpm: obs.NewHTTPMetrics(reg), ready: ready}
 }
 
-// wrap mounts h on mux instrumented under the route pattern, so every
-// endpoint gets request counts by status class and a latency histogram.
+// wrap mounts h on mux instrumented under the route pattern: a root
+// trace span covering the whole request (metrics middleware included),
+// then request counts by status class and a latency histogram.
 func (o *serverObs) wrap(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
-	mux.Handle(pattern, o.httpm.Wrap(pattern, h))
+	mux.Handle(pattern, traced(pattern, o.httpm.Wrap(pattern, h)))
+}
+
+// traceStatusWriter records the response status for the root span and
+// the request log line.
+type traceStatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *traceStatusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *traceStatusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// traced starts a root span named by the route pattern around next, so
+// every layer below (engine, core, vtree, logstore, wal) hangs its spans
+// off this request's trace. After the handler returns it marks error
+// status (>= 400 — tail-sampling then always retains the trace), ends
+// the root, and emits the request log line with the span-carrying
+// context, so the line and any error body share one trace_id. With
+// tracing off it is a pass-through.
+func traced(pattern string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, sp := tracer.Root(r.Context(), pattern)
+		if sp == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &traceStatusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		sp.SetInt("status", int64(status))
+		if status >= 400 {
+			sp.Fail(fmt.Errorf("HTTP %d", status))
+		}
+		sp.End()
+		lvl := slog.LevelInfo
+		switch {
+		case status >= 500:
+			lvl = slog.LevelError
+		case status >= 400:
+			lvl = slog.LevelWarn
+		}
+		logger.LogAttrs(ctx, lvl, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status))
+	})
 }
 
 // mountCommon adds the routes both server modes share: the Prometheus
-// exposition, drain-aware liveness, and readiness.
+// exposition, the retained-trace ring, drain-aware liveness, and
+// readiness. The trace routes dereference the package tracer per request
+// so they work (as 404s) when tracing is off.
 func (o *serverObs) mountCommon(mux *http.ServeMux) {
 	mux.Handle("GET /metrics", o.reg.Handler())
+	mux.Handle("GET /debug/traces", traceHandler())
+	mux.Handle("GET /debug/traces/{id}", traceHandler())
 	o.wrap(mux, "GET /v1/healthz", o.handleHealthz)
 	o.wrap(mux, "GET /v1/readyz", o.handleReadyz)
+}
+
+// traceHandler serves the package tracer's ring; nil-safe (404 when
+// tracing is off).
+func traceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tracer.Handler().ServeHTTP(w, r)
+	})
 }
 
 // handleHealthz is liveness: 200 while serving, 503 once graceful

@@ -1,0 +1,47 @@
+// Command tracecheck validates Chrome Trace Event JSON files written by
+// drmaudit/drmbench -trace (or GET /debug/traces?format=chrome), using
+// the same decoder the packages test against — no third-party schema
+// tooling. It prints the duration-event count per file and exits
+// non-zero on the first invalid one, so CI can gate on trace-export
+// well-formedness before uploading the artifact.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: tracecheck trace.json [more.json ...]")
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		n, err := trace.DecodeChrome(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if n == 0 {
+			return fmt.Errorf("%s: no duration events", path)
+		}
+		fmt.Printf("%s: ok (%d duration events)\n", path, n)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(good, []byte(`{"traceEvents":[`+
+		`{"name":"p","ph":"M","pid":0},`+
+		`{"name":"root","ph":"X","ts":0,"dur":5,"pid":0,"tid":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"X"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{good}); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("invalid file accepted")
+	}
+	if err := run([]string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no-args invocation accepted")
+	}
+}

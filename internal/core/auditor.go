@@ -9,6 +9,7 @@ import (
 	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/overlap"
+	"repro/internal/trace"
 	"repro/internal/vtree"
 )
 
@@ -75,18 +76,34 @@ func NewAuditorContext(ctx context.Context, corpus *license.Corpus, log logstore
 func (a *Auditor) prepare(ctx context.Context, log logstore.Store) error {
 	a.logRecords = log.Len()
 	start := time.Now()
-	tree, err := vtree.BuildContext(ctx, a.corpus.Len(), log)
+	bctx, bsp := trace.Start(ctx, "core.build")
+	tree, err := vtree.BuildContext(bctx, a.corpus.Len(), log)
+	if bsp != nil {
+		bsp.SetInt("records", int64(a.logRecords))
+		bsp.Fail(err)
+		bsp.End()
+	}
 	if err != nil {
 		return drmerr.Wrapf(drmerr.KindOf(err), "core.prepare", err, "core: building validation tree")
 	}
 	a.timings.Construction = time.Since(start)
 
 	start = time.Now()
+	_, osp := trace.Start(ctx, "core.overlap")
 	a.grouping = overlap.GroupsOf(a.corpus)
 	a.timings.Grouping = time.Since(start)
+	if osp != nil {
+		osp.SetInt("groups", int64(len(a.grouping.Groups)))
+		osp.End()
+	}
 
 	start = time.Now()
+	_, dsp := trace.Start(ctx, "core.divide")
 	trees, err := Divide(tree, a.grouping, a.corpus.Aggregates())
+	if dsp != nil {
+		dsp.Fail(err)
+		dsp.End()
+	}
 	if err != nil {
 		return err
 	}

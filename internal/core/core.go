@@ -33,6 +33,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/drmerr"
 	"repro/internal/overlap"
+	"repro/internal/trace"
 	"repro/internal/vtree"
 )
 
@@ -282,7 +283,15 @@ func ValidateParallelContext(ctx context.Context, trees []*GroupTree, workers in
 			return
 		}
 		gt := trees[k]
-		results[k], errs[k] = gt.Flat().ValidateAllShardedContext(ctx, gt.Aggregates, budgets[k])
+		gctx, sp := trace.Start(ctx, "core.group")
+		results[k], errs[k] = gt.Flat().ValidateAllShardedContext(gctx, gt.Aggregates, budgets[k])
+		if sp != nil {
+			sp.SetInt("group", int64(k+1))
+			sp.SetInt("licenses", int64(len(gt.Aggregates)))
+			sp.SetInt("equations", results[k].Equations)
+			sp.Fail(errs[k])
+			sp.End()
+		}
 	}
 
 	groupWorkers := workers

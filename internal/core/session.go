@@ -8,6 +8,7 @@ import (
 	"repro/internal/drmerr"
 	"repro/internal/obs"
 	"repro/internal/overlap"
+	"repro/internal/trace"
 )
 
 // auditSession is the shared lifecycle of one audit run, unifying what
@@ -43,6 +44,7 @@ func newAuditSession(licenses, logRecords int, gr overlap.Grouping, workers int)
 // drmerr.ErrAuditIncomplete.
 func (s *auditSession) run(ctx context.Context, trees []*GroupTree) (Report, error) {
 	start := time.Now()
+	_, fsp := trace.Start(ctx, "core.flatten")
 	for _, gt := range trees {
 		if ctx.Err() != nil {
 			break // ValidateParallelContext reports the cancellation
@@ -50,10 +52,21 @@ func (s *auditSession) run(ctx context.Context, trees []*GroupTree) (Report, err
 		gt.Flat()
 	}
 	s.flatten = time.Since(start)
+	if fsp != nil {
+		fsp.SetInt("groups", int64(len(trees)))
+		fsp.End()
+	}
 
 	start = time.Now()
-	rep, err := ValidateParallelContext(ctx, trees, s.workers)
+	vctx, vsp := trace.Start(ctx, "core.validate")
+	rep, err := ValidateParallelContext(vctx, trees, s.workers)
 	s.validate = time.Since(start)
+	if vsp != nil {
+		vsp.SetInt("groups", int64(len(trees)))
+		vsp.SetInt("workers", int64(s.workers))
+		vsp.Fail(err)
+		vsp.End()
+	}
 	return rep, err
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/logstore"
 	"repro/internal/overlap"
 	"repro/internal/rtree"
+	"repro/internal/trace"
 	"repro/internal/vtree"
 )
 
@@ -166,6 +167,15 @@ func (d *Distributor) rebuildLiveContext(ctx context.Context) error {
 	return nil
 }
 
+// headroomContext rebuilds the live tree if dirty and returns the
+// remaining aggregate budget for set — the online-mode admission check.
+func (d *Distributor) headroomContext(ctx context.Context, set bitset.Mask) (int64, error) {
+	if err := d.rebuildLiveContext(ctx); err != nil {
+		return 0, err
+	}
+	return d.live.Headroom(set, d.corpus.Aggregates())
+}
+
 // BelongsTo runs instance validation for a candidate rectangle and returns
 // the belongs-to set as a mask (empty = instance-invalid).
 func (d *Distributor) BelongsTo(rect geometry.Rect) bitset.Mask {
@@ -191,6 +201,18 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
 	start := time.Now()
 	defer M.IssueSeconds.ObserveSince(start)
+	ctx, isp := trace.Start(ctx, "engine.issue")
+	lic, err := d.issueContext(ctx, kind, rect, count)
+	if isp != nil {
+		isp.SetAttr("distributor", d.name)
+		isp.SetInt("count", count)
+		isp.Fail(err)
+		isp.End()
+	}
+	return lic, err
+}
+
+func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
 	}
@@ -200,7 +222,12 @@ func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect 
 	if count <= 0 {
 		return nil, drmerr.New(drmerr.KindInvalidInput, "engine.issue", "engine: non-positive count %d", count)
 	}
+	_, bsp := trace.Start(ctx, "engine.instance")
 	set := d.BelongsTo(rect)
+	if bsp != nil {
+		bsp.SetInt("set_size", int64(set.Len()))
+		bsp.End()
+	}
 	if set.Empty() {
 		d.stats.RejectedInstance++
 		M.RejectedInstance.Inc()
@@ -210,10 +237,15 @@ func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect 
 		if err := ctx.Err(); err != nil {
 			return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
 		}
-		if err := d.rebuildLiveContext(ctx); err != nil {
-			return nil, err
+		hctx, hsp := trace.Start(ctx, "engine.headroom")
+		room, err := d.headroomContext(hctx, set)
+		if hsp != nil {
+			if err == nil {
+				hsp.SetInt("headroom", room)
+			}
+			hsp.Fail(err)
+			hsp.End()
 		}
-		room, err := d.live.Headroom(set, d.corpus.Aggregates())
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +256,7 @@ func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect 
 		}
 	}
 	rec := logstore.Record{Set: set, Count: count}
-	if err := d.log.Append(rec); err != nil {
+	if err := logstore.AppendContext(ctx, d.log, rec); err != nil {
 		return nil, err
 	}
 	if d.mode == ModeOnline {
@@ -271,6 +303,20 @@ func (d *Distributor) Audit(workers int) (core.Report, *core.Auditor, error) {
 func (d *Distributor) AuditContext(ctx context.Context, workers int) (core.Report, *core.Auditor, error) {
 	start := time.Now()
 	defer M.AuditSeconds.ObserveSince(start)
+	ctx, asp := trace.Start(ctx, "engine.audit")
+	rep, aud, err := d.auditContext(ctx, workers)
+	if asp != nil {
+		asp.SetAttr("distributor", d.name)
+		asp.SetInt("workers", int64(workers))
+		if err != nil && !errors.Is(err, drmerr.ErrAuditIncomplete) {
+			asp.Fail(err)
+		}
+		asp.End()
+	}
+	return rep, aud, err
+}
+
+func (d *Distributor) auditContext(ctx context.Context, workers int) (core.Report, *core.Auditor, error) {
 	aud, err := core.NewAuditorContext(ctx, d.corpus, d.log)
 	if err != nil {
 		return core.Report{}, nil, err

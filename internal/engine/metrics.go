@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logstore"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/vtree"
 	"repro/internal/wal"
 )
@@ -62,5 +63,6 @@ func InstrumentAll(reg *obs.Registry) {
 	core.Instrument(reg)
 	logstore.Instrument(reg)
 	wal.Instrument(reg)
+	trace.Instrument(reg)
 	Instrument(reg)
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/drmerr"
+	"repro/internal/trace"
 )
 
 // Record is one issuance log row: Table 2's (Set, Set Counts) pair.
@@ -69,6 +70,32 @@ type Durable interface {
 	Close() error
 }
 
+// ContextAppender is implemented by stores whose appends accept a
+// context, so tracing (and any future per-append deadline handling) can
+// reach inside the append path — *wal.Store records append and fsync
+// spans this way. The base Store interface stays context-free: most
+// implementations have no blocking inside Append worth cancelling.
+type ContextAppender interface {
+	AppendContext(ctx context.Context, r Record) error
+}
+
+// AppendContext appends r to s, threading ctx into the store when it
+// implements ContextAppender. For plain stores it wraps the append in a
+// "logstore.append" span so traced requests still see where log time
+// went. Untraced contexts add no allocations.
+func AppendContext(ctx context.Context, s Store, r Record) error {
+	if ca, ok := s.(ContextAppender); ok {
+		return ca.AppendContext(ctx, r)
+	}
+	_, sp := trace.Start(ctx, "logstore.append")
+	err := s.Append(r)
+	if sp != nil {
+		sp.Fail(err)
+		sp.End()
+	}
+	return err
+}
+
 // replayPollRecords is how many records ForEachContext replays between
 // context polls: frequent enough that cancelling a multi-million-record
 // replay takes microseconds, rare enough to stay off the per-record path.
@@ -83,8 +110,9 @@ func ForEachContext(ctx context.Context, s Store, fn func(Record) error) error {
 	if err := ctx.Err(); err != nil {
 		return drmerr.Wrap(drmerr.KindCancelled, "logstore.replay", err)
 	}
+	_, sp := trace.Start(ctx, "logstore.replay")
 	n := 0
-	return s.ForEach(func(r Record) error {
+	err := s.ForEach(func(r Record) error {
 		if n++; n%replayPollRecords == 0 {
 			if err := ctx.Err(); err != nil {
 				return drmerr.Wrap(drmerr.KindCancelled, "logstore.replay", err)
@@ -92,6 +120,12 @@ func ForEachContext(ctx context.Context, s Store, fn func(Record) error) error {
 		}
 		return fn(r)
 	})
+	if sp != nil {
+		sp.SetInt("records", int64(n))
+		sp.Fail(err)
+		sp.End()
+	}
+	return err
 }
 
 // Mem is an in-memory Store. The zero value is ready to use.

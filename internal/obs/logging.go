@@ -6,16 +6,59 @@ import (
 	"log/slog"
 )
 
+// ParseLogLevel parses a -log-level flag value into a slog.Level:
+// "debug", "info" (also ""), "warn", or "error".
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
 // NewLogger builds a slog.Logger writing to w in the given format:
 // "text" (human-oriented key=value lines) or "json" (one JSON object per
 // line, for log shippers). This is the -log-format flag's backend shared
-// by the server and CLI tools.
+// by the server and CLI tools. It logs at LevelInfo; use NewLeveledLogger
+// to honour a -log-level flag.
 func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	return NewLeveledLogger(format, "info", w)
+}
+
+// NewLeveledLogger is NewLogger with a minimum level ("debug", "info",
+// "warn", "error"; "" means info). Debug-level records — per-request
+// trace lines, span-level detail — are dropped by the handler unless the
+// level says otherwise, so enabling them is a flag flip, not a code
+// change.
+func NewLeveledLogger(format, level string, w io.Writer) (*slog.Logger, error) {
+	h, err := NewLogHandler(format, level, w)
+	if err != nil {
+		return nil, err
+	}
+	return slog.New(h), nil
+}
+
+// NewLogHandler builds just the slog.Handler of NewLeveledLogger, for
+// callers that wrap it (the server composes trace.LogHandler around it
+// so request-scoped records gain a trace_id).
+func NewLogHandler(format, level string, w io.Writer) (slog.Handler, error) {
+	lvl, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
 	switch format {
 	case "", "text":
-		return slog.New(slog.NewTextHandler(w, nil)), nil
+		return slog.NewTextHandler(w, opts), nil
 	case "json":
-		return slog.New(slog.NewJSONHandler(w, nil)), nil
+		return slog.NewJSONHandler(w, opts), nil
 	default:
 		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
 	}

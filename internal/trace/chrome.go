@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file maps retained traces onto the Chrome Trace Event Format
+// (the JSON Perfetto and chrome://tracing load natively):
+//
+//   - each trace becomes one "process" (pid = its index), named by an
+//     "M"/process_name metadata event carrying the trace ID and root name;
+//   - each span becomes an "X" (complete) event with ts/dur in
+//     microseconds on the absolute Unix timeline;
+//   - the "thread" (tid) is a synthetic lane assignment: Chrome nests
+//     same-tid events purely by time containment, so siblings may share
+//     a lane only when they do not overlap — concurrent siblings (shard
+//     fan-out) get fresh lanes so none is swallowed by another.
+
+// chromeEvent is one Trace Event Format entry.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes the traces as a Chrome Trace Event Format JSON
+// document.
+func WriteChrome(w io.Writer, traces []*TraceRecord) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}}
+	for pid, tr := range traces {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]string{"name": fmt.Sprintf("%s trace=%s", tr.Name, tr.ID)},
+		})
+		lanes := assignLanes(tr.Spans)
+		for i, sp := range tr.Spans {
+			ev := chromeEvent{
+				Name:  sp.Name,
+				Phase: "X",
+				TS:    float64(sp.Start) / 1e3,
+				Dur:   float64(sp.Duration) / 1e3,
+				PID:   pid,
+				TID:   lanes[i],
+			}
+			if len(sp.Attrs) > 0 || sp.Error != "" {
+				ev.Args = make(map[string]string, len(sp.Attrs)+1)
+				for _, a := range sp.Attrs {
+					ev.Args[a.Key] = a.Value
+				}
+				if sp.Error != "" {
+					ev.Args["error"] = sp.Error
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// assignLanes maps each span (by index into spans) to a tid lane such
+// that Chrome's containment-based nesting reconstructs the real parent
+// links. Children of one parent are laid out start-ordered: each child
+// shares the previous sibling's lane if it starts at/after that sibling
+// ends, otherwise it opens a fresh lane. Children never share the
+// parent's own lane (the parent's X event already fills it).
+func assignLanes(spans []SpanRecord) []int {
+	lanes := make([]int, len(spans))
+	idxByID := make(map[uint64]int, len(spans))
+	for i, sp := range spans {
+		idxByID[sp.ID] = i
+	}
+	children := make(map[uint64][]int, len(spans))
+	var roots []int
+	for i, sp := range spans {
+		if _, ok := idxByID[sp.Parent]; sp.Parent != 0 && ok {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	nextLane := 0
+
+	var placeChildren func(parentIdx int)
+	placeChildren = func(parentIdx int) {
+		kids := children[spans[parentIdx].ID]
+		sort.Slice(kids, func(a, b int) bool { return spans[kids[a]].Start < spans[kids[b]].Start })
+		childLane := -1
+		var childEnd int64
+		for _, k := range kids {
+			if childLane < 0 || spans[k].Start < childEnd {
+				childLane = nextLane
+				nextLane++
+			}
+			lanes[k] = childLane
+			childEnd = spans[k].Start + spans[k].Duration
+			placeChildren(k)
+		}
+	}
+
+	sort.Slice(roots, func(a, b int) bool { return spans[roots[a]].Start < spans[roots[b]].Start })
+	for _, r := range roots {
+		lanes[r] = nextLane
+		nextLane++
+		placeChildren(r)
+	}
+	return lanes
+}
+
+// DecodeChrome validates that r contains a parseable Chrome Trace Event
+// Format document and returns the number of duration ("X") events. It is
+// the CI validator for -trace output files: zero third-party tools, just
+// shape checks — an object with a traceEvents array whose entries carry
+// name/ph/pid, with ts/dur/tid present on every X event.
+func DecodeChrome(r io.Reader) (int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("trace: read chrome file: %w", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  *string  `json:"name"`
+			Phase *string  `json:"ph"`
+			TS    *float64 `json:"ts"`
+			Dur   *float64 `json:"dur"`
+			PID   *int     `json:"pid"`
+			TID   *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("trace: not a chrome trace document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: chrome document missing traceEvents array")
+	}
+	nx := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == nil || ev.Phase == nil || ev.PID == nil {
+			return 0, fmt.Errorf("trace: event %d missing name/ph/pid", i)
+		}
+		switch *ev.Phase {
+		case "X":
+			if ev.TS == nil || ev.Dur == nil || ev.TID == nil {
+				return 0, fmt.Errorf("trace: X event %d (%s) missing ts/dur/tid", i, *ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return 0, fmt.Errorf("trace: X event %d (%s) has negative dur", i, *ev.Name)
+			}
+			nx++
+		case "M":
+			// metadata: name/ph/pid suffice
+		default:
+			return 0, fmt.Errorf("trace: event %d has unsupported phase %q", i, *ev.Phase)
+		}
+	}
+	return nx, nil
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeRoundTrips(t *testing.T) {
+	tr := New(Options{Capacity: 8})
+	ctx, root := tr.Root(context.Background(), "http.issue")
+	actx, audit := Start(ctx, "engine.audit")
+	for i := 0; i < 3; i++ {
+		_, sh := Start(actx, "vtree.shard")
+		sh.SetInt("shard", int64(i))
+		sh.End()
+	}
+	audit.End()
+	_, wal := Start(ctx, "wal.append")
+	wal.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := DecodeChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round-trip failed: %v\n%s", err, buf.String())
+	}
+	if n != 6 {
+		t.Fatalf("decoded %d X events, want 6", n)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "process_name") {
+		t.Fatal("missing process_name metadata event")
+	}
+	if !strings.Contains(out, root.TraceID()) {
+		t.Fatal("trace id missing from process name")
+	}
+}
+
+func TestAssignLanesNesting(t *testing.T) {
+	// Hand-built tree: root [0,100]; children A [10,40] and B [50,90]
+	// (non-overlapping: may share a lane); B's children C [55,70] and
+	// D [60,80] overlap: must get distinct lanes.
+	spans := []SpanRecord{
+		{ID: 3, Parent: 2, Name: "C", Start: 55, Duration: 15},
+		{ID: 4, Parent: 2, Name: "D", Start: 60, Duration: 20},
+		{ID: 5, Parent: 1, Name: "A", Start: 10, Duration: 30},
+		{ID: 2, Parent: 1, Name: "B", Start: 50, Duration: 40},
+		{ID: 1, Parent: 0, Name: "root", Start: 0, Duration: 100},
+	}
+	lanes := assignLanes(spans)
+	lane := map[string]int{}
+	for i, sp := range spans {
+		lane[sp.Name] = lanes[i]
+	}
+	if lane["A"] != lane["B"] {
+		t.Fatalf("non-overlapping siblings should share a lane: A=%d B=%d", lane["A"], lane["B"])
+	}
+	if lane["A"] == lane["root"] {
+		t.Fatal("children must not share the root's lane")
+	}
+	if lane["C"] == lane["D"] {
+		t.Fatal("overlapping siblings must not share a lane")
+	}
+	if lane["C"] == lane["B"] || lane["D"] == lane["B"] {
+		t.Fatal("children must not share their parent's lane")
+	}
+}
+
+func TestDecodeChromeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":            `{"traceEvents": [}`,
+		"missing traceEvents": `{"events": []}`,
+		"missing name":        `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]}`,
+		"X missing dur":       `{"traceEvents":[{"name":"s","ph":"X","pid":0,"tid":0,"ts":1}]}`,
+		"negative dur":        `{"traceEvents":[{"name":"s","ph":"X","pid":0,"tid":0,"ts":1,"dur":-5}]}`,
+		"unknown phase":       `{"traceEvents":[{"name":"s","ph":"Q","pid":0}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeChrome(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: validator accepted malformed doc", name)
+		}
+	}
+	// And a well-formed minimal doc passes.
+	ok := `{"traceEvents":[{"name":"p","ph":"M","pid":0},{"name":"s","ph":"X","pid":0,"tid":0,"ts":1,"dur":2}]}`
+	n, err := DecodeChrome(strings.NewReader(ok))
+	if err != nil || n != 1 {
+		t.Fatalf("minimal doc rejected: n=%d err=%v", n, err)
+	}
+}
+
+func TestChromeEventArgsCarryAttrsAndError(t *testing.T) {
+	rec := &TraceRecord{
+		ID: "00000000000000aa", Name: "r", Spans: []SpanRecord{
+			{ID: 1, Name: "r", Start: 0, Duration: 10,
+				Attrs: []Attr{{Key: "group", Value: "3"}}, Error: "boom"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*TraceRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string            `json:"ph"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			found = true
+			if ev.Args["group"] != "3" || ev.Args["error"] != "boom" {
+				t.Fatalf("args = %+v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no X event emitted")
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the retained-trace ring over HTTP:
+//
+//	GET /debug/traces            index of retained traces (newest first)
+//	GET /debug/traces/{id}       full span tree of one trace as JSON
+//	GET /debug/traces/{id}?format=chrome
+//	                             same trace as Chrome Trace Event JSON
+//	GET /debug/traces?format=chrome
+//	                             every retained trace in one Chrome doc
+//
+// Mount it at "/debug/traces" and "/debug/traces/" on a mux. A nil
+// Tracer yields 404s for everything, so the handler can be mounted
+// unconditionally.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/traces")
+		rest = strings.Trim(rest, "/")
+		switch {
+		case rest == "" && r.URL.Query().Get("format") == "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="traces.json"`)
+			_ = WriteChrome(w, t.Snapshot())
+		case rest == "":
+			w.Header().Set("Content-Type", "application/json")
+			idx := struct {
+				Sampled   int64          `json:"traces_sampled_total"`
+				Dropped   int64          `json:"traces_dropped_total"`
+				Evictions int64          `json:"ring_evictions_total"`
+				Traces    []TraceSummary `json:"traces"`
+			}{t.Sampled(), t.Dropped(), t.Evictions(), t.Traces()}
+			if idx.Traces == nil {
+				idx.Traces = []TraceSummary{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(idx)
+		default:
+			rec := t.Get(rest)
+			if rec == nil {
+				http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if r.URL.Query().Get("format") == "chrome" {
+				_ = WriteChrome(w, []*TraceRecord{rec})
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rec)
+		}
+	})
+}

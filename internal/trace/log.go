@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// logHandler decorates a slog.Handler so every record logged with a
+// span-carrying context gains a trace_id attribute. It lives here (not
+// in internal/obs) because obs must not import trace: trace→obs is the
+// package-dependency direction this repo allows, and log correlation
+// needs IDFromContext.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// LogHandler wraps h so records logged via context.Context carrying an
+// active span are annotated with trace_id=<hex>. Records logged with an
+// untraced context pass through untouched.
+func LogHandler(h slog.Handler) slog.Handler {
+	return &logHandler{inner: h}
+}
+
+func (h *logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := IDFromContext(ctx); id != "" {
+		rec = rec.Clone()
+		rec.AddAttrs(slog.String("trace_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	return &logHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// ringShards is the number of independently locked ring segments the
+// retained-trace buffer is split into. Retention is off the request's
+// critical path (it happens once per sampled trace, at root End), so the
+// sharding exists to keep concurrent root-span completions from
+// contending on one mutex, not to make the hot path lock-free.
+const ringShards = 8
+
+// ringShard is one fixed-capacity overwrite ring of retained traces.
+type ringShard struct {
+	mu        sync.Mutex
+	buf       []*TraceRecord
+	next      int // next write position
+	evictions int64
+}
+
+// retain stores a finalised trace, evicting the oldest entry in its
+// shard when full. The shard is chosen by trace-ID hash so retention
+// load spreads evenly.
+func (t *Tracer) retain(rec *TraceRecord) {
+	// The trace ID is already splitmix64-mixed; its low bits are fine
+	// shard selectors. Parse the tail hex digit instead of re-hashing.
+	sh := &t.shards[hashID(rec.ID)%ringShards]
+	sh.mu.Lock()
+	if sh.buf[sh.next] != nil {
+		sh.evictions++
+		M.RingEvictions.Inc()
+	}
+	sh.buf[sh.next] = rec
+	sh.next = (sh.next + 1) % len(sh.buf)
+	sh.mu.Unlock()
+}
+
+// hashID folds the hex trace ID into a shard selector (FNV-1a).
+func hashID(id string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TraceSummary is one index entry for the /debug/traces listing.
+type TraceSummary struct {
+	ID       string `json:"trace_id"`
+	Name     string `json:"name"`
+	Start    int64  `json:"start_unix_ns"`
+	Duration int64  `json:"duration_ns"`
+	Error    bool   `json:"error"`
+	Spans    int    `json:"spans"`
+}
+
+// Traces returns summaries of every retained trace, newest first. Nil
+// tracers return nil.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	var out []TraceSummary
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.buf {
+			if rec == nil {
+				continue
+			}
+			out = append(out, TraceSummary{
+				ID:       rec.ID,
+				Name:     rec.Name,
+				Start:    rec.Start,
+				Duration: rec.Duration,
+				Error:    rec.Error,
+				Spans:    len(rec.Spans),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start > out[j].Start })
+	return out
+}
+
+// Get returns the retained trace with the given hex ID, or nil.
+func (t *Tracer) Get(id string) *TraceRecord {
+	if t == nil {
+		return nil
+	}
+	sh := &t.shards[hashID(id)%ringShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, rec := range sh.buf {
+		if rec != nil && rec.ID == id {
+			return rec
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every retained trace, newest first — the input for
+// Chrome export from the CLIs.
+func (t *Tracer) Snapshot() []*TraceRecord {
+	if t == nil {
+		return nil
+	}
+	var out []*TraceRecord
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, rec := range sh.buf {
+			if rec != nil {
+				out = append(out, rec)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start > out[j].Start })
+	return out
+}
+
+// Evictions reports how many retained traces were overwritten by newer
+// ones (0 on nil).
+func (t *Tracer) Evictions() int64 {
+	if t == nil {
+		return 0
+	}
+	var n int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += sh.evictions
+		sh.mu.Unlock()
+	}
+	return n
+}

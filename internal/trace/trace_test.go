@@ -1,0 +1,441 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		enabled bool
+		wantErr bool
+		policy  Policy
+	}{
+		{"off", false, false, Policy{}},
+		{"all", true, false, Policy{}},
+		{"error", true, false, Policy{ErrorsOnly: true}},
+		{"slow=0", true, false, Policy{Slow: 0}},
+		{"slow=250ms", true, false, Policy{Slow: 250 * time.Millisecond}},
+		{"slow=-1s", false, true, Policy{}},
+		{"slow=banana", false, true, Policy{}},
+		{"sometimes", false, true, Policy{}},
+	}
+	for _, c := range cases {
+		p, enabled, err := ParsePolicy(c.in)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("ParsePolicy(%q) err=%v wantErr=%v", c.in, err, c.wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if enabled != c.enabled || p != c.policy {
+			t.Fatalf("ParsePolicy(%q) = %+v enabled=%v; want %+v enabled=%v", c.in, p, enabled, c.policy, c.enabled)
+		}
+	}
+}
+
+func TestNilTracerAndNilSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.Root(context.Background(), "r")
+	if root != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	ctx2, sp := Start(ctx, "child")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("Start on untraced ctx must return ctx unchanged and nil span")
+	}
+	// All nil-span methods must be no-ops.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 7)
+	sp.Fail(errors.New("x"))
+	sp.End()
+	if got := sp.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q", got)
+	}
+	if IDFromContext(ctx) != "" {
+		t.Fatal("IDFromContext on untraced ctx must be empty")
+	}
+	if tr.Traces() != nil || tr.Get("x") != nil || tr.Snapshot() != nil {
+		t.Fatal("nil tracer ring reads must be empty")
+	}
+	if tr.Sampled() != 0 || tr.Dropped() != 0 || tr.Evictions() != 0 {
+		t.Fatal("nil tracer counters must be zero")
+	}
+}
+
+func TestRootChildSpanTreeRetained(t *testing.T) {
+	tr := New(Options{Capacity: 8}) // Policy zero value: slow=0, retain all
+	ctx, root := tr.Root(context.Background(), "req")
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	id := root.TraceID()
+	if len(id) != 16 {
+		t.Fatalf("trace id %q not 16 hex chars", id)
+	}
+	if IDFromContext(ctx) != id {
+		t.Fatal("IDFromContext mismatch")
+	}
+
+	cctx, child := Start(ctx, "phase")
+	child.SetAttr("group", "3")
+	child.SetInt("licenses", 42)
+	_, grand := Start(cctx, "shard")
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	if tr.Sampled() != 1 {
+		t.Fatalf("sampled = %d, want 1", tr.Sampled())
+	}
+	rec := tr.Get(id)
+	if rec == nil {
+		t.Fatal("trace not retained")
+	}
+	if rec.Error {
+		t.Fatal("trace wrongly marked error")
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rec.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	if byName["req"].ID != 1 || byName["req"].Parent != 0 {
+		t.Fatalf("root span ids wrong: %+v", byName["req"])
+	}
+	if byName["phase"].Parent != byName["req"].ID {
+		t.Fatal("child parent link broken")
+	}
+	if byName["shard"].Parent != byName["phase"].ID {
+		t.Fatal("grandchild parent link broken")
+	}
+	wantAttrs := []Attr{{Key: "group", Value: "3"}, {Key: "licenses", Value: "42"}}
+	if got := byName["phase"].Attrs; len(got) != 2 || got[0] != wantAttrs[0] || got[1] != wantAttrs[1] {
+		t.Fatalf("attrs = %+v, want %+v", got, wantAttrs)
+	}
+	// Root must be the last recorded span (end order).
+	if rec.Spans[len(rec.Spans)-1].Name != "req" {
+		t.Fatal("root is not last in end order")
+	}
+}
+
+func TestTailSamplingPolicies(t *testing.T) {
+	t.Run("errors retained under ErrorsOnly", func(t *testing.T) {
+		tr := New(Options{Capacity: 8, Policy: Policy{ErrorsOnly: true}})
+
+		_, ok := tr.Root(context.Background(), "fine")
+		ok.End()
+		if tr.Sampled() != 0 || tr.Dropped() != 1 {
+			t.Fatalf("clean trace retained under error policy: sampled=%d dropped=%d", tr.Sampled(), tr.Dropped())
+		}
+
+		ctx, bad := tr.Root(context.Background(), "bad")
+		_, sp := Start(ctx, "inner")
+		sp.Fail(errors.New("boom"))
+		sp.End()
+		bad.End()
+		if tr.Sampled() != 1 {
+			t.Fatal("error trace not retained")
+		}
+		rec := tr.Get(bad.TraceID())
+		if rec == nil || !rec.Error {
+			t.Fatalf("error trace record wrong: %+v", rec)
+		}
+		var inner SpanRecord
+		for _, s := range rec.Spans {
+			if s.Name == "inner" {
+				inner = s
+			}
+		}
+		if inner.Error != "boom" {
+			t.Fatalf("inner span error = %q", inner.Error)
+		}
+	})
+
+	t.Run("slow threshold", func(t *testing.T) {
+		tr := New(Options{Capacity: 8, Policy: Policy{Slow: time.Hour}})
+		_, fast := tr.Root(context.Background(), "fast")
+		fast.End()
+		if tr.Sampled() != 0 || tr.Dropped() != 1 {
+			t.Fatal("fast trace retained under slow=1h")
+		}
+		// Errors bypass the latency threshold.
+		_, bad := tr.Root(context.Background(), "bad")
+		bad.Fail(errors.New("x"))
+		bad.End()
+		if tr.Sampled() != 1 {
+			t.Fatal("error trace dropped under slow policy")
+		}
+	})
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Options{Capacity: ringShards}) // one slot per shard
+	for i := 0; i < 10*ringShards; i++ {
+		_, sp := tr.Root(context.Background(), "r")
+		sp.End()
+	}
+	if tr.Sampled() != 10*ringShards {
+		t.Fatalf("sampled = %d", tr.Sampled())
+	}
+	got := len(tr.Traces())
+	if got > ringShards {
+		t.Fatalf("ring holds %d traces, capacity %d", got, ringShards)
+	}
+	if tr.Evictions() != tr.Sampled()-int64(got) {
+		t.Fatalf("evictions=%d sampled=%d held=%d", tr.Evictions(), tr.Sampled(), got)
+	}
+}
+
+func TestSpanCapTruncates(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	ctx, root := tr.Root(context.Background(), "big")
+	for i := 0; i < maxSpansPerTrace+100; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	root.End()
+	rec := tr.Get(root.TraceID())
+	if rec == nil {
+		t.Fatal("trace not retained")
+	}
+	if len(rec.Spans) != maxSpansPerTrace {
+		t.Fatalf("got %d spans, want cap %d", len(rec.Spans), maxSpansPerTrace)
+	}
+	if rec.Truncated != 101 {
+		// cap counts the root too: root is span 1, so cap-1 children fit.
+		t.Fatalf("truncated = %d, want 101", rec.Truncated)
+	}
+}
+
+// TestConcurrentSpansRace is the -race hammer: many goroutines fan out
+// spans on shared traces concurrently; afterwards every retained trace
+// must have exactly the expected spans with resolvable parent IDs and no
+// duplicates.
+func TestConcurrentSpansRace(t *testing.T) {
+	const traces = 16
+	const workers = 8
+	const spansPerWorker = 25
+	// Shard assignment hashes the random trace ID, so any shard may see
+	// all 16 traces in the worst case; size the ring so no distribution
+	// can evict (the eviction path has its own deterministic test).
+	tr := New(Options{Capacity: traces * ringShards})
+	var wg sync.WaitGroup
+	ids := make([]string, traces)
+	for i := 0; i < traces; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, root := tr.Root(context.Background(), "req")
+			ids[i] = root.TraceID()
+			var inner sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					for s := 0; s < spansPerWorker; s++ {
+						sctx, sp := Start(ctx, fmt.Sprintf("w%d.s%d", w, s))
+						_, leaf := Start(sctx, "leaf")
+						leaf.End()
+						sp.End()
+					}
+				}()
+			}
+			inner.Wait()
+			root.End()
+		}()
+	}
+	wg.Wait()
+
+	if tr.Sampled() != traces {
+		t.Fatalf("sampled = %d, want %d", tr.Sampled(), traces)
+	}
+	wantSpans := 1 + workers*spansPerWorker*2
+	for _, id := range ids {
+		rec := tr.Get(id)
+		if rec == nil {
+			t.Fatalf("trace %s lost", id)
+		}
+		if len(rec.Spans) != wantSpans {
+			t.Fatalf("trace %s has %d spans, want %d", id, len(rec.Spans), wantSpans)
+		}
+		seen := map[uint64]bool{}
+		for _, s := range rec.Spans {
+			if seen[s.ID] {
+				t.Fatalf("trace %s: duplicate span id %d", id, s.ID)
+			}
+			seen[s.ID] = true
+		}
+		for _, s := range rec.Spans {
+			if s.Parent == 0 {
+				if s.ID != 1 {
+					t.Fatalf("trace %s: non-root span %d has no parent", id, s.ID)
+				}
+				continue
+			}
+			if !seen[s.Parent] {
+				t.Fatalf("trace %s: span %d parent %d unresolved", id, s.ID, s.Parent)
+			}
+		}
+	}
+}
+
+func TestLateSpanAfterRootEndIgnored(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	ctx, root := tr.Root(context.Background(), "r")
+	_, straggler := Start(ctx, "straggler")
+	root.End()
+	straggler.End() // after finalisation: must not panic or mutate the record
+	if _, sp := Start(ctx, "postmortem"); sp != nil {
+		t.Fatal("Start after root end minted a span")
+	}
+	rec := tr.Get(root.TraceID())
+	if len(rec.Spans) != 1 {
+		t.Fatalf("late span leaked into record: %d spans", len(rec.Spans))
+	}
+}
+
+func TestMetricsHooks(t *testing.T) {
+	defer func() { M = Metrics{} }()
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	tr := New(Options{Capacity: ringShards, Policy: Policy{ErrorsOnly: true}})
+	ctx, sp := tr.Root(context.Background(), "drop-me")
+	_, c := Start(ctx, "c")
+	c.End()
+	sp.End()
+	_, bad := tr.Root(context.Background(), "keep-me")
+	bad.Fail(errors.New("x"))
+	bad.End()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"drm_trace_spans_started_total 3",
+		"drm_trace_traces_sampled_total 1",
+		"drm_trace_traces_dropped_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	tr := New(Options{Capacity: 8})
+	ctx, root := tr.Root(context.Background(), "req")
+	_, sp := Start(ctx, "inner")
+	sp.End()
+	root.End()
+	id := root.TraceID()
+
+	t.Run("index", func(t *testing.T) {
+		rr := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+		if rr.Code != 200 {
+			t.Fatalf("status %d", rr.Code)
+		}
+		var idx struct {
+			Traces []TraceSummary `json:"traces"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &idx); err != nil {
+			t.Fatal(err)
+		}
+		if len(idx.Traces) != 1 || idx.Traces[0].ID != id || idx.Traces[0].Spans != 2 {
+			t.Fatalf("index = %+v", idx.Traces)
+		}
+	})
+
+	t.Run("by id", func(t *testing.T) {
+		rr := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces/"+id, nil))
+		if rr.Code != 200 {
+			t.Fatalf("status %d", rr.Code)
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(rr.Body.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.ID != id || len(rec.Spans) != 2 {
+			t.Fatalf("record = %+v", rec)
+		}
+	})
+
+	t.Run("chrome format", func(t *testing.T) {
+		rr := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces/"+id+"?format=chrome", nil))
+		if rr.Code != 200 {
+			t.Fatalf("status %d", rr.Code)
+		}
+		n, err := DecodeChrome(rr.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("chrome doc has %d X events, want 2", n)
+		}
+	})
+
+	t.Run("missing id 404s", func(t *testing.T) {
+		rr := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces/deadbeefdeadbeef", nil))
+		if rr.Code != 404 {
+			t.Fatalf("status %d, want 404", rr.Code)
+		}
+	})
+
+	t.Run("nil tracer 404s", func(t *testing.T) {
+		var nilTr *Tracer
+		rr := httptest.NewRecorder()
+		nilTr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+		if rr.Code != 404 {
+			t.Fatalf("status %d, want 404", rr.Code)
+		}
+	})
+}
+
+func TestLogHandlerAddsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(LogHandler(slog.NewJSONHandler(&buf, nil)))
+	tr := New(Options{Capacity: 4})
+	ctx, sp := tr.Root(context.Background(), "r")
+
+	logger.InfoContext(ctx, "traced line")
+	logger.InfoContext(context.Background(), "untraced line")
+	sp.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["trace_id"] != sp.TraceID() {
+		t.Fatalf("trace_id = %v, want %s", first["trace_id"], sp.TraceID())
+	}
+	if strings.Contains(lines[1], "trace_id") {
+		t.Fatal("untraced line gained a trace_id")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/drmerr"
+	"repro/internal/trace"
 )
 
 // FlatTree is an immutable structure-of-arrays snapshot of a Tree, built
@@ -182,7 +183,14 @@ func (f *FlatTree) ValidateAllShardedContext(ctx context.Context, a []int64, wor
 	results := make([]Result, shards)
 	errs := make([]error, shards)
 	if shards == 1 {
-		results[0], errs[0] = f.validateRange(ctx, a, 1, uint64(bitset.FullMask(f.n)))
+		sctx, sp := trace.Start(ctx, "vtree.shard")
+		results[0], errs[0] = f.validateRange(sctx, a, 1, uint64(bitset.FullMask(f.n)))
+		if sp != nil {
+			sp.SetInt("shard", 0)
+			sp.SetInt("equations", results[0].Equations)
+			sp.Fail(errs[0])
+			sp.End()
+		}
 	} else {
 		var wg sync.WaitGroup
 		for s := 0; s < shards; s++ {
@@ -197,7 +205,14 @@ func (f *FlatTree) ValidateAllShardedContext(ctx context.Context, a []int64, wor
 			wg.Add(1)
 			go func(s int, first, last uint64) {
 				defer wg.Done()
-				results[s], errs[s] = f.validateRange(ctx, a, first, last)
+				sctx, sp := trace.Start(ctx, "vtree.shard")
+				results[s], errs[s] = f.validateRange(sctx, a, first, last)
+				if sp != nil {
+					sp.SetInt("shard", int64(s))
+					sp.SetInt("equations", results[s].Equations)
+					sp.Fail(errs[s])
+					sp.End()
+				}
 			}(s, first, last)
 		}
 		wg.Wait()

@@ -1,0 +1,80 @@
+package vtree
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestValidateAllocsEqualWithDisabledTracer is the acceptance gate for
+// the span design: a process with tracing enabled but no span in the
+// request context (an unsampled / untraced request) must run the sharded
+// validate with exactly the allocations of a tracing-free process. The
+// only permitted overhead is the context value lookup in trace.Start,
+// which allocates nothing.
+func TestValidateAllocsEqualWithDisabledTracer(t *testing.T) {
+	f, a := metricsFixture(t)
+	for _, workers := range []int{1, 4} {
+		run := func() {
+			if _, err := f.ValidateAllShardedContext(context.Background(), a, workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+		base := testing.AllocsPerRun(20, run)
+
+		// A live tracer exists in the process, but the context carries no
+		// span — exactly an untraced request on a -trace-sample server.
+		_ = trace.New(trace.Options{Capacity: 16})
+		untraced := testing.AllocsPerRun(20, run)
+
+		if untraced != base {
+			t.Errorf("workers=%d: allocs per run: no tracer %v, untraced ctx %v — disabled tracing must add zero",
+				workers, base, untraced)
+		}
+	}
+}
+
+// TestValidateTracedEmitsShardSpans is the positive control for the alloc
+// test: with a span in the context, each shard records a vtree.shard span
+// with its equation count, and the trace stays well-formed.
+func TestValidateTracedEmitsShardSpans(t *testing.T) {
+	f, a := metricsFixture(t)
+	tr := trace.New(trace.Options{Capacity: 4})
+	ctx, root := tr.Root(context.Background(), "test.validate")
+	res, err := f.ValidateAllShardedContext(ctx, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	rec := tr.Get(root.TraceID())
+	if rec == nil {
+		t.Fatal("trace not retained")
+	}
+	var shards int
+	var eqs int64
+	for _, s := range rec.Spans {
+		if s.Name != "vtree.shard" {
+			continue
+		}
+		shards++
+		if s.Parent != 1 {
+			t.Errorf("shard span %d parented to %d, want root", s.ID, s.Parent)
+		}
+		for _, at := range s.Attrs {
+			if at.Key == "equations" {
+				var v int64
+				for _, c := range at.Value {
+					v = v*10 + int64(c-'0')
+				}
+				eqs += v
+			}
+		}
+	}
+	if shards == 0 {
+		t.Fatal("no vtree.shard spans recorded")
+	}
+	if eqs != res.Equations {
+		t.Errorf("shard spans account for %d equations, validate reports %d", eqs, res.Equations)
+	}
+}

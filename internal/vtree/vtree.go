@@ -30,6 +30,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/drmerr"
 	"repro/internal/logstore"
+	"repro/internal/trace"
 )
 
 // Node is one validation-tree node: a license index, the count for the set
@@ -135,11 +136,17 @@ func Build(n int, log logstore.Store) (*Tree, error) {
 // partially built tree is discarded — unlike audits, a half-replayed tree
 // has no sound partial interpretation).
 func BuildContext(ctx context.Context, n int, log logstore.Store) (*Tree, error) {
+	ctx, sp := trace.Start(ctx, "vtree.build")
 	t, err := New(n)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		err = logstore.ForEachContext(ctx, log, t.InsertRecord)
 	}
-	if err := logstore.ForEachContext(ctx, log, t.InsertRecord); err != nil {
+	if sp != nil {
+		sp.SetInt("licenses", int64(n))
+		sp.Fail(err)
+		sp.End()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return t, nil

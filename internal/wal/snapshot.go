@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/drmerr"
 	"repro/internal/fsx"
 	"repro/internal/logstore"
+	"repro/internal/trace"
 )
 
 // snapshotFile is the checkpoint document's name inside the WAL dir.
@@ -105,17 +107,33 @@ type SnapshotInfo struct {
 // Appends proceed as soon as the method returns; the store stays open
 // throughout.
 func (s *Store) Snapshot() (SnapshotInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.snapshotLocked()
+	return s.SnapshotContext(context.Background())
 }
 
-func (s *Store) snapshotLocked() (SnapshotInfo, error) {
+// SnapshotContext is Snapshot with a context for tracing: a traced
+// request records a "wal.snapshot" span (with compacted record count and
+// watermark attrs) covering the fsync, compaction, and atomic install.
+// The context does not cancel a snapshot mid-install.
+func (s *Store) SnapshotContext(ctx context.Context) (SnapshotInfo, error) {
+	ctx, sp := trace.Start(ctx, "wal.snapshot")
+	s.mu.Lock()
+	info, err := s.snapshotLocked(ctx)
+	s.mu.Unlock()
+	if sp != nil {
+		sp.SetInt("records", int64(info.Records))
+		sp.SetInt("seq", int64(info.Seq))
+		sp.Fail(err)
+		sp.End()
+	}
+	return info, err
+}
+
+func (s *Store) snapshotLocked(ctx context.Context) (SnapshotInfo, error) {
 	if err := s.stateErrLocked(); err != nil {
 		return SnapshotInfo{}, err
 	}
 	start := time.Now()
-	if err := s.syncLocked(); err != nil {
+	if err := s.syncLocked(ctx); err != nil {
 		return SnapshotInfo{}, err
 	}
 	merged := s.snap

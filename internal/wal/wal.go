@@ -48,6 +48,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -59,6 +60,7 @@ import (
 	"repro/internal/drmerr"
 	"repro/internal/fsx"
 	"repro/internal/logstore"
+	"repro/internal/trace"
 )
 
 // FsyncPolicy selects when appended frames are made durable.
@@ -453,8 +455,8 @@ func (s *Store) createSegmentLocked(idx uint64) error {
 
 // rotateLocked seals the active segment (final fsync regardless of
 // policy, bounding any loss window to one segment) and opens the next.
-func (s *Store) rotateLocked() error {
-	if err := s.syncLocked(); err != nil {
+func (s *Store) rotateLocked(ctx context.Context) error {
+	if err := s.syncLocked(ctx); err != nil {
 		return err
 	}
 	if err := s.f.Close(); err != nil {
@@ -474,12 +476,33 @@ func (s *Store) rotateLocked() error {
 // is no longer in a state this process can reason about (recovery on the
 // next Open is).
 func (s *Store) Append(r logstore.Record) error {
+	return s.AppendContext(context.Background(), r)
+}
+
+// AppendContext is Append with a context for tracing: a traced request
+// records a "wal.append" span covering the frame write and, when the
+// policy fsyncs inline, a "wal.fsync" child covering the sync wait. The
+// context does not cancel the append — a half-written frame is worse
+// than a completed one — it only carries the active span; untraced
+// contexts take the exact Append path. It implements
+// logstore.ContextAppender.
+func (s *Store) AppendContext(ctx context.Context, r logstore.Record) error {
 	if err := r.Validate(); err != nil {
 		return drmerr.Wrap(drmerr.KindInvalidInput, "wal.append", err)
 	}
+	ctx, sp := trace.Start(ctx, "wal.append")
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.appendLocked(r)
+	err := s.appendLocked(ctx, r)
+	if sp != nil {
+		sp.SetInt("seq", int64(s.seq))
+		sp.SetAttr("segment", fmt.Sprintf("%06d", s.segIdx))
+	}
+	s.mu.Unlock()
+	if sp != nil {
+		sp.Fail(err)
+		sp.End()
+	}
+	return err
 }
 
 // AppendBatch appends records with one write (and, under FsyncAlways,
@@ -497,7 +520,7 @@ func (s *Store) AppendBatch(recs []logstore.Record) error {
 			return err
 		}
 		if s.size >= s.opts.SegmentBytes && s.size > segmentHeaderSize {
-			if err := s.rotateLocked(); err != nil {
+			if err := s.rotateLocked(context.Background()); err != nil {
 				return err
 			}
 		}
@@ -517,15 +540,15 @@ func (s *Store) AppendBatch(recs []logstore.Record) error {
 		M.Appends.Add(int64(n))
 		recs = recs[n:]
 	}
-	return s.commitLocked()
+	return s.commitLocked(context.Background())
 }
 
-func (s *Store) appendLocked(r logstore.Record) error {
+func (s *Store) appendLocked(ctx context.Context, r logstore.Record) error {
 	if err := s.stateErrLocked(); err != nil {
 		return err
 	}
 	if s.size >= s.opts.SegmentBytes && s.size > segmentHeaderSize {
-		if err := s.rotateLocked(); err != nil {
+		if err := s.rotateLocked(ctx); err != nil {
 			return err
 		}
 	}
@@ -537,7 +560,7 @@ func (s *Store) appendLocked(r logstore.Record) error {
 	s.tail = append(s.tail, r)
 	s.sinceSnap++
 	M.Appends.Inc()
-	return s.commitLocked()
+	return s.commitLocked(ctx)
 }
 
 // stateErrLocked reports the sticky failure or closed state.
@@ -566,14 +589,14 @@ func (s *Store) writeLocked(b []byte) error {
 
 // commitLocked applies the post-append durability policy and the
 // auto-snapshot trigger.
-func (s *Store) commitLocked() error {
+func (s *Store) commitLocked(ctx context.Context) error {
 	if s.opts.Fsync == FsyncAlways {
-		if err := s.syncLocked(); err != nil {
+		if err := s.syncLocked(ctx); err != nil {
 			return err
 		}
 	}
 	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
-		if _, err := s.snapshotLocked(); err != nil {
+		if _, err := s.snapshotLocked(ctx); err != nil {
 			return err
 		}
 	}
@@ -581,20 +604,28 @@ func (s *Store) commitLocked() error {
 }
 
 // syncLocked fsyncs the active segment if it has unsynced bytes,
-// advancing the synced watermark.
-func (s *Store) syncLocked() error {
+// advancing the synced watermark. A traced ctx records the sync wait as
+// a "wal.fsync" span — under FsyncAlways this is the durability cost a
+// request actually pays, the number the tracer exists to expose.
+func (s *Store) syncLocked(ctx context.Context) error {
 	if !s.dirty {
 		s.synced = s.seq
 		return nil
 	}
+	_, sp := trace.Start(ctx, "wal.fsync")
 	start := time.Now()
 	err := s.f.Sync()
 	M.Fsyncs.Inc()
 	M.FsyncSeconds.ObserveSince(start)
 	if err != nil {
+		if sp != nil {
+			sp.Fail(err)
+			sp.End()
+		}
 		s.failed = err
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	sp.End()
 	s.dirty = false
 	s.synced = s.seq
 	return nil
@@ -607,7 +638,7 @@ func (s *Store) Sync() error {
 	if err := s.stateErrLocked(); err != nil {
 		return err
 	}
-	return s.syncLocked()
+	return s.syncLocked(context.Background())
 }
 
 // syncLoop is the FsyncInterval group-committer: one fsync per interval
@@ -623,7 +654,8 @@ func (s *Store) syncLoop() {
 		case <-t.C:
 			s.mu.Lock()
 			if !s.closed && s.failed == nil && s.dirty {
-				s.syncLocked() // poisons the store on failure; appenders see it
+				// Poisons the store on failure; appenders see it.
+				s.syncLocked(context.Background())
 			}
 			s.mu.Unlock()
 		}
@@ -687,7 +719,7 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	var syncErr error
 	if !s.closed && s.failed == nil {
-		syncErr = s.syncLocked()
+		syncErr = s.syncLocked(context.Background())
 	}
 	alreadyClosed := s.closed
 	s.closed = true
