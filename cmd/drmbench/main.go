@@ -22,6 +22,13 @@
 //
 //	drmbench -recover -recover-max 10000000
 //
+// -issue benchmarks online admission — the full validation walk the
+// pre-cache hot path ran per issuance versus the incremental headroom
+// cache — over decades of prior-log sizes, optionally writing the rows
+// as a JSON artifact:
+//
+//	drmbench -issue -issue-max 1000000 -issue-json issue.json
+//
 // -trace audits the N=max synthetic workload under a live tracer and
 // writes the span tree as Chrome Trace Event JSON (open in Perfetto):
 //
@@ -70,6 +77,14 @@ func run(args []string, out io.Writer) error {
 			"benchmark WAL recovery: full replay vs snapshot+tail over decades of record counts")
 		recoverMax = fs.Int("recover-max", 1_000_000,
 			"largest record count in the -recover sweep (decades from 100k)")
+		issueMode = fs.Bool("issue", false,
+			"benchmark online admission: full validation walk vs headroom cache over decades of prior-log sizes")
+		issueMax = fs.Int("issue-max", 1_000_000,
+			"largest prior-log record count in the -issue sweep (decades from 10k)")
+		issueOps = fs.Int("issue-ops", 2000,
+			"measured issuances per -issue point on the cached arm (the full arm caps at 200)")
+		issueJSON = fs.String("issue-json", "",
+			"also write the -issue ablation rows as a JSON artifact to this path")
 		statsPath = fs.String("stats", "",
 			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
 		timeout = fs.Duration("timeout", 0,
@@ -106,14 +121,14 @@ func run(args []string, out io.Writer) error {
 		ns = append(ns, n)
 	}
 
-	// -recover suppresses the default all-figures sweep (a 10^7-record
-	// recovery run should not drag the full N sweep along); an explicit
-	// -fig still combines with it.
+	// -recover and -issue suppress the default all-figures sweep (a
+	// 10^7-record recovery run should not drag the full N sweep along);
+	// an explicit -fig still combines with them.
 	want := func(f int) bool {
 		if *fig != 0 {
 			return *fig == f
 		}
-		return !*recoverMode
+		return !*recoverMode && !*issueMode
 	}
 	ran := false
 
@@ -299,6 +314,40 @@ func run(args []string, out io.Writer) error {
 		}
 		if err := write(out, rows); err != nil {
 			return err
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if *issueMode {
+		ran = true
+		if *issueMax < 1 {
+			return fmt.Errorf("issue-max must be positive, got %d", *issueMax)
+		}
+		if *issueOps < 1 {
+			return fmt.Errorf("issue-ops must be positive, got %d", *issueOps)
+		}
+		if !csvOut {
+			fmt.Fprintln(out, "== Online admission: full validation walk vs headroom cache ==")
+		}
+		rows, err := benchIssue(*issueMax, *issueOps, *seed)
+		if err != nil {
+			return err
+		}
+		write := writeIssue
+		if csvOut {
+			write = writeIssueCSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if *issueJSON != "" {
+			if err := writeIssueJSON(*issueJSON, rows); err != nil {
+				return err
+			}
+			if !csvOut {
+				fmt.Fprintf(out, "issue: wrote %s\n", *issueJSON)
+			}
 		}
 		if !csvOut {
 			fmt.Fprintln(out)

@@ -44,6 +44,7 @@ func (s *catalogServer) routes() http.Handler {
 	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
+	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/headroom", s.entry(corpusAPI.handleHeadroom))
 	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/snapshot", s.entry(corpusAPI.handleSnapshot))
 	s.obs.wrap(mux, "POST /v1/snapshot", s.handleSnapshotAll)
 	return mux

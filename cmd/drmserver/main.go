@@ -16,6 +16,7 @@
 //	POST /v1/issue   → {"values":[{"lo":..,"hi":..}|{"set":[..]}, ...],
 //	                    "count": 25, "kind": "usage"}
 //	GET  /v1/audit   → grouped offline validation report
+//	GET  /v1/headroom → admission-cache debug view (per-group min slack)
 //	GET  /v1/healthz → liveness (503 once graceful shutdown begins)
 //	GET  /v1/readyz  → readiness (corpus/catalog loaded)
 //	GET  /metrics    → Prometheus text exposition
@@ -24,7 +25,7 @@
 // (see internal/catalog for the layout):
 //
 //	GET  /v1/contents                        → entry listing
-//	GET  /v1/c/{content}/{perm}/corpus       (and /groups, /audit)
+//	GET  /v1/c/{content}/{perm}/corpus       (and /groups, /audit, /headroom)
 //	POST /v1/c/{content}/{perm}/issue
 package main
 
@@ -49,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drmerr"
 	"repro/internal/engine"
+	"repro/internal/headroom"
 	"repro/internal/license"
 	"repro/internal/logstore"
 	"repro/internal/obs"
@@ -391,6 +393,14 @@ func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode,
 			return nil, err
 		}
 	}
+	if mode == engine.ModeOnline {
+		// Recovery warm-up: build the admission cache from the recovered
+		// log (snapshot + tail for a WAL) before serving, so the first
+		// issuance pays no replay.
+		if err := d.WarmHeadroom(context.Background()); err != nil {
+			return nil, err
+		}
+	}
 	o := newServerObs(func() error {
 		if corpus.Len() == 0 {
 			return errors.New("corpus empty")
@@ -412,6 +422,7 @@ func (s *server) routes() http.Handler {
 	s.obs.wrap(mux, "POST /v1/issue", s.api.handleIssue)
 	s.obs.wrap(mux, "GET /v1/audit", s.api.handleAudit)
 	s.obs.wrap(mux, "GET /v1/stats", s.api.handleStats)
+	s.obs.wrap(mux, "GET /v1/headroom", s.api.handleHeadroom)
 	s.obs.wrap(mux, "POST /v1/snapshot", s.api.handleSnapshot)
 	return mux
 }
@@ -572,6 +583,31 @@ func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)
+}
+
+type headroomResponse struct {
+	// Pending counts admissions applied to the cache whose log appends
+	// have not confirmed yet (transiently non-zero under load).
+	Pending int64 `json:"pending"`
+	// Groups is the per-group slack state: mode (dense table vs sparse
+	// closure walk), observed-span shape, and the minimum remaining slack.
+	Groups []headroom.GroupSummary `json:"groups"`
+}
+
+// handleHeadroom is the admission-cache debug endpoint: per-group
+// min-slack summaries straight from the cache the hot path reads. The
+// read lock excludes log appends, so a first call may warm the cache
+// from a consistent log view.
+func (s corpusAPI) handleHeadroom(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	sums, err := s.dist.HeadroomSummaries(r.Context())
+	pending := s.dist.HeadroomPending()
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(r.Context(), w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, headroomResponse{Pending: pending, Groups: sums})
 }
 
 // handleSnapshot checkpoints a WAL-backed log on demand: fsync, compact

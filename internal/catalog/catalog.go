@@ -185,6 +185,15 @@ func (c *Catalog) wire(corpus *license.Corpus, stem string) error {
 			return fmt.Errorf("catalog: wiring (%s, %s): %w", first.Content, first.Permission, err)
 		}
 	}
+	if c.cfg.Mode == engine.ModeOnline {
+		// Recovery warm-up: build the admission cache now, from the log the
+		// backend just recovered (snapshot + tail for a WAL), so the first
+		// issuance after reopen pays no replay.
+		if err := dist.WarmHeadroom(context.Background()); err != nil {
+			log.Close()
+			return fmt.Errorf("catalog: warming headroom for (%s, %s): %w", first.Content, first.Permission, err)
+		}
+	}
 	c.entries[k] = &Entry{
 		Content:    first.Content,
 		Permission: first.Permission,

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"math"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/drmerr"
 	"repro/internal/license"
 	"repro/internal/logstore"
@@ -154,6 +156,89 @@ func (a *Auditor) AuditContext(ctx context.Context) (Report, error) {
 	a.stats = s.finish(rep, rep.Equations, shardsUsed(a.trees, s.workers),
 		rep.GroupsComplete(), 0, a.phases(), err != nil)
 	return rep, err
+}
+
+// MinSlack returns the smallest slack A[S] − C⟨S⟩ over the group's
+// non-empty local sets, recomputed directly from the divided tree —
+// negative iff the group holds at least one violated equation. The walk
+// is 2^{N_k} equations; it exists for audit-side cross-checks, not hot
+// paths.
+func (gt *GroupTree) MinSlack() int64 {
+	min := int64(math.MaxInt64)
+	full := bitset.FullMask(gt.Tree.N())
+	for s := bitset.Mask(1); ; s++ {
+		var av int64
+		s.ForEach(func(e int) bool {
+			av += gt.Aggregates[e]
+			return true
+		})
+		if slack := av - gt.Tree.SumSubsets(s); slack < min {
+			min = slack
+		}
+		if s == full {
+			break
+		}
+	}
+	return min
+}
+
+// ToLocal translates a global-index mask into this group's local
+// indexes; it fails if any member is outside the group.
+func (gt *GroupTree) ToLocal(global bitset.Mask) (bitset.Mask, error) {
+	if !global.SubsetOf(gt.Group.Members) {
+		return 0, drmerr.New(drmerr.KindCrossGroup, "core.tolocal",
+			"core: set %v spans overlap groups", global)
+	}
+	var out bitset.Mask
+	var err error
+	global.ForEach(func(e int) bool {
+		for p, ge := range gt.localToGlobal {
+			if ge == e {
+				out = out.With(p)
+				return true
+			}
+		}
+		err = drmerr.New(drmerr.KindCorpusMismatch, "core.tolocal",
+			"core: license %d missing from group", e)
+		return false
+	})
+	return out, err
+}
+
+// Headroom recomputes the admissible count for belongs-to set from this
+// audit's own divided trees: the set's group contributes its local
+// superset minimum, every other group contributes min(0, MinSlack) — the
+// same decomposition the headroom cache serves from memory, derived here
+// independently so audits can cross-check cached admissions. Cost is
+// exponential in the group sizes; callers bound it (see
+// engine.AuditContext's sampling).
+func (a *Auditor) Headroom(set bitset.Mask) (int64, error) {
+	if set.Empty() {
+		return 0, drmerr.New(drmerr.KindInvalidInput, "core.headroom", "core: empty belongs-to set")
+	}
+	k := a.grouping.GroupOf(set.Min())
+	if k < 0 {
+		return 0, drmerr.New(drmerr.KindCorpusMismatch, "core.headroom",
+			"core: set %v outside corpus", set)
+	}
+	gt := a.trees[k]
+	local, err := gt.ToLocal(set)
+	if err != nil {
+		return 0, err
+	}
+	room, err := gt.Tree.Headroom(local, gt.Aggregates)
+	if err != nil {
+		return 0, err
+	}
+	for j, other := range a.trees {
+		if j == k {
+			continue
+		}
+		if ms := other.MinSlack(); ms < 0 {
+			room += ms
+		}
+	}
+	return room, nil
 }
 
 // phases converts the timing decomposition to the stats record's form.

@@ -59,6 +59,10 @@ const (
 	KindInvalidInput
 	// KindNotFound marks missing-entity lookups.
 	KindNotFound
+	// KindHeadroomDivergence marks an admission cache whose incremental
+	// slack state disagrees with the slacks recomputed from the issuance
+	// log — an invariant failure surfaced by the audit-as-verifier pass.
+	KindHeadroomDivergence
 )
 
 // String returns the kind's wire name (the "kind" field of HTTP error
@@ -83,6 +87,8 @@ func (k Kind) String() string {
 		return "invalid_input"
 	case KindNotFound:
 		return "not_found"
+	case KindHeadroomDivergence:
+		return "headroom_divergence"
 	default:
 		return "unknown"
 	}
@@ -123,6 +129,7 @@ var (
 	ErrAuditIncomplete = Sentinel(KindIncomplete, "drm: audit incomplete")
 	ErrInvalidInput    = Sentinel(KindInvalidInput, "drm: invalid input")
 	ErrNotFound        = Sentinel(KindNotFound, "drm: not found")
+	ErrHeadroomDiverge = Sentinel(KindHeadroomDivergence, "drm: headroom cache diverges from log")
 )
 
 // Error is a classified pipeline error: the Kind for dispatch, the
@@ -241,6 +248,7 @@ func IsCancellation(err error) bool {
 //	cancelled         → 499 (client closed request)
 //	store corrupt     → 503 Service Unavailable
 //	incomplete        → 504 Gateway Timeout
+//	headroom diverged → 500 Internal Server Error (integrity failure)
 //	anything else     → 500 Internal Server Error
 func HTTPStatus(err error) int {
 	switch KindOf(err) {

@@ -10,11 +10,19 @@
 //   - instance validation uses an R-tree over the corpus rectangles
 //     (internal/rtree);
 //   - in ModeOnline every issuance is additionally aggregate-checked
-//     immediately via the validation tree's Headroom, so violations are
-//     rejected at issue time (loss-free, Example 1's desired behaviour);
+//     immediately against the incrementally maintained headroom cache
+//     (internal/headroom), so violations are rejected at issue time
+//     (loss-free, Example 1's desired behaviour) without walking the
+//     validation tree — admission is a slack lookup plus an in-place
+//     decrement, and batch audits cross-check the cache afterwards;
 //   - in ModeOffline issuances are only logged — the paper's operating
 //     point, where "violation of aggregate constraints is not a frequent
 //     event" and auditing happens in batch via the geometric validator.
+//
+// Issue, Audit, Stats, and the headroom queries are safe for concurrent
+// use; corpus mutations (AddRedistribution, TopUp) require external
+// exclusion against in-flight issuances, matching how drmserver holds
+// its corpus write lock.
 //
 // A Network is a directory of distributors keyed by (distributor, content,
 // permission), so multi-party scenarios read naturally in the examples.
@@ -24,18 +32,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/drmerr"
 	"repro/internal/geometry"
+	"repro/internal/headroom"
 	"repro/internal/license"
 	"repro/internal/logstore"
 	"repro/internal/overlap"
 	"repro/internal/rtree"
 	"repro/internal/trace"
-	"repro/internal/vtree"
 )
 
 // Mode selects when aggregate validation happens.
@@ -87,7 +97,9 @@ type Stats struct {
 }
 
 // Distributor manages one (content, permission) license corpus and its
-// issuance log. It is not safe for concurrent use.
+// issuance log. Issuance, audits, stats, and headroom queries are safe
+// for concurrent use (given a concurrency-safe log store — Mem and the
+// WAL both are); corpus mutations require external exclusion.
 type Distributor struct {
 	name    string
 	mode    Mode
@@ -95,14 +107,23 @@ type Distributor struct {
 	grouper *overlap.Grouper
 	index   *rtree.Tree
 	log     logstore.Store
-	// live mirrors the log as a validation tree when mode == ModeOnline.
-	// It is rebuilt lazily (liveDirty) so that loading a corpus license by
-	// license over a pre-existing log — the catalog-reopen path — only
-	// replays the log once the corpus is complete.
-	live      *vtree.Tree
-	liveDirty bool
-	stats     Stats
-	seq       int
+
+	// mu guards the cache pointer and its freshness flags. cacheDirty
+	// marks a corpus change (rebuild from the cache's retained counts —
+	// no log replay); cacheStale marks log appends the cache never saw
+	// (offline issuance after a headroom query — full replay). Building
+	// lazily keeps the catalog-reopen path — corpus loaded license by
+	// license over a pre-existing log — to a single warm-up replay.
+	mu         sync.Mutex
+	cache      *headroom.Cache
+	cacheDirty bool
+	cacheStale bool
+
+	issued            atomic.Int64
+	issuedCounts      atomic.Int64
+	rejectedInstance  atomic.Int64
+	rejectedAggregate atomic.Int64
+	seq               atomic.Int64
 }
 
 // NewDistributor creates a distributor over the schema writing to the given
@@ -125,8 +146,17 @@ func (d *Distributor) Name() string { return d.name }
 // Corpus exposes the redistribution-license corpus (read-only use).
 func (d *Distributor) Corpus() *license.Corpus { return d.corpus }
 
-// Stats returns issuance counters.
-func (d *Distributor) Stats() Stats { return d.stats }
+// Stats returns issuance counters. All counters are maintained
+// atomically, so Stats is safe (and consistent per counter) under
+// concurrent issuance.
+func (d *Distributor) Stats() Stats {
+	return Stats{
+		Issued:            int(d.issued.Load()),
+		IssuedCounts:      d.issuedCounts.Load(),
+		RejectedInstance:  int(d.rejectedInstance.Load()),
+		RejectedAggregate: int(d.rejectedAggregate.Load()),
+	}
+}
 
 // NumGroups returns the current number of disconnected license groups,
 // maintained incrementally as licenses arrive.
@@ -134,8 +164,9 @@ func (d *Distributor) NumGroups() int { return d.grouper.NumGroups() }
 
 // AddRedistribution registers a redistribution license received from
 // upstream (the owner or a parent distributor) and returns its corpus
-// index. In online mode the live validation tree is re-sized to the new
-// corpus by replaying the log.
+// index. An existing headroom cache is re-sized to the new corpus (and
+// any merged groups) at the next admission, from its own retained
+// counts — the log is never replayed again.
 func (d *Distributor) AddRedistribution(l *license.License) (int, error) {
 	idx, err := d.grouper.Add(l) // validates kind/schema and updates groups
 	if err != nil {
@@ -144,36 +175,75 @@ func (d *Distributor) AddRedistribution(l *license.License) (int, error) {
 	if err := d.index.Insert(l.Rect, idx); err != nil {
 		return 0, err
 	}
-	if d.mode == ModeOnline {
-		d.liveDirty = true
-	}
+	d.mu.Lock()
+	d.cacheDirty = true
+	d.mu.Unlock()
 	return idx, nil
 }
 
-// rebuildLiveContext replays the log into a fresh tree sized to the
-// corpus, if a corpus change invalidated the current one. The replay is
-// cancellable; a cut-short rebuild leaves the previous tree (and the
-// dirty flag) in place.
-func (d *Distributor) rebuildLiveContext(ctx context.Context) error {
-	if d.live != nil && !d.liveDirty {
-		return nil
+// ensureCache returns a headroom cache consistent with the corpus and
+// the log, building or refreshing it as needed. The first build replays
+// the log (for a WAL-backed store that is snapshot + tail — the
+// recovery warm-up); corpus changes rebuild from the cache's retained
+// counts without touching the log.
+func (d *Distributor) ensureCache(ctx context.Context) (*headroom.Cache, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cache != nil && !d.cacheDirty && !d.cacheStale {
+		return d.cache, nil
 	}
-	t, err := vtree.BuildContext(ctx, d.corpus.Len(), d.log)
-	if err != nil {
-		return err
+	if d.cache == nil || d.cacheStale {
+		c, err := headroom.Build(ctx, d.grouper.Grouping(), d.corpus.Aggregates(), d.log)
+		if err != nil {
+			return nil, err
+		}
+		d.cache = c
+	} else if err := d.cache.Rebuild(ctx, d.grouper.Grouping(), d.corpus.Aggregates()); err != nil {
+		return nil, err
 	}
-	d.live = t
-	d.liveDirty = false
-	return nil
+	d.cacheDirty, d.cacheStale = false, false
+	return d.cache, nil
 }
 
-// headroomContext rebuilds the live tree if dirty and returns the
-// remaining aggregate budget for set — the online-mode admission check.
-func (d *Distributor) headroomContext(ctx context.Context, set bitset.Mask) (int64, error) {
-	if err := d.rebuildLiveContext(ctx); err != nil {
+// WarmHeadroom builds the headroom cache eagerly — the recovery hook:
+// catalog reopen calls it right after replaying corpus and WAL so the
+// first issuance pays no warm-up.
+func (d *Distributor) WarmHeadroom(ctx context.Context) error {
+	_, err := d.ensureCache(ctx)
+	return err
+}
+
+// HeadroomContext returns the remaining aggregate budget for an
+// issuance against set, served from the cache.
+func (d *Distributor) HeadroomContext(ctx context.Context, set bitset.Mask) (int64, error) {
+	cache, err := d.ensureCache(ctx)
+	if err != nil {
 		return 0, err
 	}
-	return d.live.Headroom(set, d.corpus.Aggregates())
+	return cache.Headroom(set)
+}
+
+// HeadroomSummaries returns the cache's per-group min-slack summaries —
+// the payload of drmserver's /v1/headroom debug endpoint.
+func (d *Distributor) HeadroomSummaries(ctx context.Context) ([]headroom.GroupSummary, error) {
+	cache, err := d.ensureCache(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return cache.Summaries(), nil
+}
+
+// HeadroomPending returns the number of admitted-but-unconfirmed cache
+// reservations — zero when no cache has been built yet, and transiently
+// non-zero between an admission and its log append confirming.
+func (d *Distributor) HeadroomPending() int64 {
+	d.mu.Lock()
+	cache := d.cache
+	d.mu.Unlock()
+	if cache == nil {
+		return 0
+	}
+	return cache.Pending()
 }
 
 // BelongsTo runs instance validation for a candidate rectangle and returns
@@ -229,16 +299,25 @@ func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect 
 		bsp.End()
 	}
 	if set.Empty() {
-		d.stats.RejectedInstance++
+		d.rejectedInstance.Add(1)
 		M.RejectedInstance.Inc()
 		return nil, fmt.Errorf("%w: %s not contained in any redistribution license", ErrInstanceInvalid, rect)
 	}
+	rec := logstore.Record{Set: set, Count: count}
 	if d.mode == ModeOnline {
 		if err := ctx.Err(); err != nil {
 			return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
 		}
+		// The hot path: check the cached slack and reserve under the
+		// group lock, append to the log, confirm. No tree walk, no
+		// replay; a failed append releases the reservation.
 		hctx, hsp := trace.Start(ctx, "engine.headroom")
-		room, err := d.headroomContext(hctx, set)
+		cache, err := d.ensureCache(hctx)
+		var room int64
+		var ok bool
+		if err == nil {
+			room, ok, err = cache.Admit(hctx, set, count)
+		}
 		if hsp != nil {
 			if err == nil {
 				hsp.SetInt("headroom", room)
@@ -249,29 +328,38 @@ func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect 
 		if err != nil {
 			return nil, err
 		}
-		if count > room {
-			d.stats.RejectedAggregate++
+		if !ok {
+			d.rejectedAggregate.Add(1)
 			M.RejectedAggregate.Inc()
 			return nil, fmt.Errorf("%w: requested %d, headroom %d for %v", ErrAggregateExhausted, count, room, set)
 		}
-	}
-	rec := logstore.Record{Set: set, Count: count}
-	if err := logstore.AppendContext(ctx, d.log, rec); err != nil {
-		return nil, err
-	}
-	if d.mode == ModeOnline {
-		if err := d.live.Insert(set, count); err != nil {
+		if err := logstore.AppendContext(ctx, d.log, rec); err != nil {
+			if rerr := cache.Release(set, count); rerr != nil {
+				return nil, errors.Join(err, rerr)
+			}
 			return nil, err
 		}
+		cache.Confirm()
+	} else {
+		if err := logstore.AppendContext(ctx, d.log, rec); err != nil {
+			return nil, err
+		}
+		// An offline append behind an existing cache (built for headroom
+		// queries) leaves it stale; the next query replays the log.
+		d.mu.Lock()
+		if d.cache != nil {
+			d.cacheStale = true
+		}
+		d.mu.Unlock()
 	}
-	d.stats.Issued++
-	d.stats.IssuedCounts += count
+	d.issued.Add(1)
+	d.issuedCounts.Add(count)
 	M.Issued.Inc()
 	M.IssuedCounts.Add(count)
-	d.seq++
+	seq := d.seq.Add(1)
 	first := d.corpus.License(0)
 	return &license.License{
-		Name:       fmt.Sprintf("%s/U%d", d.name, d.seq),
+		Name:       fmt.Sprintf("%s/U%d", d.name, seq),
 		Kind:       kind,
 		Content:    first.Content,
 		Permission: first.Permission,
@@ -282,9 +370,18 @@ func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect 
 
 // TopUp raises the budget of the redistribution license at corpus index i
 // by extra — the remediation an owner applies when audits show a group
-// running hot. Online-mode headroom reflects the new budget immediately.
+// running hot. Cached headroom reflects the new budget immediately: the
+// affected slack entries are patched in place, not rebuilt.
 func (d *Distributor) TopUp(i int, extra int64) error {
-	return d.corpus.TopUp(i, extra)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.corpus.TopUp(i, extra); err != nil {
+		return err
+	}
+	if d.cache != nil && !d.cacheDirty && !d.cacheStale {
+		return d.cache.TopUp(i, extra)
+	}
+	return nil
 }
 
 // Audit runs the geometric offline validator over the accumulated log with
@@ -329,7 +426,65 @@ func (d *Distributor) auditContext(ctx context.Context, workers int) (core.Repor
 		return core.Report{}, nil, err
 	}
 	M.Audits.Inc()
+	if err == nil {
+		if verr := d.verifyCache(ctx, aud); verr != nil {
+			return rep, aud, verr
+		}
+	}
 	return rep, aud, err
+}
+
+// crossCheckSample bounds how many observed sets a completed audit
+// re-derives headroom for when cross-checking the cache, and
+// crossCheckMaxGroup skips the re-derivation for groups big enough that
+// the 2^{N_k} recomputation would dominate the audit itself.
+const (
+	crossCheckSample   = 8
+	crossCheckMaxGroup = 16
+)
+
+// verifyCache is the audit-as-verifier inversion: with admission served
+// from the headroom cache, a completed audit's job includes proving the
+// cache still matches the log it no longer replays per issuance. Two
+// checks run: a structural pass (cache.Verify rebuilds the slack state
+// from the log and diffs counts, tables, and minimums) and a semantic
+// sample (the audit's own divided trees recompute headroom for a few
+// observed sets and compare against the cached answers). Divergence
+// surfaces as a KindHeadroomDivergence error and increments
+// drm_headroom_divergence_total. Skipped — not an error — while
+// admissions are in flight or the cache is out of date with the corpus.
+func (d *Distributor) verifyCache(ctx context.Context, aud *core.Auditor) error {
+	d.mu.Lock()
+	cache := d.cache
+	fresh := cache != nil && !d.cacheDirty && !d.cacheStale
+	d.mu.Unlock()
+	if !fresh {
+		return nil
+	}
+	res, err := cache.Verify(ctx, d.log)
+	if err != nil || res.Skipped {
+		return err
+	}
+	for _, set := range cache.SampleSets(crossCheckSample) {
+		if k := aud.Grouping().GroupOf(set.Min()); k >= 0 &&
+			aud.Grouping().Groups[k].Size > crossCheckMaxGroup {
+			continue
+		}
+		want, err := aud.Headroom(set)
+		if err != nil {
+			return err
+		}
+		got, err := cache.Headroom(set)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			headroom.M.Divergence.Inc()
+			return drmerr.New(drmerr.KindHeadroomDivergence, "engine.audit",
+				"engine: cached headroom %d for %v, audit recomputed %d", got, set, want)
+		}
+	}
+	return nil
 }
 
 // Network is a directory of distributors keyed by (name, content,

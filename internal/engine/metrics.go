@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/core"
+	"repro/internal/headroom"
 	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -55,14 +56,15 @@ func Instrument(reg *obs.Registry) {
 }
 
 // InstrumentAll wires every instrumentable package below the engine —
-// vtree, core, logstore, wal, and the engine itself — to one registry.
-// Callers (drmserver, drmaudit, drmbench) do this once at startup,
-// before any concurrent use.
+// vtree, core, logstore, wal, headroom, and the engine itself — to one
+// registry. Callers (drmserver, drmaudit, drmbench) do this once at
+// startup, before any concurrent use.
 func InstrumentAll(reg *obs.Registry) {
 	vtree.Instrument(reg)
 	core.Instrument(reg)
 	logstore.Instrument(reg)
 	wal.Instrument(reg)
 	trace.Instrument(reg)
+	headroom.Instrument(reg)
 	Instrument(reg)
 }

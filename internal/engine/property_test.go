@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/vtree"
+	"repro/internal/workload"
+)
+
+// TestCachedAdmissionEquivalentToFullAudit is the equivalence property
+// behind the headroom cache: under random interleavings of issuance,
+// batch audits, corpus top-ups, and recovery (a fresh distributor warmed
+// from the same log), every cached admission decision — accept/reject
+// and the reported headroom — must agree with a full validation tree
+// rebuilt from the log immediately before the issuance. Audits along the
+// way double as the cache's own verifier (engine wires Verify plus a
+// sampled cross-check into every clean audit), so a divergence fails the
+// audit step too. Run under -race in CI.
+func TestCachedAdmissionEquivalentToFullAudit(t *testing.T) {
+	for _, seed := range []int64{1, 5, 11} {
+		t.Logf("seed %d", seed)
+		w := workload.MustGenerate(workload.Config{
+			N: 8, Groups: 3, Dims: 2, RecordsPerLicense: 2,
+			AggregateLo: 1200, AggregateHi: 2500, Seed: seed,
+		})
+		log := logstore.NewMem(0)
+		build := func() *Distributor {
+			d := NewDistributor("prop", w.Schema, ModeOnline, log)
+			for _, l := range w.Corpus.Licenses() {
+				cp := *l
+				if _, err := d.AddRedistribution(&cp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return d
+		}
+		d := build()
+		topups := make([]int64, w.Corpus.Len())
+		rng := rand.New(rand.NewSource(seed*7 + 1))
+		ctx := context.Background()
+		accepted, rejected, audits, recoveries := 0, 0, 0, 0
+		for step := 0; step < 220; step++ {
+			switch op := rng.Intn(20); {
+			case op < 15: // issue
+				rect := w.Corpus.License(rng.Intn(w.Corpus.Len())).Rect
+				count := int64(1 + rng.Intn(400))
+				set := d.BelongsTo(rect)
+				if set.Empty() {
+					t.Fatalf("step %d: corpus rect outside corpus", step)
+				}
+				tree, err := vtree.Build(w.Corpus.Len(), log)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := tree.Headroom(set, d.Corpus().Aggregates())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.HeadroomContext(ctx, set)
+				if err != nil {
+					t.Fatalf("step %d: HeadroomContext(%v): %v", step, set, err)
+				}
+				if got != want {
+					t.Fatalf("step %d: cached headroom(%v) = %d, fresh audit %d", step, set, got, want)
+				}
+				_, err = d.IssueContext(ctx, license.Usage, rect, count)
+				if count <= want {
+					if err != nil {
+						t.Fatalf("step %d: issue(%v, %d) rejected with headroom %d: %v",
+							step, set, count, want, err)
+					}
+					accepted++
+				} else {
+					if !errors.Is(err, ErrAggregateExhausted) {
+						t.Fatalf("step %d: issue(%v, %d) err = %v, want exhaustion (headroom %d)",
+							step, set, count, err, want)
+					}
+					rejected++
+				}
+			case op < 17: // audit: clean report, and the cache verifies
+				rep, _, err := d.Audit(1)
+				if err != nil {
+					t.Fatalf("step %d: audit: %v", step, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("step %d: audit found violations in an online-guarded log: %+v",
+						step, rep.Violations)
+				}
+				audits++
+			case op < 18: // top-up
+				i := rng.Intn(w.Corpus.Len())
+				extra := int64(100 + rng.Intn(400))
+				if err := d.TopUp(i, extra); err != nil {
+					t.Fatalf("step %d: topup: %v", step, err)
+				}
+				topups[i] += extra
+			default: // recover: fresh distributor over the same log
+				d = build()
+				for i, extra := range topups {
+					if extra > 0 {
+						if err := d.TopUp(i, extra); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := d.WarmHeadroom(ctx); err != nil {
+					t.Fatalf("step %d: warm after recovery: %v", step, err)
+				}
+				recoveries++
+			}
+		}
+		rep, _, err := d.Audit(1)
+		if err != nil || !rep.OK() {
+			t.Fatalf("final audit: ok=%v err=%v", rep.OK(), err)
+		}
+		if accepted == 0 || rejected == 0 || audits == 0 || recoveries == 0 {
+			t.Fatalf("interleaving did not exercise all ops: accepted=%d rejected=%d audits=%d recoveries=%d",
+				accepted, rejected, audits, recoveries)
+		}
+	}
+}

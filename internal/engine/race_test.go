@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/license"
+)
+
+// TestStatsUnderConcurrentIssue hammers online issuance from many
+// goroutines while a reader polls Stats, then reconciles the counters
+// against per-goroutine tallies. Stats counters are atomics; this test
+// (run with -race in CI) is the regression guard for the lock-discipline
+// gap the old int-field stats had, where Issued and IssuedCounts were
+// updated non-atomically and reads could tear.
+func TestStatsUnderConcurrentIssue(t *testing.T) {
+	ex, d := ex1Distributor(t, ModeOnline)
+	const workers = 8
+	const iters = 60
+
+	var accepted, acceptedCounts, rejectedAgg atomic.Int64
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				st := d.Stats()
+				if st.Issued < 0 || st.IssuedCounts < 0 {
+					t.Error("torn stats read")
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rect := ex.Usage1.Rect
+				if (g+i)%2 == 0 {
+					rect = ex.Usage2.Rect
+				}
+				count := int64(1 + (g+i)%3)
+				_, err := d.Issue(license.Usage, rect, count)
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					acceptedCounts.Add(count)
+				default:
+					rejectedAgg.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	st := d.Stats()
+	if int64(st.Issued) != accepted.Load() {
+		t.Errorf("Issued = %d, workers accepted %d", st.Issued, accepted.Load())
+	}
+	if st.IssuedCounts != acceptedCounts.Load() {
+		t.Errorf("IssuedCounts = %d, workers issued %d", st.IssuedCounts, acceptedCounts.Load())
+	}
+	if int64(st.RejectedAggregate) != rejectedAgg.Load() {
+		t.Errorf("RejectedAggregate = %d, workers saw %d", st.RejectedAggregate, rejectedAgg.Load())
+	}
+	// The log must hold exactly the accepted records: admission reserves
+	// before appending, so concurrent acceptances can never overshoot.
+	if got := d.log.Len(); int64(got) != accepted.Load() {
+		t.Errorf("log holds %d records, %d accepted", got, accepted.Load())
+	}
+	rep, _, err := d.Audit(1)
+	if err != nil {
+		t.Fatalf("audit after hammer: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("online hammer produced a dirty log: %+v", rep.Violations)
+	}
+}

@@ -1,0 +1,218 @@
+// Verification: the audit-as-verifier inversion. With admission served
+// from the cache, batch audits stop being the gatekeeper and become the
+// invariant checker — after a clean audit the engine calls Verify, which
+// rebuilds the slack state from the issuance log and cross-checks every
+// cached count, table entry, and group minimum. Any mismatch means the
+// incremental maintenance drifted from ground truth and surfaces as a
+// KindHeadroomDivergence error plus drm_headroom_divergence_total.
+
+package headroom
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/drmerr"
+	"repro/internal/logstore"
+	"repro/internal/trace"
+)
+
+// ErrDivergence matches any cache-vs-log divergence found by Verify.
+var ErrDivergence = drmerr.Sentinel(drmerr.KindHeadroomDivergence,
+	"headroom: cache diverges from issuance log")
+
+// VerifyResult summarises one verification pass.
+type VerifyResult struct {
+	// Skipped is true when in-flight reservations made the pass unsound
+	// (records admitted but possibly not yet in the log); Pending holds
+	// their count. Skipping is not an error: the next quiescent audit
+	// verifies.
+	Skipped bool  `json:"skipped"`
+	Pending int64 `json:"pending"`
+	// Groups and Entries count what was compared.
+	Groups  int `json:"groups"`
+	Entries int `json:"entries"`
+}
+
+// Verify rebuilds a shadow cache from the log and compares it against
+// the live state: observed-set counts, dense slack tables (translated
+// across coordinate orderings), and group minimums. The cache is locked
+// exclusively for the duration, so a verified snapshot is consistent;
+// admissions queue behind it. Divergence returns a typed error matching
+// ErrDivergence.
+func (c *Cache) Verify(ctx context.Context, log logstore.Store) (VerifyResult, error) {
+	ctx, sp := trace.Start(ctx, "headroom.verify")
+	res, err := c.verify(ctx, log)
+	if sp != nil {
+		sp.SetInt("entries", int64(res.Entries))
+		if res.Skipped {
+			sp.SetAttr("skipped", "pending")
+		}
+		sp.Fail(err)
+		sp.End()
+	}
+	return res, err
+}
+
+func (c *Cache) verify(ctx context.Context, log logstore.Store) (VerifyResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.pending.Load(); p > 0 {
+		M.VerifySkipped.Inc()
+		return VerifyResult{Skipped: true, Pending: p}, nil
+	}
+	shadow, err := buildMaxSpan(ctx, c.grouping, c.aggs, log, c.maxSpanBits)
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	res := VerifyResult{Groups: len(c.groups)}
+	for k, g := range c.groups {
+		sg := shadow.groups[k]
+		g.mu.Lock()
+		err := c.verifyGroup(k, g, sg, &res)
+		g.mu.Unlock()
+		if err != nil {
+			M.Divergence.Inc()
+			return res, err
+		}
+	}
+	M.Verifies.Inc()
+	return res, nil
+}
+
+// verifyGroup compares one live group against its shadow. Caller holds
+// c.mu and g.mu; sg is freshly built and unshared.
+func (c *Cache) verifyGroup(k int, g, sg *group, res *VerifyResult) error {
+	diverge := func(format string, args ...any) error {
+		return drmerr.New(drmerr.KindHeadroomDivergence, "headroom.verify",
+			"headroom: group %d diverges from log: "+format, append([]any{k}, args...)...)
+	}
+	if len(g.cnt) != len(sg.cnt) {
+		return diverge("%d cached observed sets, log has %d", len(g.cnt), len(sg.cnt))
+	}
+	for set, n := range sg.cnt {
+		res.Entries++
+		if got := g.cnt[set]; got != n {
+			return diverge("set %v cached count %d, log says %d", set, got, n)
+		}
+	}
+	if g.span != sg.span {
+		return diverge("cached span %v, log implies %v", g.span, sg.span)
+	}
+	if g.dense != sg.dense {
+		return diverge("cached mode dense=%v, log implies dense=%v", g.dense, sg.dense)
+	}
+	if g.dense {
+		// Same span, possibly different coordinate orderings: compare by
+		// translating every shadow entry through the global mask.
+		if len(g.table) != len(sg.table) {
+			return diverge("table size %d, want %d", len(g.table), len(sg.table))
+		}
+		for t := 1; t < len(sg.table); t++ {
+			res.Entries++
+			global := sg.expand(bitset.Mask(t))
+			if got := g.table[g.spanCoord(global)]; got != sg.table[t] {
+				return diverge("slack for %v cached %d, recomputed %d", global, got, sg.table[t])
+			}
+		}
+		if got, want := g.minSlack.Load(), sg.minSlack.Load(); got != want {
+			return diverge("min slack cached %d, recomputed %d", got, want)
+		}
+	} else {
+		// Sparse minimums are exact when ≤ 0, which is all admission ever
+		// reads of them (the deficit term).
+		got, want := g.minSlack.Load(), sg.minSlack.Load()
+		if min64(0, got) != min64(0, want) {
+			return diverge("deficit cached %d, recomputed %d", min64(0, got), min64(0, want))
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GroupSummary is the per-group view the drmserver debug endpoint and
+// operators consume.
+type GroupSummary struct {
+	// Group is the overlap-component index; Members renders it in the
+	// paper's one-based {…} notation; Size is N_k.
+	Group   int    `json:"group"`
+	Members string `json:"members"`
+	Size    int    `json:"size"`
+	// Mode is "dense" (slack table over the observed span) or "sparse"
+	// (closure walk, span outgrew the table budget).
+	Mode string `json:"mode"`
+	// SpanBits and ObservedSets describe the pruning frontier; TableBytes
+	// is the dense table's resident size.
+	SpanBits     int   `json:"span_bits"`
+	ObservedSets int   `json:"observed_sets"`
+	TableBytes   int64 `json:"table_bytes"`
+	// MinSlack is the group's tightest remaining slack (Unbounded when no
+	// equation is active yet); Deficit = min(0, MinSlack) is what other
+	// groups' admissions subtract.
+	MinSlack  int64 `json:"min_slack"`
+	Unbounded bool  `json:"unbounded,omitempty"`
+	Deficit   int64 `json:"deficit"`
+}
+
+// Summaries returns one summary per group, ordered by group index.
+func (c *Cache) Summaries() []GroupSummary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]GroupSummary, len(c.groups))
+	for k, g := range c.groups {
+		g.mu.Lock()
+		mode := "dense"
+		if !g.dense {
+			mode = "sparse"
+		}
+		ms := g.minSlack.Load()
+		s := GroupSummary{
+			Group:        k,
+			Members:      g.members.String(),
+			Size:         g.members.Len(),
+			Mode:         mode,
+			SpanBits:     len(g.spanElems),
+			ObservedSets: len(g.cnt),
+			TableBytes:   int64(8 * len(g.table)),
+			MinSlack:     ms,
+			Unbounded:    ms == unbounded,
+			Deficit:      min64(0, ms),
+		}
+		g.mu.Unlock()
+		out[k] = s
+	}
+	return out
+}
+
+// SampleSets returns up to max observed belongs-to sets spread across
+// groups, in ascending mask order — the sample audits re-derive headroom
+// for when cross-checking the cache against their own trees.
+func (c *Cache) SampleSets(max int) []bitset.Mask {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var all []bitset.Mask
+	for _, g := range c.groups {
+		g.mu.Lock()
+		for set := range g.cnt {
+			all = append(all, set)
+		}
+		g.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if max <= 0 || len(all) <= max {
+		return all
+	}
+	// Stride-sample so the picks spread over the whole set range.
+	out := make([]bitset.Mask, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, all[i*len(all)/max])
+	}
+	return out
+}

@@ -128,9 +128,13 @@ func ForEachContext(ctx context.Context, s Store, fn func(Record) error) error {
 	return err
 }
 
-// Mem is an in-memory Store. The zero value is ready to use.
-// Mem is not safe for concurrent use; wrap it if you need that.
+// Mem is an in-memory Store. The zero value is ready to use. Mem is
+// safe for concurrent use: appends serialise behind a mutex, and ForEach
+// iterates a snapshot of the record slice taken under it, so a replay
+// concurrent with appends sees a consistent prefix (the engine's
+// concurrent issuance path relies on this).
 type Mem struct {
+	mu      sync.RWMutex
 	records []Record
 }
 
@@ -144,17 +148,27 @@ func (m *Mem) Append(r Record) error {
 	if err := r.Validate(); err != nil {
 		return drmerr.Wrap(drmerr.KindInvalidInput, "logstore.append", err)
 	}
+	m.mu.Lock()
 	m.records = append(m.records, r)
+	m.mu.Unlock()
 	M.Appends.Inc()
 	return nil
 }
 
 // Len implements Store.
-func (m *Mem) Len() int { return len(m.records) }
+func (m *Mem) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.records)
+}
 
-// ForEach implements Store.
+// ForEach implements Store. The iteration runs over a snapshot taken at
+// call time; records appended concurrently are not visited.
 func (m *Mem) ForEach(fn func(Record) error) error {
-	for _, r := range m.records {
+	m.mu.RLock()
+	recs := m.records
+	m.mu.RUnlock()
+	for _, r := range recs {
 		if err := fn(r); err != nil {
 			return err
 		}
@@ -162,8 +176,13 @@ func (m *Mem) ForEach(fn func(Record) error) error {
 	return nil
 }
 
-// Records returns the backing slice; callers must not modify it.
-func (m *Mem) Records() []Record { return m.records }
+// Records returns a snapshot of the backing slice; callers must not
+// modify it.
+func (m *Mem) Records() []Record {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.records
+}
 
 // Compact merges records with identical belongs-to sets, summing counts, and
 // returns the merged records ordered by set mask. The validation tree does
