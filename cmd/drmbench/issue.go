@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/license"
 	"repro/internal/logstore"
 	"repro/internal/overlap"
+	"repro/internal/slo"
 	"repro/internal/vtree"
 	"repro/internal/workload"
 )
@@ -40,6 +43,12 @@ type issueRow struct {
 	FullP99NS    int64   `json:"full_p99_ns"`
 	CachedP50NS  int64   `json:"cached_p50_ns"`
 	CachedP99NS  int64   `json:"cached_p99_ns"`
+	// WindowP50NS / WindowP99NS are the cached-arm quantiles as the
+	// serving-side sliding-window histogram reports them (bucket upper
+	// bounds) — the same estimator /v1/status serves, so the exact
+	// sorted-sample columns double as its ground truth.
+	WindowP50NS int64 `json:"window_p50_ns"`
+	WindowP99NS int64 `json:"window_p99_ns"`
 	// Speedup is CachedOpsSec / FullOpsSec.
 	Speedup float64 `json:"speedup"`
 }
@@ -224,6 +233,20 @@ func benchIssueOne(priors, ops int, seed int64) (issueRow, error) {
 	if err != nil {
 		return issueRow{}, err
 	}
+	// Feed the cached-arm latencies through the serving-side sliding
+	// window so the artifact carries both estimators side by side.
+	win := slo.NewLatencyWindow(slo.WindowConfig{})
+	for _, d := range cachedLat {
+		win.Observe(d.Seconds(), false)
+	}
+	snap := win.Snapshot()
+	winQ := func(q float64) int64 {
+		v := snap.Quantile(q)
+		if math.IsInf(v, +1) && len(snap.Upper) > 0 {
+			v = snap.Upper[len(snap.Upper)-1]
+		}
+		return int64(v * 1e9)
+	}
 	row := issueRow{
 		Priors:       len(f.priors),
 		DistinctSets: len(f.sets),
@@ -235,6 +258,8 @@ func benchIssueOne(priors, ops int, seed int64) (issueRow, error) {
 		FullP99NS:    quantile(fullLat, 0.99).Nanoseconds(),
 		CachedP50NS:  quantile(cachedLat, 0.50).Nanoseconds(),
 		CachedP99NS:  quantile(cachedLat, 0.99).Nanoseconds(),
+		WindowP50NS:  winQ(0.50),
+		WindowP99NS:  winQ(0.99),
 	}
 	if row.FullOpsSec > 0 {
 		row.Speedup = row.CachedOpsSec / row.FullOpsSec
@@ -278,27 +303,39 @@ func writeIssue(out io.Writer, rows []issueRow) error {
 }
 
 func writeIssueCSV(out io.Writer, rows []issueRow) error {
-	if _, err := fmt.Fprintln(out, "priors,distinct_sets,full_build_ns,cache_build_ns,full_ops_per_sec,cached_ops_per_sec,full_p50_ns,full_p99_ns,cached_p50_ns,cached_p99_ns,speedup"); err != nil {
+	if _, err := fmt.Fprintln(out, "priors,distinct_sets,full_build_ns,cache_build_ns,full_ops_per_sec,cached_ops_per_sec,full_p50_ns,full_p99_ns,cached_p50_ns,cached_p99_ns,window_p50_ns,window_p99_ns,speedup"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(out, "%d,%d,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%.2f\n",
+		if _, err := fmt.Fprintf(out, "%d,%d,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%.2f\n",
 			r.Priors, r.DistinctSets, r.FullBuildNS, r.CacheBuildNS,
 			r.FullOpsSec, r.CachedOpsSec, r.FullP50NS, r.FullP99NS,
-			r.CachedP50NS, r.CachedP99NS, r.Speedup); err != nil {
+			r.CachedP50NS, r.CachedP99NS, r.WindowP50NS, r.WindowP99NS, r.Speedup); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeIssueJSON writes the ablation rows as a JSON artifact (the BENCH
-// record CI uploads).
-func writeIssueJSON(path string, rows []issueRow) error {
+// issueMeta pins the run parameters inside the artifact so two BENCH
+// records are comparable without the CI log that produced them.
+type issueMeta struct {
+	Seed      int64  `json:"seed"`
+	Ops       int    `json:"ops"`
+	GoVersion string `json:"go_version"`
+}
+
+// writeIssueJSON writes the ablation rows as a stable JSON artifact
+// (the BENCH_issue.json record CI uploads): a schema tag, the run
+// parameters, and one row per prior-log decade.
+func writeIssueJSON(path string, rows []issueRow, meta issueMeta) error {
+	meta.GoVersion = runtime.Version()
 	doc := struct {
-		Bench string     `json:"bench"`
-		Rows  []issueRow `json:"rows"`
-	}{Bench: "issue_ablation", Rows: rows}
+		Bench  string     `json:"bench"`
+		Schema string     `json:"schema"`
+		Meta   issueMeta  `json:"meta"`
+		Rows   []issueRow `json:"rows"`
+	}{Bench: "issue_ablation", Schema: "drmbench/issue/v2", Meta: meta, Rows: rows}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -342,7 +342,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if *issueJSON != "" {
-			if err := writeIssueJSON(*issueJSON, rows); err != nil {
+			if err := writeIssueJSON(*issueJSON, rows, issueMeta{Seed: *seed, Ops: *issueOps}); err != nil {
 				return err
 			}
 			if !csvOut {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/drmerr"
 	"repro/internal/license"
 )
 
@@ -32,6 +33,28 @@ func newCatalogServer(cat *catalog.Catalog, workers int) *catalogServer {
 		}
 		return nil
 	})
+	s.obs.info = func() serviceStatus {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		st := serviceStatus{Name: "drmserver", Mode: s.cat.Mode().String(), Entries: s.cat.Len()}
+		for _, e := range s.cat.Entries() {
+			st.Licenses += e.Corpus.Len()
+			st.Groups += e.Dist.NumGroups()
+			st.LogRecords += e.Log.Len()
+		}
+		return st
+	}
+	s.obs.walBacklog = func() int64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var total int64
+		for _, e := range s.cat.Entries() {
+			if w := e.WAL(); w != nil {
+				total += w.Backlog()
+			}
+		}
+		return total
+	}
 	return s
 }
 
@@ -44,7 +67,7 @@ func (s *catalogServer) routes() http.Handler {
 	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
-	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/headroom", s.entry(corpusAPI.handleHeadroom))
+	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/headroom", s.obs.drainGuard(s.entry(corpusAPI.handleHeadroom)))
 	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/snapshot", s.entry(corpusAPI.handleSnapshot))
 	s.obs.wrap(mux, "POST /v1/snapshot", s.handleSnapshotAll)
 	return mux
@@ -88,8 +111,9 @@ func (s *catalogServer) handleSnapshotAll(w http.ResponseWriter, r *http.Request
 	writeJSON(w, http.StatusOK, out)
 }
 
-// entry resolves the path's (content, perm) to a corpusAPI and dispatches,
-// or 404s.
+// entry resolves the path's (content, perm) to a corpusAPI and
+// dispatches, feeding the entry's sliding SLO window; unknown pairs get
+// a typed 404 {error, kind} body and touch no entry window.
 func (s *catalogServer) entry(h func(corpusAPI, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		content := r.PathValue("content")
@@ -98,11 +122,13 @@ func (s *catalogServer) entry(h func(corpusAPI, http.ResponseWriter, *http.Reque
 		e := s.cat.Get(content, perm)
 		s.mu.RUnlock()
 		if e == nil {
-			clientError(r.Context(), w, http.StatusNotFound,
-				"no corpus for ("+content+", "+string(perm)+")")
+			writeError(r.Context(), w, drmerr.New(drmerr.KindNotFound, "drmserver",
+				"no corpus for (%s, %s)", content, perm))
 			return
 		}
-		h(corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist, workers: s.workers, wal: e.WAL()}, w, r)
+		api := corpusAPI{mu: &s.mu, corpus: e.Corpus, dist: e.Dist, workers: s.workers, wal: e.WAL()}
+		t := s.obs.slo.Entry(content + "/" + string(perm))
+		entryObserved(t, func(w http.ResponseWriter, r *http.Request) { h(api, w, r) })(w, r)
 	}
 }
 

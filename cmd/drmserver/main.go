@@ -56,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overlap"
 	"repro/internal/signature"
+	"repro/internal/slo"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -100,6 +101,14 @@ func run() error {
 		readTO       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTO      = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bounds handler+response time)")
 		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		sloLatency   = flag.Duration("slo-latency", sloObjectives.LatencyThreshold,
+			"latency SLO threshold: requests at or over this duration burn the latency budget (0 disables the latency objective)")
+		sloLatencyTarget = flag.Float64("slo-latency-target", sloObjectives.LatencyTarget*100,
+			"latency SLO target in percent: the share of requests that must finish under -slo-latency")
+		sloAvailability = flag.Float64("slo-availability", sloObjectives.Availability*100,
+			"availability SLO target in percent: the share of requests that must not answer 5xx (0 disables)")
+		telemetryEvery = flag.Duration("telemetry-interval", 10*time.Second,
+			"runtime/SLO telemetry sampling interval (0 disables the ticker; /metrics and /v1/status still sample on demand)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -109,6 +118,21 @@ func run() error {
 		return fmt.Errorf("max-body = %d, want >= 1", *maxBody)
 	}
 	maxIssueBody = *maxBody
+	if *sloAvailability < 0 || *sloAvailability >= 100 {
+		return fmt.Errorf("slo-availability = %g%%, want 0 <= target < 100", *sloAvailability)
+	}
+	if *sloLatencyTarget < 0 || *sloLatencyTarget >= 100 {
+		return fmt.Errorf("slo-latency-target = %g%%, want 0 <= target < 100", *sloLatencyTarget)
+	}
+	if *sloLatency < 0 {
+		return fmt.Errorf("slo-latency = %s, want >= 0", *sloLatency)
+	}
+	sloObjectives = slo.Objectives{
+		Availability:     *sloAvailability / 100,
+		LatencyTarget:    *sloLatencyTarget / 100,
+		LatencyThreshold: *sloLatency,
+	}
+	telemetryInterval = *telemetryEvery
 	srvTimeouts = serverTimeouts{
 		readHeader: *readHeaderTO,
 		read:       *readTO,
@@ -339,6 +363,10 @@ func serve(addr string, handler http.Handler, o *serverObs) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if telemetryInterval > 0 {
+		stopTelemetry := o.startTelemetry(telemetryInterval)
+		defer stopTelemetry()
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {
@@ -408,6 +436,19 @@ func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode,
 		return nil
 	})
 	ws, _ := store.(*wal.Store)
+	o.info = func() serviceStatus {
+		return serviceStatus{
+			Name:       "drmserver",
+			Mode:       mode.String(),
+			Entries:    1,
+			Licenses:   corpus.Len(),
+			Groups:     d.NumGroups(),
+			LogRecords: store.Len(),
+		}
+	}
+	if ws != nil {
+		o.walBacklog = ws.Backlog
+	}
 	return &server{
 		api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers, wal: ws},
 		obs: o,
@@ -417,12 +458,16 @@ func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode,
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	s.obs.mountCommon(mux)
+	// Single-corpus mode has one catalog entry; track it under "corpus"
+	// so /v1/slo and /v1/status expose the same entry-scoped windows the
+	// catalog mode does.
+	entry := s.obs.slo.Entry("corpus")
 	s.obs.wrap(mux, "GET /v1/corpus", s.api.handleCorpus)
 	s.obs.wrap(mux, "GET /v1/groups", s.api.handleGroups)
-	s.obs.wrap(mux, "POST /v1/issue", s.api.handleIssue)
-	s.obs.wrap(mux, "GET /v1/audit", s.api.handleAudit)
+	s.obs.wrap(mux, "POST /v1/issue", entryObserved(entry, s.api.handleIssue))
+	s.obs.wrap(mux, "GET /v1/audit", entryObserved(entry, s.api.handleAudit))
 	s.obs.wrap(mux, "GET /v1/stats", s.api.handleStats)
-	s.obs.wrap(mux, "GET /v1/headroom", s.api.handleHeadroom)
+	s.obs.wrap(mux, "GET /v1/headroom", s.obs.drainGuard(s.api.handleHeadroom))
 	s.obs.wrap(mux, "POST /v1/snapshot", s.api.handleSnapshot)
 	return mux
 }

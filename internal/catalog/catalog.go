@@ -292,6 +292,9 @@ func (c *Catalog) Entries() []*Entry {
 // Len returns the number of entries.
 func (c *Catalog) Len() int { return len(c.entries) }
 
+// Mode returns the validation mode every entry's distributor runs in.
+func (c *Catalog) Mode() engine.Mode { return c.cfg.Mode }
+
 // AuditAll runs the geometric audit over every entry. It is
 // AuditAllContext with a background context.
 func (c *Catalog) AuditAll(workers int) (map[*Entry]core.Report, error) {

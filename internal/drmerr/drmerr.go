@@ -63,6 +63,10 @@ const (
 	// slack state disagrees with the slacks recomputed from the issuance
 	// log — an invariant failure surfaced by the audit-as-verifier pass.
 	KindHeadroomDivergence
+	// KindUnavailable marks requests refused because the server cannot
+	// serve them right now (graceful-shutdown drain window); retry
+	// against another instance.
+	KindUnavailable
 )
 
 // String returns the kind's wire name (the "kind" field of HTTP error
@@ -89,6 +93,8 @@ func (k Kind) String() string {
 		return "not_found"
 	case KindHeadroomDivergence:
 		return "headroom_divergence"
+	case KindUnavailable:
+		return "unavailable"
 	default:
 		return "unknown"
 	}
@@ -130,6 +136,7 @@ var (
 	ErrInvalidInput    = Sentinel(KindInvalidInput, "drm: invalid input")
 	ErrNotFound        = Sentinel(KindNotFound, "drm: not found")
 	ErrHeadroomDiverge = Sentinel(KindHeadroomDivergence, "drm: headroom cache diverges from log")
+	ErrUnavailable     = Sentinel(KindUnavailable, "drm: service unavailable")
 )
 
 // Error is a classified pipeline error: the Kind for dispatch, the
@@ -247,6 +254,7 @@ func IsCancellation(err error) bool {
 //	not found         → 404 Not Found
 //	cancelled         → 499 (client closed request)
 //	store corrupt     → 503 Service Unavailable
+//	unavailable       → 503 Service Unavailable (drain window)
 //	incomplete        → 504 Gateway Timeout
 //	headroom diverged → 500 Internal Server Error (integrity failure)
 //	anything else     → 500 Internal Server Error
@@ -262,7 +270,7 @@ func HTTPStatus(err error) int {
 		return http.StatusNotFound
 	case KindCancelled:
 		return StatusClientClosedRequest
-	case KindStoreCorrupt:
+	case KindStoreCorrupt, KindUnavailable:
 		return http.StatusServiceUnavailable
 	case KindIncomplete:
 		return http.StatusGatewayTimeout

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,8 +46,16 @@ import (
 	"repro/internal/logstore"
 	"repro/internal/overlap"
 	"repro/internal/rtree"
+	"repro/internal/slo"
 	"repro/internal/trace"
 )
+
+// Hitters, when non-nil, receives per-issuance heavy-hitter attribution
+// (entry = distributor name, group = overlap component) for request
+// counts, cumulative latency, and headroom rejections. Wired by the
+// server alongside InstrumentAll; nil (the default) costs one pointer
+// compare per issuance.
+var Hitters *slo.Hitters
 
 // Mode selects when aggregate validation happens.
 type Mode int
@@ -270,19 +279,37 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 // log. A cancelled issuance returns a KindCancelled error.
 func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
 	start := time.Now()
-	defer M.IssueSeconds.ObserveSince(start)
 	ctx, isp := trace.Start(ctx, "engine.issue")
-	lic, err := d.issueContext(ctx, kind, rect, count)
+	lic, err := d.issueContext(ctx, kind, rect, count, start)
 	if isp != nil {
 		isp.SetAttr("distributor", d.name)
 		isp.SetInt("count", count)
 		isp.Fail(err)
 		isp.End()
 	}
+	if M.IssueSeconds != nil {
+		// The guard keeps the uninstrumented path from formatting a trace
+		// ID it would throw away; with a registry wired, traced issuances
+		// leave a bucket exemplar pointing at their trace.
+		M.IssueSeconds.ObserveExemplar(time.Since(start).Seconds(), trace.IDFromContext(ctx))
+	}
 	return lic, err
 }
 
-func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
+// recordHitter attributes one decided issuance (accept or aggregate
+// reject) to its entry and overlap group in the heavy-hitter sketches.
+// The group label is derived from the set's first member via the cheap
+// union-find root walk — no per-issuance map materialisation.
+func (d *Distributor) recordHitter(set bitset.Mask, start time.Time, rejected bool) {
+	h := Hitters
+	if h == nil || set.Empty() {
+		return
+	}
+	root := d.grouper.RootOf(set.Min())
+	h.ObserveIssue(d.name, d.name+"#g"+strconv.Itoa(root), time.Since(start), rejected)
+}
+
+func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64, start time.Time) (*license.License, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
 	}
@@ -331,6 +358,7 @@ func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect 
 		if !ok {
 			d.rejectedAggregate.Add(1)
 			M.RejectedAggregate.Inc()
+			d.recordHitter(set, start, true)
 			return nil, fmt.Errorf("%w: requested %d, headroom %d for %v", ErrAggregateExhausted, count, room, set)
 		}
 		if err := logstore.AppendContext(ctx, d.log, rec); err != nil {
@@ -356,6 +384,7 @@ func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect 
 	d.issuedCounts.Add(count)
 	M.Issued.Inc()
 	M.IssuedCounts.Add(count)
+	d.recordHitter(set, start, false)
 	seq := d.seq.Add(1)
 	first := d.corpus.License(0)
 	return &license.License{

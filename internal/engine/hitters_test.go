@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/license"
+	"repro/internal/slo"
+)
+
+// TestHeavyHitterAttribution pins the engine→slo hook: accepted and
+// aggregate-rejected issuances are charged to the distributor entry and
+// to a stable overlap-group label; instance-invalid requests (no
+// belongs-to set, hence no group) are not charged.
+func TestHeavyHitterAttribution(t *testing.T) {
+	old := Hitters
+	Hitters = slo.NewHitters(8)
+	t.Cleanup(func() { Hitters = old })
+
+	ex, d := ex1Distributor(t, ModeOnline)
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 10); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 10); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	// Exhaust the aggregate budget: a rejected issuance must land in the
+	// rejection sketch.
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 1_000_000); err == nil {
+		t.Fatal("oversized issuance accepted")
+	}
+
+	s := Hitters.Snapshot()
+	if len(s.Entries.ByRequests) == 0 || s.Entries.ByRequests[0].Item != "D1" {
+		t.Fatalf("entries by requests = %+v, want D1", s.Entries.ByRequests)
+	}
+	if got := s.Entries.ByRequests[0].Weight; got != 3 {
+		t.Errorf("entry request weight = %d, want 3 (2 accepts + 1 aggregate reject)", got)
+	}
+	if len(s.Entries.ByRejections) != 1 || s.Entries.ByRejections[0].Weight != 1 {
+		t.Errorf("entries by rejections = %+v, want D1 ×1", s.Entries.ByRejections)
+	}
+	if len(s.Groups.ByRequests) != 1 {
+		t.Fatalf("groups by requests = %+v, want one group label", s.Groups.ByRequests)
+	}
+	g := s.Groups.ByRequests[0]
+	if !strings.HasPrefix(g.Item, "D1#g") {
+		t.Errorf("group label = %q, want D1#g<root>", g.Item)
+	}
+	if g.Weight != 3 {
+		t.Errorf("group request weight = %d, want 3", g.Weight)
+	}
+	if len(s.Groups.ByRejections) != 1 || s.Groups.ByRejections[0].Item != g.Item {
+		t.Errorf("groups by rejections = %+v, want %q", s.Groups.ByRejections, g.Item)
+	}
+
+	// Stability: the same set must map to the same group label.
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 10); err != nil {
+		t.Fatalf("post-reject accept: %v", err)
+	}
+	s = Hitters.Snapshot()
+	if len(s.Groups.ByRequests) != 1 || s.Groups.ByRequests[0].Weight != 4 {
+		t.Errorf("group label unstable across issuances: %+v", s.Groups.ByRequests)
+	}
+}
+
+// TestHittersHookNilIsFree: with the hook unset, issuance runs exactly
+// as before (no sketch, no panic).
+func TestHittersHookNil(t *testing.T) {
+	old := Hitters
+	Hitters = nil
+	t.Cleanup(func() { Hitters = old })
+	ex, d := ex1Distributor(t, ModeOnline)
+	if _, err := d.Issue(license.Usage, ex.Usage1.Rect, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordHitterNilHookZeroAlloc extends the alloc-equality gate to
+// the heavy-hitter path: an uninstrumented process (hook unset) pays one
+// pointer compare and zero allocations per issuance decision.
+func TestRecordHitterNilHookZeroAlloc(t *testing.T) {
+	old := Hitters
+	Hitters = nil
+	t.Cleanup(func() { Hitters = old })
+	ex, d := ex1Distributor(t, ModeOnline)
+	set := d.BelongsTo(ex.Usage1.Rect)
+	start := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		d.recordHitter(set, start, false)
+	}); allocs != 0 {
+		t.Errorf("uninstrumented recordHitter allocates %v per op, want 0", allocs)
+	}
+}

@@ -108,6 +108,10 @@ type group struct {
 	// which is all the deficit term needs). unbounded when no equation
 	// is active.
 	minSlack atomic.Int64
+	// rejections counts admissions this group turned away (count >
+	// room) over the cache's lifetime — the per-group signal behind the
+	// heavy-hitter rejection ranking and the /v1/headroom summaries.
+	rejections atomic.Int64
 }
 
 // Build replays the issuance log into a fresh cache for the given
@@ -500,6 +504,7 @@ func (c *Cache) Admit(ctx context.Context, set bitset.Mask, count int64) (room i
 		csp.End()
 	}
 	if count > room {
+		g.rejections.Add(1)
 		g.mu.Unlock()
 		M.Rejected.Inc()
 		return room, false, nil

@@ -159,6 +159,9 @@ type GroupSummary struct {
 	MinSlack  int64 `json:"min_slack"`
 	Unbounded bool  `json:"unbounded,omitempty"`
 	Deficit   int64 `json:"deficit"`
+	// Rejections counts admissions this group refused over the cache's
+	// lifetime.
+	Rejections int64 `json:"rejections"`
 }
 
 // Summaries returns one summary per group, ordered by group index.
@@ -184,6 +187,7 @@ func (c *Cache) Summaries() []GroupSummary {
 			MinSlack:     ms,
 			Unbounded:    ms == unbounded,
 			Deficit:      min64(0, ms),
+			Rejections:   g.rejections.Load(),
 		}
 		g.mu.Unlock()
 		out[k] = s

@@ -1,14 +1,33 @@
 package obs
 
 import (
+	"context"
 	"net/http"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 )
 
-// Handler serves the registry in Prometheus text format — mount it at
-// GET /metrics.
+// openMetricsContentType is what content-negotiated scrapes get;
+// the default stays Prometheus text 0.0.4.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler serves the registry — mount it at GET /metrics. The default
+// response is Prometheus text format 0.0.4; a client whose Accept
+// header asks for application/openmetrics-text (or that passes
+// ?format=openmetrics) gets the OpenMetrics rendering, which carries
+// the histogram exemplars linking buckets to trace IDs.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") ||
+			req.URL.Query().Get("format") == "openmetrics" {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			if err := r.WriteOpenMetrics(w); err != nil {
+				_ = err
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := r.WritePrometheus(w); err != nil {
 			// The response is already streaming; nothing useful to do.
@@ -24,6 +43,16 @@ type HTTPMetrics struct {
 	requests *CounterVec
 	latency  *HistogramVec
 	inflight *Gauge
+
+	// ExemplarID extracts the active trace ID from a request context
+	// (trace.IDFromContext in the server). When set, latency
+	// observations on traced requests carry the trace as a bucket
+	// exemplar; untraced requests ("" return) record plain. Set it at
+	// wiring time, before handlers run.
+	ExemplarID func(ctx context.Context) string
+
+	mu      sync.Mutex
+	wrapped map[string]*Histogram
 }
 
 // NewHTTPMetrics registers the HTTP metric families on reg.
@@ -36,6 +65,7 @@ func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
 			"HTTP request latency by endpoint.", nil, "endpoint"),
 		inflight: reg.Gauge("drm_http_inflight",
 			"HTTP requests currently being served."),
+		wrapped: make(map[string]*Histogram),
 	}
 }
 
@@ -56,17 +86,49 @@ func (m *HTTPMetrics) Wrap(endpoint string, next http.Handler) http.Handler {
 		classes[i] = m.requests.With(endpoint, c)
 	}
 	latency := m.latency.With(endpoint)
+	m.mu.Lock()
+	m.wrapped[endpoint] = latency
+	m.mu.Unlock()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.inflight.Inc()
 		defer m.inflight.Dec()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		latency.ObserveSince(start)
+		id := ""
+		if m.ExemplarID != nil {
+			id = m.ExemplarID(r.Context())
+		}
+		latency.ObserveExemplar(time.Since(start).Seconds(), id)
 		if i := sw.status/100 - 1; i >= 0 && i < len(classes) {
 			classes[i].Inc()
 		}
 	})
+}
+
+// Exemplars returns the retained latency exemplars of every wrapped
+// endpoint, ordered by endpoint name — the metric→trace links
+// /v1/status surfaces. Nil-safe.
+func (m *HTTPMetrics) Exemplars() map[string][]Exemplar {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.wrapped))
+	hists := make(map[string]*Histogram, len(m.wrapped))
+	for e, h := range m.wrapped {
+		endpoints = append(endpoints, e)
+		hists[e] = h
+	}
+	m.mu.Unlock()
+	sort.Strings(endpoints)
+	out := make(map[string][]Exemplar, len(endpoints))
+	for _, e := range endpoints {
+		if ex := hists[e].Exemplars(); len(ex) > 0 {
+			out[e] = ex
+		}
+	}
+	return out
 }
 
 // statusWriter captures the status code for class bucketing.

@@ -125,19 +125,45 @@ var DefBuckets = []float64{
 // Histogram is a fixed-bucket latency histogram. Observations are atomic;
 // bucket counts are stored non-cumulatively and accumulated at exposition
 // time. The sum is kept in integer nanoseconds so Observe never needs a
-// CAS loop.
+// CAS loop. Each bucket retains the most recent exemplar stored through
+// ObserveExemplar — the OpenMetrics-style metric→trace link.
 type Histogram struct {
-	upper    []float64 // ascending bucket upper bounds, seconds
-	counts   []atomic.Int64
-	inf      atomic.Int64
-	count    atomic.Int64
-	sumNanos atomic.Int64
+	upper     []float64 // ascending bucket upper bounds, seconds
+	counts    []atomic.Int64
+	inf       atomic.Int64
+	count     atomic.Int64
+	sumNanos  atomic.Int64
+	exemplars []atomic.Pointer[exemplar] // len(upper)+1; last is +Inf
+}
+
+// exemplar is the stored form; Exemplar is the read-side view.
+type exemplar struct {
+	value     float64
+	traceID   string
+	unixNanos int64
+}
+
+// Exemplar is one retained observation with its trace identity: the
+// handle that links a histogram bucket to /debug/traces.
+type Exemplar struct {
+	// Value is the observed value (seconds) and LE the upper bound of
+	// the bucket it landed in (+Inf for the overflow bucket).
+	Value float64
+	LE    float64
+	// TraceID is the hex trace ID active when the observation was made.
+	TraceID string
+	// UnixNanos is the wall clock at observation time.
+	UnixNanos int64
 }
 
 func newHistogram(buckets []float64) *Histogram {
 	upper := append([]float64(nil), buckets...)
 	sort.Float64s(upper)
-	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper))}
+	return &Histogram{
+		upper:     upper,
+		counts:    make([]atomic.Int64, len(upper)),
+		exemplars: make([]atomic.Pointer[exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one observation of v seconds.
@@ -145,15 +171,58 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// observe records v and returns the bucket index it landed in
+// (len(upper) for the +Inf overflow bucket).
+func (h *Histogram) observe(v float64) int {
 	h.count.Add(1)
 	h.sumNanos.Add(int64(v * 1e9))
 	for i, ub := range h.upper {
 		if v <= ub {
 			h.counts[i].Add(1)
-			return
+			return i
 		}
 	}
 	h.inf.Add(1)
+	return len(h.upper)
+}
+
+// ObserveExemplar records v and, when traceID is non-empty, retains it
+// as the bucket's exemplar. With an empty traceID (an untraced request)
+// it is exactly Observe: nil-safe and allocation-free, so instrumented
+// hot paths pay nothing extra when tracing is off.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[i].Store(&exemplar{value: v, traceID: traceID, unixNanos: time.Now().UnixNano()})
+}
+
+// Exemplars returns the buckets' retained exemplars, lowest bucket
+// first (nil on nil or when nothing was retained).
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(h.upper) {
+			le = h.upper[i]
+		}
+		out = append(out, Exemplar{Value: e.value, LE: le, TraceID: e.traceID, UnixNanos: e.unixNanos})
+	}
+	return out
 }
 
 // ObserveSince records the elapsed time since start.
@@ -317,6 +386,31 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return s.c
 }
 
+// FloatGaugeVec is a float gauge family with labels.
+type FloatGaugeVec struct {
+	f *family
+}
+
+// FloatGaugeVec registers (or fetches) a labelled float gauge family.
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	return &FloatGaugeVec{f: r.familyFor(name, help, "gauge", labels)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use. Nil-safe: a nil vec returns a nil (no-op) gauge.
+func (v *FloatGaugeVec) With(values ...string) *FloatGauge {
+	if v == nil {
+		return nil
+	}
+	s := v.f.seriesFor(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s.fg == nil {
+		s.fg = &FloatGauge{}
+	}
+	return s.fg
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct {
 	f       *family
@@ -388,17 +482,23 @@ func (f *family) write(b *strings.Builder) {
 }
 
 // write renders the histogram's cumulative _bucket series plus _sum and
-// _count, merging the le label into any series labels.
+// _count, merging the le label into any series labels. The merged
+// slices are fresh copies — appending to the family's label slices in
+// place could alias their backing arrays across concurrent writers.
 func (h *Histogram) write(b *strings.Builder, name string, labelNames, labelValues []string) {
+	leNames := make([]string, 0, len(labelNames)+1)
+	leNames = append(append(leNames, labelNames...), "le")
+	leValues := make([]string, len(labelValues)+1)
+	copy(leValues, labelValues)
 	var cum int64
 	for i, ub := range h.upper {
 		cum += h.counts[i].Load()
-		labels := formatLabels(append(labelNames, "le"), append(labelValues, formatFloat(ub)))
-		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labels, cum)
+		leValues[len(leValues)-1] = formatFloat(ub)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, formatLabels(leNames, leValues), cum)
 	}
 	cum += h.inf.Load()
-	labels := formatLabels(append(labelNames, "le"), append(labelValues, "+Inf"))
-	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labels, cum)
+	leValues[len(leValues)-1] = "+Inf"
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, formatLabels(leNames, leValues), cum)
 	plain := formatLabels(labelNames, labelValues)
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, plain, formatFloat(h.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, plain, h.count.Load())
@@ -430,12 +530,14 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func escapeLabel(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(s)
-}
+// The escape replacers are package-level: building a Replacer compiles
+// a lookup structure, which per-call construction would redo on every
+// label of every scrape.
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
 
-func escapeHelp(s string) string {
-	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
-	return r.Replace(s)
-}
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

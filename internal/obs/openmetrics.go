@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics renders every registered family in the OpenMetrics
+// text format (version 1.0.0): counter families drop their _total
+// suffix in metadata lines, histogram buckets carry their retained
+// exemplars (`# {trace_id="..."} value timestamp`), and the exposition
+// ends with the mandatory `# EOF`. The default /metrics response stays
+// Prometheus text 0.0.4; clients opt in via Accept negotiation.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range families {
+		f.writeOpenMetrics(&b)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeOpenMetrics(b *strings.Builder) {
+	f.mu.Lock()
+	series := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	if len(series) == 0 {
+		return
+	}
+	// OpenMetrics names a counter family without the _total suffix; the
+	// sample line keeps it.
+	metaName := f.name
+	if f.typ == "counter" {
+		metaName = strings.TrimSuffix(metaName, "_total")
+	}
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", metaName, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", metaName, f.typ)
+	for _, s := range series {
+		labels := formatLabels(f.labels, s.labelValues)
+		switch {
+		case s.c != nil:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labels, s.c.Value())
+		case s.g != nil:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labels, s.g.Value())
+		case s.fg != nil:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labels, formatFloat(s.fg.Value()))
+		case s.h != nil:
+			s.h.writeOpenMetrics(b, f.name, f.labels, s.labelValues)
+		}
+	}
+}
+
+// writeOpenMetrics renders the histogram with per-bucket exemplar
+// suffixes where one was retained.
+func (h *Histogram) writeOpenMetrics(b *strings.Builder, name string, labelNames, labelValues []string) {
+	leNames := make([]string, 0, len(labelNames)+1)
+	leNames = append(append(leNames, labelNames...), "le")
+	leValues := make([]string, len(labelValues)+1)
+	copy(leValues, labelValues)
+	writeBucket := func(i int, le string, cum int64) {
+		leValues[len(leValues)-1] = le
+		fmt.Fprintf(b, "%s_bucket%s %d", name, formatLabels(leNames, leValues), cum)
+		if e := h.exemplars[i].Load(); e != nil {
+			fmt.Fprintf(b, " # {trace_id=\"%s\"} %s %s",
+				escapeLabel(e.traceID), formatFloat(e.value), openMetricsTS(e.unixNanos))
+		}
+		b.WriteByte('\n')
+	}
+	var cum int64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		writeBucket(i, formatFloat(ub), cum)
+	}
+	cum += h.inf.Load()
+	writeBucket(len(h.upper), "+Inf", cum)
+	plain := formatLabels(labelNames, labelValues)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, plain, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, plain, h.count.Load())
+}
+
+// openMetricsTS formats an exemplar timestamp as seconds with
+// millisecond precision.
+func openMetricsTS(unixNanos int64) string {
+	return strconv.FormatFloat(float64(unixNanos)/1e9, 'f', 3, 64)
+}
+
+// FormatFloat renders v the way the exposition formats do, including
+// "+Inf" — exported for status surfaces that print bucket bounds.
+func FormatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}

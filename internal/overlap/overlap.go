@@ -338,6 +338,12 @@ func (g *Grouper) findRead(x int) int {
 	return x
 }
 
+// RootOf returns the root license index of i's overlap component — a
+// cheap, stable group label for per-group accounting on the issuance
+// hot path (Grouping() materialises maps and slices; this is a pointer
+// walk). Read-only on the union-find, safe under a shared lock.
+func (g *Grouper) RootOf(i int) int { return g.findRead(i) }
+
 // NumGroups returns the current number of groups. It is read-only on the
 // union-find state and therefore safe under a shared (read) lock alongside
 // other readers; Add still requires exclusive access.

@@ -1,0 +1,210 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestService wires a Service whose trackers all run on one fake
+// clock, so burn math is deterministic.
+func newTestService(reg *obs.Registry, obj Objectives, clk *fakeClock) *Service {
+	return NewService(reg, obj, TrackerConfig{
+		Window: WindowConfig{now: clk.now},
+		Burn:   BurnConfig{now: clk.now},
+	})
+}
+
+// TestBurnRateOracle drives a known bad ratio through the server
+// tracker and checks every window's burn rate against the closed form
+// badRatio/(1−target).
+func TestBurnRateOracle(t *testing.T) {
+	clk := &fakeClock{ns: int64(3000 * time.Hour)}
+	obj := Objectives{Availability: 0.999, LatencyTarget: 0.99, LatencyThreshold: 250 * time.Millisecond}
+	s := newTestService(nil, obj, clk)
+	ep := s.Endpoint("GET /x")
+
+	// 1000 requests in the current slot: 20 availability-bad (2%),
+	// 100 latency-bad (10%).
+	for i := 0; i < 1000; i++ {
+		d := 10 * time.Millisecond
+		if i < 100 {
+			d = 400 * time.Millisecond
+		}
+		ep.Observe(d, i < 20)
+	}
+	st := s.Refresh()
+	if len(st.Objectives) != 2 {
+		t.Fatalf("objectives = %d, want 2", len(st.Objectives))
+	}
+	avail, lat := st.Objectives[0], st.Objectives[1]
+	if avail.Name != "availability" || lat.Name != "latency" {
+		t.Fatalf("objective order = %s, %s", avail.Name, lat.Name)
+	}
+	// All traffic is inside every horizon, so each window sees the same
+	// ratio.
+	for _, w := range avail.Windows {
+		wantRatio := 0.02
+		wantBurn := wantRatio / (1 - 0.999)
+		if math.Abs(w.BadRatio-wantRatio) > 1e-12 || math.Abs(w.BurnRate-wantBurn) > 1e-9 {
+			t.Errorf("availability %s: ratio %v burn %v, want %v, %v",
+				w.Window, w.BadRatio, w.BurnRate, wantRatio, wantBurn)
+		}
+		if w.Requests != 1000 || w.Bad != 20 {
+			t.Errorf("availability %s: %d/%d, want 20/1000", w.Window, w.Bad, w.Requests)
+		}
+	}
+	for _, w := range lat.Windows {
+		wantBurn := 0.1 / (1 - 0.99)
+		if math.Abs(w.BurnRate-wantBurn) > 1e-9 {
+			t.Errorf("latency %s: burn %v, want %v", w.Window, w.BurnRate, wantBurn)
+		}
+	}
+	// Availability burns at 20×: both the 5m+1h page (>14.4) and the
+	// 30m+6h ticket (>6) fire. Latency burns at 10×: ticket only.
+	if !avail.Alerts[0].Firing || !avail.Alerts[1].Firing {
+		t.Errorf("availability alerts = %+v, want both firing", avail.Alerts)
+	}
+	if lat.Alerts[0].Firing || !lat.Alerts[1].Firing {
+		t.Errorf("latency alerts = %+v, want page quiet, ticket firing", lat.Alerts)
+	}
+	if avail.BudgetRemaining >= 0 {
+		t.Errorf("availability budget remaining = %v, want negative (overspent)", avail.BudgetRemaining)
+	}
+}
+
+// TestAlertNeedsBothWindows pins the multi-window AND: a burst that is
+// hot in the short window but cold in the long one must not page.
+func TestAlertNeedsBothWindows(t *testing.T) {
+	clk := &fakeClock{ns: int64(3000 * time.Hour)}
+	obj := Objectives{Availability: 0.999}
+	s := newTestService(nil, obj, clk)
+	ep := s.Endpoint("GET /x")
+
+	// An hour of clean traffic...
+	for i := 0; i < 119; i++ {
+		for j := 0; j < 100; j++ {
+			ep.Observe(time.Millisecond, false)
+		}
+		clk.advance(30 * time.Second)
+	}
+	// ...then one 30s slot of 100%-bad requests. The 5m window runs hot
+	// (100/1000 = 10% bad, burn 100×) but the 1h window stays under the
+	// page line (100/12000 ≈ 0.83%, burn ≈ 8.3×).
+	for j := 0; j < 100; j++ {
+		ep.Observe(time.Millisecond, true)
+	}
+	clk.advance(30 * time.Second)
+	st := s.Refresh()
+	avail := st.Objectives[0]
+	var burn5m, burn1h float64
+	for _, w := range avail.Windows {
+		switch w.Window {
+		case "5m":
+			burn5m = w.BurnRate
+		case "1h":
+			burn1h = w.BurnRate
+		}
+	}
+	if burn5m <= 14.4 {
+		t.Fatalf("5m burn = %v, want > 14.4 (test setup)", burn5m)
+	}
+	if burn1h > 14.4 {
+		t.Fatalf("1h burn = %v, want <= 14.4 (test setup)", burn1h)
+	}
+	if avail.Alerts[0].Firing {
+		t.Errorf("page fires on a short burst: 5m=%v 1h=%v", burn5m, burn1h)
+	}
+}
+
+// TestRefreshGauges checks Refresh materialises the drm_slo_* series
+// with the evaluated values.
+func TestRefreshGauges(t *testing.T) {
+	clk := &fakeClock{ns: int64(3000 * time.Hour)}
+	reg := obs.NewRegistry()
+	obj := Objectives{Availability: 0.999, LatencyTarget: 0.99, LatencyThreshold: 100 * time.Millisecond}
+	s := newTestService(reg, obj, clk)
+	s.Endpoint("GET /a").Observe(time.Millisecond, false)
+	s.Endpoint("GET /a").Observe(200*time.Millisecond, true)
+	s.Entry("K/play").Observe(time.Millisecond, false)
+	s.Refresh()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`drm_slo_burn_rate{objective="availability",window="5m"}`,
+		`drm_slo_burn_rate{objective="latency",window="6h"}`,
+		`drm_slo_alert_firing{objective="availability",severity="page"}`,
+		`drm_slo_error_budget_remaining{objective="latency"}`,
+		`drm_slo_window_requests{scope="server",name="all"} 2`,
+		`drm_slo_window_requests{scope="endpoint",name="GET /a"} 2`,
+		`drm_slo_window_requests{scope="entry",name="K/play"} 1`,
+		`drm_slo_window_error_rate{scope="endpoint",name="GET /a"} 0.5`,
+		`drm_slo_window_latency_seconds{scope="endpoint",name="GET /a",quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestEndpointCascadeEntryIsolation: endpoint observations roll up into
+// the server scope; entry observations don't (no double counting).
+func TestEndpointCascadeEntryIsolation(t *testing.T) {
+	clk := &fakeClock{ns: int64(3000 * time.Hour)}
+	s := newTestService(nil, Objectives{Availability: 0.999}, clk)
+	s.Endpoint("GET /a").Observe(time.Millisecond, false)
+	s.Endpoint("GET /b").Observe(time.Millisecond, true)
+	s.Entry("K/play").Observe(time.Millisecond, true)
+
+	server := s.server.Burn(5 * time.Minute)
+	if server.Total != 2 || server.BadAvail != 1 {
+		t.Errorf("server scope = %+v, want 2 total, 1 bad (entries must not cascade)", server)
+	}
+	if got := s.Endpoint("GET /a").Burn(5 * time.Minute).Total; got != 1 {
+		t.Errorf("endpoint a total = %d, want 1", got)
+	}
+}
+
+// TestDisabledObjectives: zero targets evaluate to no objectives and a
+// zero threshold reports 0 so callers skip exemplar retention.
+func TestDisabledObjectives(t *testing.T) {
+	clk := &fakeClock{ns: int64(3000 * time.Hour)}
+	s := newTestService(nil, Objectives{}, clk)
+	s.Endpoint("GET /a").Observe(time.Millisecond, true)
+	st := s.Refresh()
+	if len(st.Objectives) != 0 {
+		t.Errorf("objectives = %+v, want none", st.Objectives)
+	}
+	if got := s.LatencyThreshold(); got != 0 {
+		t.Errorf("threshold = %v, want 0", got)
+	}
+	var nilS *Service
+	if nilS.LatencyThreshold() != 0 || nilS.Hitters() != nil {
+		t.Error("nil Service accessors not nil-safe")
+	}
+	if st := nilS.Refresh(); len(st.Objectives) != 0 {
+		t.Error("nil Refresh not zero")
+	}
+}
+
+// TestStatusJSONSafe: a 100%-target objective (zero budget) with bad
+// traffic must still marshal (no bare +Inf anywhere).
+func TestStatusJSONSafe(t *testing.T) {
+	clk := &fakeClock{ns: int64(3000 * time.Hour)}
+	s := newTestService(nil, Objectives{Availability: 1.0}, clk)
+	// Overflow-bucket observation too, so quantile clamping is exercised.
+	s.Endpoint("GET /a").Observe(time.Hour, true)
+	st := s.Refresh()
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("status not JSON-encodable: %v", err)
+	}
+	if p99 := st.Endpoints[0].P99Seconds; math.IsInf(p99, +1) {
+		t.Errorf("p99 = +Inf leaked into the DTO")
+	}
+}

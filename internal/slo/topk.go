@@ -1,0 +1,170 @@
+package slo
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TopK is a space-saving (Misra–Gries) heavy-hitter sketch: it tracks at
+// most k weighted items exactly for the heavy ones and with a bounded
+// overestimate for the rest. When a new item arrives at capacity it
+// replaces the current minimum, inheriting its weight as the error
+// floor — the classic guarantee that any item with true weight above
+// total/k is present, and every reported weight overestimates the true
+// one by at most its Overcount.
+//
+// The sketch is O(k) memory and O(k) worst-case per update (the min
+// scan on replacement); k is small (≤64), so a linear scan beats
+// heap bookkeeping. All methods are nil-safe.
+type TopK struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*tkEntry
+}
+
+type tkEntry struct {
+	weight    int64
+	overcount int64
+}
+
+// NewTopK returns a sketch holding at most k items (k < 1 → 16).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 16
+	}
+	return &TopK{cap: k, m: make(map[string]*tkEntry, k)}
+}
+
+// Add charges weight w (ignored when ≤ 0) to item.
+func (t *TopK) Add(item string, w int64) {
+	if t == nil || w <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[item]; ok {
+		e.weight += w
+		return
+	}
+	if len(t.m) < t.cap {
+		t.m[item] = &tkEntry{weight: w}
+		return
+	}
+	// Replace the minimum-weight occupant; the newcomer inherits its
+	// weight as an upper bound on how much of the reported weight could
+	// belong to evicted items.
+	var minItem string
+	var minE *tkEntry
+	for it, e := range t.m {
+		if minE == nil || e.weight < minE.weight {
+			minItem, minE = it, e
+		}
+	}
+	delete(t.m, minItem)
+	t.m[item] = &tkEntry{weight: minE.weight + w, overcount: minE.weight}
+}
+
+// HitterCount is one sketch row: Weight overestimates the item's true
+// weight by at most Overcount.
+type HitterCount struct {
+	Item      string `json:"item"`
+	Weight    int64  `json:"weight"`
+	Overcount int64  `json:"overcount,omitempty"`
+}
+
+// Top returns the tracked items sorted by descending weight (ties by
+// item name, for stable output). Nil-safe.
+func (t *TopK) Top() []HitterCount {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]HitterCount, 0, len(t.m))
+	for item, e := range t.m {
+		out = append(out, HitterCount{Item: item, Weight: e.weight, Overcount: e.overcount})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// Hitters bundles the heavy-hitter sketches the engine feeds per
+// issuance: catalog entries and overlap groups, each ranked by request
+// count, cumulative latency, and headroom rejections. All methods are
+// nil-safe, so the engine hook costs one pointer compare when unset.
+type Hitters struct {
+	entryRequests *TopK
+	entryLatency  *TopK
+	entryRejects  *TopK
+	groupRequests *TopK
+	groupLatency  *TopK
+	groupRejects  *TopK
+}
+
+// NewHitters builds the six sketches, each holding k items.
+func NewHitters(k int) *Hitters {
+	return &Hitters{
+		entryRequests: NewTopK(k),
+		entryLatency:  NewTopK(k),
+		entryRejects:  NewTopK(k),
+		groupRequests: NewTopK(k),
+		groupLatency:  NewTopK(k),
+		groupRejects:  NewTopK(k),
+	}
+}
+
+// ObserveIssue charges one issuance to its entry and overlap group:
+// request count 1, latency d, and a rejection when the admission check
+// said no. Nil-safe.
+func (h *Hitters) ObserveIssue(entry, group string, d time.Duration, rejected bool) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.entryRequests.Add(entry, 1)
+	h.entryLatency.Add(entry, ns)
+	h.groupRequests.Add(group, 1)
+	h.groupLatency.Add(group, ns)
+	if rejected {
+		h.entryRejects.Add(entry, 1)
+		h.groupRejects.Add(group, 1)
+	}
+}
+
+// HitterTables ranks one dimension (entries or groups) three ways.
+type HitterTables struct {
+	ByRequests   []HitterCount `json:"by_requests"`
+	ByLatencyNS  []HitterCount `json:"by_latency_ns"`
+	ByRejections []HitterCount `json:"by_rejections"`
+}
+
+// HittersSnapshot is the full heavy-hitter view /v1/status serves.
+type HittersSnapshot struct {
+	Entries HitterTables `json:"entries"`
+	Groups  HitterTables `json:"groups"`
+}
+
+// Snapshot returns the current rankings (zero value on nil).
+func (h *Hitters) Snapshot() HittersSnapshot {
+	if h == nil {
+		return HittersSnapshot{}
+	}
+	return HittersSnapshot{
+		Entries: HitterTables{
+			ByRequests:   h.entryRequests.Top(),
+			ByLatencyNS:  h.entryLatency.Top(),
+			ByRejections: h.entryRejects.Top(),
+		},
+		Groups: HitterTables{
+			ByRequests:   h.groupRequests.Top(),
+			ByLatencyNS:  h.groupLatency.Top(),
+			ByRejections: h.groupRejects.Top(),
+		},
+	}
+}

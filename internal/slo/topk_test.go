@@ -1,0 +1,93 @@
+package slo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTopKHeavyItemPresent pins the space-saving guarantee: any item
+// with true weight above total/k is in the sketch, and its reported
+// weight brackets the true one (true ≤ reported ≤ true + overcount).
+func TestTopKHeavyItemPresent(t *testing.T) {
+	const k = 8
+	tk := NewTopK(k)
+	rng := rand.New(rand.NewSource(1))
+	truth := map[string]int64{}
+	var total int64
+	add := func(item string, w int64) {
+		tk.Add(item, w)
+		truth[item] += w
+		total += w
+	}
+	// One dominant item drowned in a long tail of singletons.
+	for i := 0; i < 5000; i++ {
+		if i%5 == 0 {
+			add("hot", 1)
+		} else {
+			add(fmt.Sprintf("cold-%d", rng.Intn(2000)), 1)
+		}
+	}
+	top := tk.Top()
+	if len(top) > k {
+		t.Fatalf("sketch holds %d items, cap %d", len(top), k)
+	}
+	var hot *HitterCount
+	for i := range top {
+		if top[i].Item == "hot" {
+			hot = &top[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("heavy item (weight %d of %d, > total/k) missing from sketch", truth["hot"], total)
+	}
+	if hot.Weight < truth["hot"] {
+		t.Errorf("reported weight %d under true weight %d (space-saving never undercounts)", hot.Weight, truth["hot"])
+	}
+	if hot.Weight-hot.Overcount > truth["hot"] {
+		t.Errorf("weight %d − overcount %d exceeds true weight %d", hot.Weight, hot.Overcount, truth["hot"])
+	}
+}
+
+func TestTopKOrderingAndNilSafety(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Add("b", 5)
+	tk.Add("a", 5)
+	tk.Add("c", 9)
+	tk.Add("ignored", 0)
+	tk.Add("ignored", -3)
+	top := tk.Top()
+	if len(top) != 3 || top[0].Item != "c" || top[1].Item != "a" || top[2].Item != "b" {
+		t.Errorf("Top() = %+v, want c, then a/b by name", top)
+	}
+	var nilTK *TopK
+	nilTK.Add("x", 1)
+	if nilTK.Top() != nil {
+		t.Error("nil TopK not inert")
+	}
+}
+
+func TestHittersSnapshot(t *testing.T) {
+	h := NewHitters(4)
+	h.ObserveIssue("K/play", "K#g0", 2*time.Millisecond, false)
+	h.ObserveIssue("K/play", "K#g0", 3*time.Millisecond, true)
+	h.ObserveIssue("L/copy", "L#g1", 10*time.Millisecond, false)
+	s := h.Snapshot()
+	if got := s.Entries.ByRequests[0]; got.Item != "K/play" || got.Weight != 2 {
+		t.Errorf("entries by requests = %+v, want K/play ×2", got)
+	}
+	if got := s.Entries.ByLatencyNS[0]; got.Item != "L/copy" || got.Weight != 10*time.Millisecond.Nanoseconds() {
+		t.Errorf("entries by latency = %+v, want L/copy 10ms", got)
+	}
+	if got := s.Entries.ByRejections; len(got) != 1 || got[0].Item != "K/play" {
+		t.Errorf("entries by rejections = %+v, want only K/play", got)
+	}
+	if got := s.Groups.ByRequests[0]; got.Item != "K#g0" || got.Weight != 2 {
+		t.Errorf("groups by requests = %+v, want K#g0 ×2", got)
+	}
+	var nilH *Hitters
+	if snap := nilH.Snapshot(); snap.Entries.ByRequests != nil {
+		t.Error("nil Hitters snapshot not zero")
+	}
+}

@@ -1,0 +1,381 @@
+// Package slo turns the cumulative signals of internal/obs into
+// operational ones: sliding-window latency histograms (windowed
+// p50/p95/p99 and error rate per endpoint and per catalog entry),
+// multi-window burn-rate SLO evaluation (the 5m/1h fast page and
+// 30m/6h slow ticket of SRE practice), and space-saving top-K
+// heavy-hitter sketches over catalog entries and overlap groups.
+//
+// The package follows the obs discipline: zero third-party imports,
+// nil-safe recording methods, and no allocation on the hot recording
+// path — windows are rings of fixed-size sub-window slots holding only
+// atomics, recycled in place by epoch comparison, so Observe never
+// allocates and never takes a lock.
+package slo
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// slotEmpty marks a slot that has never held a sub-window. It can never
+// equal a real epoch index (epochs count sub-windows since the Unix
+// epoch, which is non-negative for any plausible clock).
+const slotEmpty = math.MinInt64
+
+// WindowConfig shapes a sliding latency window.
+type WindowConfig struct {
+	// SubWindow is the granularity of the ring; observations land in the
+	// slot covering now/SubWindow. Default 10s.
+	SubWindow time.Duration
+	// SubWindows is the ring length; the window spans
+	// SubWindows×SubWindow (including the current partial sub-window).
+	// Default 12 — a 2-minute window at the default granularity.
+	SubWindows int
+	// Buckets are the histogram upper bounds in seconds
+	// (obs.DefBuckets when nil).
+	Buckets []float64
+
+	// now returns wall-clock nanoseconds; tests inject a fake clock so
+	// windowed quantiles are oracle-exact. Nil means time.Now.
+	now func() int64
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.SubWindow <= 0 {
+		c.SubWindow = 10 * time.Second
+	}
+	if c.SubWindows <= 0 {
+		c.SubWindows = 12
+	}
+	if c.Buckets == nil {
+		c.Buckets = obs.DefBuckets
+	}
+	if c.now == nil {
+		c.now = func() int64 { return time.Now().UnixNano() }
+	}
+	return c
+}
+
+// latencySlot is one sub-window of a LatencyWindow: everything atomic so
+// recording is lock-free. Slot recycling (a new epoch claiming the ring
+// position) races benignly with concurrent observers — an observation
+// landing exactly on a sub-window boundary can be zeroed by the
+// recycler. The loss is bounded to the boundary instant and the window
+// is a monitoring estimate, not an accounting ledger.
+type latencySlot struct {
+	epoch    atomic.Int64
+	count    atomic.Int64
+	errs     atomic.Int64
+	sumNanos atomic.Int64
+	buckets  []atomic.Int64 // len(upper)+1; last is +Inf
+}
+
+func (s *latencySlot) reset() {
+	s.count.Store(0)
+	s.errs.Store(0)
+	s.sumNanos.Store(0)
+	for i := range s.buckets {
+		s.buckets[i].Store(0)
+	}
+}
+
+// LatencyWindow is a sliding-window latency histogram: a ring of
+// fixed-bucket sub-windows. Observe is lock-free and allocation-free;
+// Snapshot aggregates the slots still inside the window.
+type LatencyWindow struct {
+	sub   int64 // sub-window length, nanoseconds
+	upper []float64
+	slots []latencySlot
+	now   func() int64
+}
+
+// NewLatencyWindow builds a window from cfg (zero value → 12×10s ring
+// over obs.DefBuckets).
+func NewLatencyWindow(cfg WindowConfig) *LatencyWindow {
+	cfg = cfg.withDefaults()
+	upper := append([]float64(nil), cfg.Buckets...)
+	w := &LatencyWindow{
+		sub:   int64(cfg.SubWindow),
+		upper: upper,
+		slots: make([]latencySlot, cfg.SubWindows),
+		now:   cfg.now,
+	}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(slotEmpty)
+		w.slots[i].buckets = make([]atomic.Int64, len(upper)+1)
+	}
+	return w
+}
+
+// slot returns the ring slot for the current sub-window, recycling a
+// stale occupant in place. Lock-free: the epoch CAS elects one recycler.
+func (w *LatencyWindow) slot() *latencySlot {
+	e := w.now() / w.sub
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	for {
+		cur := s.epoch.Load()
+		if cur == e {
+			return s
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			s.reset()
+			return s
+		}
+	}
+}
+
+// Observe records one request: v seconds of latency and whether it
+// failed. Nil-safe and allocation-free.
+func (w *LatencyWindow) Observe(v float64, isErr bool) {
+	if w == nil {
+		return
+	}
+	s := w.slot()
+	s.count.Add(1)
+	if isErr {
+		s.errs.Add(1)
+	}
+	s.sumNanos.Add(int64(v * 1e9))
+	s.buckets[w.bucketIdx(v)].Add(1)
+}
+
+func (w *LatencyWindow) bucketIdx(v float64) int {
+	for i, ub := range w.upper {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(w.upper)
+}
+
+// LatencySnapshot is the aggregate of every live sub-window: totals plus
+// non-cumulative per-bucket counts (Buckets[len(Upper)] is the +Inf
+// overflow bucket).
+type LatencySnapshot struct {
+	Count      int64
+	Errors     int64
+	SumSeconds float64
+	Upper      []float64
+	Buckets    []int64
+}
+
+// Snapshot aggregates the slots whose epoch falls inside the window
+// (the current sub-window plus the SubWindows−1 before it). A slot
+// recycled mid-read is skipped: its data belonged to an expired
+// sub-window. Nil-safe (zero snapshot).
+func (w *LatencyWindow) Snapshot() LatencySnapshot {
+	if w == nil {
+		return LatencySnapshot{}
+	}
+	cur := w.now() / w.sub
+	oldest := cur - int64(len(w.slots)) + 1
+	snap := LatencySnapshot{Upper: w.upper, Buckets: make([]int64, len(w.upper)+1)}
+	tmp := make([]int64, len(w.upper)+1)
+	for i := range w.slots {
+		s := &w.slots[i]
+		e := s.epoch.Load()
+		if e < oldest || e > cur {
+			continue
+		}
+		count := s.count.Load()
+		errs := s.errs.Load()
+		sum := s.sumNanos.Load()
+		for j := range s.buckets {
+			tmp[j] = s.buckets[j].Load()
+		}
+		if s.epoch.Load() != e { // recycled under us; data was expired
+			continue
+		}
+		snap.Count += count
+		snap.Errors += errs
+		snap.SumSeconds += float64(sum) / 1e9
+		for j, b := range tmp {
+			snap.Buckets[j] += b
+		}
+	}
+	return snap
+}
+
+// WindowSeconds returns the span the window covers, in seconds (0 on
+// nil).
+func (w *LatencyWindow) WindowSeconds() float64 {
+	if w == nil {
+		return 0
+	}
+	return time.Duration(w.sub * int64(len(w.slots))).Seconds()
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) as the smallest bucket
+// upper bound whose cumulative count reaches ceil(q×Count) — the exact
+// definition the oracle tests recompute. Observations beyond the last
+// finite bucket yield +Inf; an empty snapshot yields 0.
+func (s LatencySnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			if i < len(s.Upper) {
+				return s.Upper[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// ErrorRate returns Errors/Count (0 when empty).
+func (s LatencySnapshot) ErrorRate() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Count)
+}
+
+// burnSlot is one sub-window of a BurnWindow: request totals plus two
+// bad counts — availability failures (5xx) and latency failures
+// (slower than the SLO threshold).
+type burnSlot struct {
+	epoch    atomic.Int64
+	total    atomic.Int64
+	badAvail atomic.Int64
+	badSlow  atomic.Int64
+}
+
+func (s *burnSlot) reset() {
+	s.total.Store(0)
+	s.badAvail.Store(0)
+	s.badSlow.Store(0)
+}
+
+// BurnWindow counts good/bad requests over a long ring of coarse
+// sub-windows so one structure answers every burn-rate horizon (5m, 30m,
+// 1h, 6h) by partial aggregation. Default 720×30s = 6h.
+type BurnWindow struct {
+	sub   int64
+	slots []burnSlot
+	now   func() int64
+}
+
+// BurnConfig shapes a BurnWindow.
+type BurnConfig struct {
+	// SubWindow is the ring granularity (default 30s); every burn
+	// horizon is rounded down to a whole number of sub-windows.
+	SubWindow time.Duration
+	// Span is the longest horizon the ring can answer (default 6h).
+	Span time.Duration
+
+	now func() int64
+}
+
+func (c BurnConfig) withDefaults() BurnConfig {
+	if c.SubWindow <= 0 {
+		c.SubWindow = 30 * time.Second
+	}
+	if c.Span <= 0 {
+		c.Span = 6 * time.Hour
+	}
+	if c.Span < c.SubWindow {
+		c.Span = c.SubWindow
+	}
+	if c.now == nil {
+		c.now = func() int64 { return time.Now().UnixNano() }
+	}
+	return c
+}
+
+// NewBurnWindow builds a burn ring from cfg (zero value → 30s×720).
+func NewBurnWindow(cfg BurnConfig) *BurnWindow {
+	cfg = cfg.withDefaults()
+	n := int(cfg.Span / cfg.SubWindow)
+	if n < 1 {
+		n = 1
+	}
+	w := &BurnWindow{sub: int64(cfg.SubWindow), slots: make([]burnSlot, n), now: cfg.now}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(slotEmpty)
+	}
+	return w
+}
+
+func (w *BurnWindow) slot() *burnSlot {
+	e := w.now() / w.sub
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	for {
+		cur := s.epoch.Load()
+		if cur == e {
+			return s
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			s.reset()
+			return s
+		}
+	}
+}
+
+// Record counts one request into the current sub-window. Nil-safe,
+// lock-free, allocation-free.
+func (w *BurnWindow) Record(badAvail, badSlow bool) {
+	if w == nil {
+		return
+	}
+	s := w.slot()
+	s.total.Add(1)
+	if badAvail {
+		s.badAvail.Add(1)
+	}
+	if badSlow {
+		s.badSlow.Add(1)
+	}
+}
+
+// BurnCounts are the request totals inside one burn horizon.
+type BurnCounts struct {
+	Total    int64
+	BadAvail int64
+	BadSlow  int64
+}
+
+// Counts aggregates the slots inside the given horizon (rounded down to
+// whole sub-windows, clamped to [1 sub-window, ring span]). Nil-safe.
+func (w *BurnWindow) Counts(horizon time.Duration) BurnCounts {
+	if w == nil {
+		return BurnCounts{}
+	}
+	n := int64(horizon) / w.sub
+	if n < 1 {
+		n = 1
+	}
+	if n > int64(len(w.slots)) {
+		n = int64(len(w.slots))
+	}
+	cur := w.now() / w.sub
+	oldest := cur - n + 1
+	var out BurnCounts
+	for i := range w.slots {
+		s := &w.slots[i]
+		e := s.epoch.Load()
+		if e < oldest || e > cur {
+			continue
+		}
+		total := s.total.Load()
+		badAvail := s.badAvail.Load()
+		badSlow := s.badSlow.Load()
+		if s.epoch.Load() != e {
+			continue
+		}
+		out.Total += total
+		out.BadAvail += badAvail
+		out.BadSlow += badSlow
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package slo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable nanosecond clock for oracle-exact window
+// tests.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64              { return c.ns }
+func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
+
+// oracleQuantile recomputes the snapshot's quantile definition from a
+// raw observation list: smallest bucket upper bound whose cumulative
+// count reaches ceil(q·n), +Inf past the last finite bucket.
+func oracleQuantile(obs []float64, upper []float64, q float64) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	counts := make([]int64, len(upper)+1)
+	for _, v := range obs {
+		i := 0
+		for ; i < len(upper); i++ {
+			if v <= upper[i] {
+				break
+			}
+		}
+		counts[i]++
+	}
+	rank := int64(math.Ceil(q * float64(len(obs))))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(upper) {
+				return upper[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+func TestLatencyWindowOracle(t *testing.T) {
+	clk := &fakeClock{ns: int64(1000 * time.Hour)}
+	upper := []float64{0.001, 0.01, 0.1, 1}
+	w := NewLatencyWindow(WindowConfig{
+		SubWindow:  10 * time.Second,
+		SubWindows: 6,
+		Buckets:    upper,
+		now:        clk.now,
+	})
+
+	rng := rand.New(rand.NewSource(42))
+	var live []float64 // observations still inside the 60s window
+	var liveErrs int64
+	// Fill 4 sub-windows, spaced 10s apart, all inside the window.
+	for sw := 0; sw < 4; sw++ {
+		for i := 0; i < 50; i++ {
+			v := math.Pow(10, -3+3*rng.Float64()) // 1ms..1s log-uniform
+			isErr := i%10 == 0
+			w.Observe(v, isErr)
+			live = append(live, v)
+			if isErr {
+				liveErrs++
+			}
+		}
+		clk.advance(10 * time.Second)
+	}
+
+	snap := w.Snapshot()
+	if snap.Count != int64(len(live)) {
+		t.Fatalf("Count = %d, want %d", snap.Count, len(live))
+	}
+	if snap.Errors != liveErrs {
+		t.Fatalf("Errors = %d, want %d", snap.Errors, liveErrs)
+	}
+	var sum float64
+	for _, v := range live {
+		sum += v
+	}
+	if math.Abs(snap.SumSeconds-sum) > 1e-6 {
+		t.Errorf("SumSeconds = %v, want %v", snap.SumSeconds, sum)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		want := oracleQuantile(live, upper, q)
+		if got := snap.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, oracle says %v", q, got, want)
+		}
+	}
+	wantRate := float64(liveErrs) / float64(len(live))
+	if got := snap.ErrorRate(); math.Abs(got-wantRate) > 1e-12 {
+		t.Errorf("ErrorRate = %v, want %v", got, wantRate)
+	}
+}
+
+func TestLatencyWindowExpiry(t *testing.T) {
+	clk := &fakeClock{ns: int64(1000 * time.Hour)}
+	w := NewLatencyWindow(WindowConfig{
+		SubWindow:  10 * time.Second,
+		SubWindows: 3,
+		Buckets:    []float64{1},
+		now:        clk.now,
+	})
+	w.Observe(0.5, true)
+	clk.advance(10 * time.Second)
+	w.Observe(0.5, false)
+	w.Observe(0.5, false)
+
+	// Both sub-windows live: 3 observations.
+	if got := w.Snapshot().Count; got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	// Advance so the first sub-window (and its error) falls out.
+	clk.advance(20 * time.Second)
+	snap := w.Snapshot()
+	if snap.Count != 2 || snap.Errors != 0 {
+		t.Fatalf("after expiry: Count = %d Errors = %d, want 2, 0", snap.Count, snap.Errors)
+	}
+	// Advance past the whole window: empty.
+	clk.advance(time.Hour)
+	snap = w.Snapshot()
+	if snap.Count != 0 {
+		t.Fatalf("after full expiry: Count = %d, want 0", snap.Count)
+	}
+	if got := snap.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+
+	// Ring reuse: a slot recycled long after expiry holds only new data.
+	w.Observe(2, false) // overflow bucket
+	snap = w.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("after reuse: Count = %d, want 1", snap.Count)
+	}
+	if got := snap.Quantile(0.5); !math.IsInf(got, +1) {
+		t.Errorf("overflow Quantile = %v, want +Inf", got)
+	}
+}
+
+func TestBurnWindowOracle(t *testing.T) {
+	clk := &fakeClock{ns: int64(2000 * time.Hour)}
+	w := NewBurnWindow(BurnConfig{SubWindow: 30 * time.Second, Span: time.Hour, now: clk.now})
+
+	type rec struct {
+		epoch              int64
+		total, avail, slow int64
+	}
+	var all []rec
+	rng := rand.New(rand.NewSource(7))
+	// One hour of traffic, one batch per 30s slot.
+	for i := 0; i < 120; i++ {
+		r := rec{epoch: clk.ns / int64(30*time.Second)}
+		for j := 0; j < 5+rng.Intn(10); j++ {
+			badAvail := rng.Intn(10) == 0
+			badSlow := rng.Intn(5) == 0
+			w.Record(badAvail, badSlow)
+			r.total++
+			if badAvail {
+				r.avail++
+			}
+			if badSlow {
+				r.slow++
+			}
+		}
+		all = append(all, r)
+		clk.advance(30 * time.Second)
+	}
+	// The clock now sits at the start of a fresh (empty) sub-window.
+	cur := clk.ns / int64(30*time.Second)
+	for _, horizon := range []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour} {
+		n := int64(horizon / (30 * time.Second))
+		oldest := cur - n + 1
+		var want BurnCounts
+		for _, r := range all {
+			if r.epoch >= oldest && r.epoch <= cur {
+				want.Total += r.total
+				want.BadAvail += r.avail
+				want.BadSlow += r.slow
+			}
+		}
+		if got := w.Counts(horizon); got != want {
+			t.Errorf("Counts(%v) = %+v, oracle says %+v", horizon, got, want)
+		}
+	}
+}
+
+// TestWindowZeroAlloc pins the hot-path discipline: recording into live
+// windows and into nil ones allocates nothing.
+func TestWindowZeroAlloc(t *testing.T) {
+	w := NewLatencyWindow(WindowConfig{})
+	b := NewBurnWindow(BurnConfig{})
+	tr := NewTracker(TrackerConfig{SlowThreshold: 250 * time.Millisecond})
+	var nilW *LatencyWindow
+	var nilB *BurnWindow
+	var nilT *Tracker
+	var nilH *Hitters
+	cases := map[string]func(){
+		"LatencyWindow.Observe":     func() { w.Observe(0.003, false) },
+		"BurnWindow.Record":         func() { b.Record(false, true) },
+		"Tracker.Observe":           func() { tr.Observe(3*time.Millisecond, false) },
+		"nil LatencyWindow.Observe": func() { nilW.Observe(0.003, false) },
+		"nil BurnWindow.Record":     func() { nilB.Record(false, false) },
+		"nil Tracker.Observe":       func() { nilT.Observe(time.Millisecond, false) },
+		"nil Hitters.ObserveIssue":  func() { nilH.ObserveIssue("e", "g", time.Millisecond, false) },
+	}
+	for name, fn := range cases {
+		if got := testing.AllocsPerRun(200, fn); got != 0 {
+			t.Errorf("%s allocates %v per op, want 0", name, got)
+		}
+	}
+}
+
+// TestWindowConcurrent hammers one window from several goroutines (run
+// with -race); totals must come out exact because the fake clock never
+// crosses a sub-window boundary.
+func TestWindowConcurrent(t *testing.T) {
+	clk := &fakeClock{ns: int64(500 * time.Hour)}
+	w := NewLatencyWindow(WindowConfig{now: clk.now})
+	const gs, per = 8, 1000
+	done := make(chan struct{})
+	for g := 0; g < gs; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				w.Observe(0.002, i%2 == 0)
+			}
+		}()
+	}
+	for g := 0; g < gs; g++ {
+		<-done
+	}
+	snap := w.Snapshot()
+	if snap.Count != gs*per {
+		t.Fatalf("Count = %d, want %d", snap.Count, gs*per)
+	}
+	if snap.Errors != gs*per/2 {
+		t.Fatalf("Errors = %d, want %d", snap.Errors, gs*per/2)
+	}
+}
+
+// TestQuantileEdges pins the rank definition on a tiny exact case.
+func TestQuantileEdges(t *testing.T) {
+	s := LatencySnapshot{
+		Count:   10,
+		Upper:   []float64{1, 2, 3},
+		Buckets: []int64{5, 4, 1, 0},
+	}
+	// ceil(0.5*10)=5 → first bucket; ceil(0.51*10)=6 → second;
+	// ceil(0.99*10)=10 → third.
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 1}, {0.51, 2}, {0.9, 2}, {0.91, 3}, {1.0, 3}} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRetainOverridesPolicy pins the force-retention contract the SLO
+// exemplar layer relies on: a fast, error-free trace that the sampling
+// policy would drop is kept once any of its spans calls Retain.
+func TestRetainOverridesPolicy(t *testing.T) {
+	tr := New(Options{Capacity: 8, Policy: Policy{ErrorsOnly: true}})
+
+	// Control: without Retain, the clean fast trace is dropped.
+	_, sp := tr.Root(context.Background(), "dropped")
+	sp.End()
+	if got := len(tr.Traces()); got != 0 {
+		t.Fatalf("policy-dropped trace retained: %d traces", got)
+	}
+
+	_, sp = tr.Root(context.Background(), "kept")
+	sp.Retain()
+	sp.End()
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained traces = %d, want 1", len(traces))
+	}
+	if traces[0].Name != "kept" {
+		t.Errorf("retained trace root = %q", traces[0].Name)
+	}
+}
+
+// TestRetainFromChildSpan: retention set on a child marks the whole
+// trace (the builder is shared), matching how the HTTP middleware
+// retains via whichever span the context carries.
+func TestRetainFromChildSpan(t *testing.T) {
+	tr := New(Options{Capacity: 8, Policy: Policy{Slow: time.Hour}})
+	ctx, root := tr.Root(context.Background(), "root")
+	_, child := Start(ctx, "child")
+	child.Retain()
+	child.End()
+	root.End()
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("retained traces = %d, want 1", got)
+	}
+}
+
+// TestRetainNilSafe: Retain on a nil span (untraced request) is a no-op.
+func TestRetainNilSafe(t *testing.T) {
+	var sp *Span
+	sp.Retain()
+	sp = SpanFromContext(context.Background())
+	sp.Retain()
+}

@@ -261,6 +261,19 @@ func (s *Span) SetInt(key string, v int64) {
 	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
 }
 
+// Retain forces the tail sampler to keep this span's trace regardless
+// of policy — the hook the SLO layer uses so latency observations that
+// crossed the SLO threshold always have a resolvable trace behind their
+// exemplars, even under an errors-only sampling policy.
+func (s *Span) Retain() {
+	if s == nil {
+		return
+	}
+	s.b.mu.Lock()
+	s.b.keep = true
+	s.b.mu.Unlock()
+}
+
 // Fail marks the span (and therefore the whole trace) as an error; error
 // traces are always retained by the sampler. A nil err is ignored.
 func (s *Span) Fail(err error) {
@@ -295,6 +308,7 @@ type builder struct {
 	spans     []SpanRecord
 	truncated int
 	err       bool
+	keep      bool
 	done      bool
 }
 
@@ -346,12 +360,13 @@ func (b *builder) record(s *Span, d time.Duration) {
 	}
 	b.done = true
 	isErr := b.err || s.errMsg != ""
+	forced := b.keep
 	spans := b.spans
 	truncated := b.truncated
 	b.mu.Unlock()
 
 	t := b.t
-	keep := isErr
+	keep := isErr || forced // Retain overrides any policy
 	if !t.policy.ErrorsOnly && d >= t.policy.Slow {
 		keep = true
 	}

@@ -678,6 +678,16 @@ func (s *Store) Seq() uint64 {
 	return s.seq
 }
 
+// Backlog returns the number of appended records not yet covered by a
+// completed fsync — the durability lag an interval or OS fsync policy
+// accumulates (always 0 under FsyncAlways). The runtime telemetry
+// collector exposes it as drm_wal_fsync_backlog.
+func (s *Store) Backlog() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.seq - s.synced)
+}
+
 // Len implements logstore.Store: the record count a ForEach replay
 // yields — compacted snapshot entries plus the tail.
 func (s *Store) Len() int {
