@@ -1,0 +1,285 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/engine"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/workload"
+)
+
+// lifecycleMix is a parsed issue:revoke:transfer weight triple.
+type lifecycleMix struct {
+	Issue, Revoke, Transfer int
+}
+
+func parseLifecycleMix(s string) (lifecycleMix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return lifecycleMix{}, fmt.Errorf("lifecycle-mix must be issue:revoke:transfer weights, got %q", s)
+	}
+	var w [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return lifecycleMix{}, fmt.Errorf("lifecycle-mix weight %q must be a non-negative integer", p)
+		}
+		w[i] = n
+	}
+	m := lifecycleMix{Issue: w[0], Revoke: w[1], Transfer: w[2]}
+	if m.Issue == 0 {
+		// Debits need credits to consume; an issue-free mix stalls at the
+		// soundness gate after the first few ops.
+		return lifecycleMix{}, fmt.Errorf("lifecycle-mix issue weight must be positive, got %q", s)
+	}
+	return m, nil
+}
+
+func (m lifecycleMix) total() int { return m.Issue + m.Revoke + m.Transfer }
+
+func (m lifecycleMix) String() string {
+	return fmt.Sprintf("%d:%d:%d", m.Issue, m.Revoke, m.Transfer)
+}
+
+// lifecycleRow is the measured profile of one ledger verb in the mixed
+// stream: attempted ops, permissions moved, sustained throughput, and
+// per-op latency quantiles on the engine's online path (admission/
+// soundness check + log append + in-place cache maintenance).
+type lifecycleRow struct {
+	Op     string  `json:"op"`
+	Ops    int     `json:"ops"`
+	Counts int64   `json:"counts"`
+	OpsSec float64 `json:"ops_per_sec"`
+	P50NS  int64   `json:"p50_ns"`
+	P99NS  int64   `json:"p99_ns"`
+}
+
+// lifecycleSummary pins the end state so two artifacts are comparable:
+// the stream must leave a sound ledger behind it.
+type lifecycleSummary struct {
+	Outstanding int64 `json:"outstanding"`
+	Transferred int64 `json:"transferred"`
+	Sweeps      int   `json:"sweeps"`
+	SweptCounts int64 `json:"swept_counts"`
+	AuditOK     bool  `json:"audit_ok"`
+}
+
+// benchLifecycle drives one engine.Distributor (online mode, in-memory
+// ledger) through a mixed issue/revoke/transfer stream in the requested
+// ratio. A quarter of issues carry TTLs and a sweep runs every
+// sweepEvery ops, so the expiry path is always exercised regardless of
+// the mix. Revokes and transfers stay inside the soundness bounds —
+// the point is steady-state ledger throughput, not rejection handling.
+func benchLifecycle(ops int, mix lifecycleMix, seed int64) ([]lifecycleRow, lifecycleSummary, error) {
+	const (
+		n          = 16
+		maxCount   = 5
+		sweepEvery = 1000
+		ttlHorizon = 50
+	)
+	w, err := workload.Generate(workload.Config{
+		N: n, Groups: 3, Dims: 4, RecordsPerLicense: 1, Seed: seed,
+	})
+	if err != nil {
+		return nil, lifecycleSummary{}, err
+	}
+	// Issues must always clear admission: boost every aggregate past the
+	// worst case (every op an issue of maxCount, nothing ever debited).
+	var prior int64
+	for _, r := range w.Records {
+		prior += r.Count
+	}
+	boost := prior + int64(ops)*maxCount + 1
+	for i := 0; i < w.Corpus.Len(); i++ {
+		if err := w.Corpus.TopUp(i, boost); err != nil {
+			return nil, lifecycleSummary{}, err
+		}
+	}
+	store := logstore.NewMem(ops)
+	d := engine.NewDistributor("bench", w.Schema, engine.ModeOnline, store)
+	for _, l := range w.Corpus.Licenses() {
+		cp := *l
+		if _, err := d.AddRedistribution(&cp); err != nil {
+			return nil, lifecycleSummary{}, err
+		}
+	}
+	ctx := context.Background()
+	if err := d.WarmHeadroom(ctx); err != nil {
+		return nil, lifecycleSummary{}, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	now := int64(1_000_000) // logical clock for TTLs and sweeps
+	net := map[bitset.Mask]int64{}
+	lat := map[string][]time.Duration{}
+	counts := map[string]int64{}
+	var sum lifecycleSummary
+	for i := 0; i < ops; i++ {
+		if sweepEvery > 0 && i > 0 && i%sweepEvery == 0 {
+			now += ttlHorizon // everything issued before this sweep is due
+			res, err := d.ExpireSweep(ctx, time.Unix(now, 0))
+			if err != nil {
+				return nil, lifecycleSummary{}, fmt.Errorf("lifecycle bench: sweep at op %d: %v", i, err)
+			}
+			led := store.LedgerSnapshot()
+			for s := range net {
+				net[s] = led.Net(s)
+			}
+			sum.Sweeps++
+			sum.SweptCounts += res.Counts
+		}
+		lic := w.Corpus.License(rng.Intn(w.Corpus.Len()))
+		rect := lic.Rect
+		set := d.BelongsTo(rect)
+		count := int64(1 + rng.Intn(maxCount))
+		op := "issue"
+		switch pick := rng.Intn(mix.total()); {
+		case pick < mix.Issue:
+		case pick < mix.Issue+mix.Revoke:
+			if net[set] > 0 {
+				op = "revoke"
+			}
+		default:
+			if net[set] > 0 {
+				op = "transfer"
+			}
+		}
+		var opErr error
+		switch op {
+		case "issue":
+			o := time.Now()
+			if rng.Intn(4) == 0 {
+				_, opErr = d.IssueTTLContext(ctx, license.Usage, rect, count, now+int64(1+rng.Intn(ttlHorizon-1)))
+			} else {
+				_, opErr = d.IssueContext(ctx, license.Usage, rect, count)
+			}
+			lat[op] = append(lat[op], time.Since(o))
+			net[set] += count
+		case "revoke":
+			if count > net[set] {
+				count = net[set]
+			}
+			o := time.Now()
+			_, opErr = d.RevokeContext(ctx, rect, count)
+			lat[op] = append(lat[op], time.Since(o))
+			net[set] -= count
+		case "transfer":
+			if count > net[set] {
+				count = net[set]
+			}
+			o := time.Now()
+			_, opErr = d.TransferContext(ctx, rect, count)
+			lat[op] = append(lat[op], time.Since(o))
+		}
+		if opErr != nil {
+			return nil, lifecycleSummary{}, fmt.Errorf("lifecycle bench: %s at op %d: %v", op, i, opErr)
+		}
+		counts[op] += count
+	}
+
+	led := store.LedgerSnapshot()
+	seen := map[bitset.Mask]bool{}
+	for _, l := range w.Corpus.Licenses() {
+		s := d.BelongsTo(l.Rect)
+		if seen[s] { // several licenses can share a belongs-to set
+			continue
+		}
+		seen[s] = true
+		sum.Outstanding += led.Net(s)
+		sum.Transferred += led.Transferred(s)
+	}
+	rep, _, err := d.Audit(1)
+	if err != nil {
+		return nil, lifecycleSummary{}, err
+	}
+	sum.AuditOK = rep.OK()
+
+	var rows []lifecycleRow
+	for _, op := range []string{"issue", "revoke", "transfer"} {
+		l := lat[op]
+		rows = append(rows, lifecycleRow{
+			Op:     op,
+			Ops:    len(l),
+			Counts: counts[op],
+			OpsSec: opsPerSec(l),
+			P50NS:  quantile(l, 0.50).Nanoseconds(),
+			P99NS:  quantile(l, 0.99).Nanoseconds(),
+		})
+	}
+	return rows, sum, nil
+}
+
+func writeLifecycle(out io.Writer, rows []lifecycleRow, sum lifecycleSummary) error {
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "op\tops\tcounts\tops/s\tp50\tp99\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%v\t%v\t\n",
+			r.Op, r.Ops, r.Counts, r.OpsSec,
+			time.Duration(r.P50NS).Round(100*time.Nanosecond),
+			time.Duration(r.P99NS).Round(100*time.Nanosecond))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(out, "outstanding %d, transferred %d, sweeps %d (%d counts), audit ok=%v\n",
+		sum.Outstanding, sum.Transferred, sum.Sweeps, sum.SweptCounts, sum.AuditOK)
+	return err
+}
+
+func writeLifecycleCSV(out io.Writer, rows []lifecycleRow, _ lifecycleSummary) error {
+	if _, err := fmt.Fprintln(out, "op,ops,counts,ops_per_sec,p50_ns,p99_ns"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(out, "%s,%d,%d,%.1f,%d,%d\n",
+			r.Op, r.Ops, r.Counts, r.OpsSec, r.P50NS, r.P99NS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lifecycleMeta pins the run parameters inside the artifact so two
+// BENCH records are comparable without the CI log that produced them.
+type lifecycleMeta struct {
+	Seed      int64  `json:"seed"`
+	Ops       int    `json:"ops"`
+	Mix       string `json:"mix"`
+	GoVersion string `json:"go_version"`
+}
+
+// writeLifecycleJSON writes the mixed-workload rows as a stable JSON
+// artifact (the BENCH_lifecycle.json record CI uploads).
+func writeLifecycleJSON(path string, rows []lifecycleRow, sum lifecycleSummary, meta lifecycleMeta) error {
+	meta.GoVersion = runtime.Version()
+	doc := struct {
+		Bench   string           `json:"bench"`
+		Schema  string           `json:"schema"`
+		Meta    lifecycleMeta    `json:"meta"`
+		Rows    []lifecycleRow   `json:"rows"`
+		Summary lifecycleSummary `json:"summary"`
+	}{Bench: "lifecycle_mix", Schema: "drmbench/lifecycle/v1", Meta: meta, Rows: rows, Summary: sum}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLifecycleMode(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_lifecycle.json")
+	var out bytes.Buffer
+	args := []string{"-lifecycle", "-lifecycle-ops", "3000", "-lifecycle-mix", "6:2:2",
+		"-lifecycle-json", jsonPath}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Lifecycle ledger") || !strings.Contains(s, "6:2:2") {
+		t.Errorf("output = %q", s)
+	}
+	if strings.Contains(s, "Fig 6") {
+		t.Error("-lifecycle also ran the figure sweep")
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench  string `json:"bench"`
+		Schema string `json:"schema"`
+		Meta   struct {
+			Mix string `json:"mix"`
+			Ops int    `json:"ops"`
+		} `json:"meta"`
+		Rows    []lifecycleRow   `json:"rows"`
+		Summary lifecycleSummary `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "lifecycle_mix" || doc.Schema != "drmbench/lifecycle/v1" {
+		t.Errorf("artifact tags = %q %q", doc.Bench, doc.Schema)
+	}
+	if doc.Meta.Mix != "6:2:2" || doc.Meta.Ops != 3000 {
+		t.Errorf("meta = %+v", doc.Meta)
+	}
+	if len(doc.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (issue, revoke, transfer)", len(doc.Rows))
+	}
+	var total int
+	issued := map[string]int64{}
+	for _, r := range doc.Rows {
+		total += r.Ops
+		issued[r.Op] = r.Counts
+		if r.Ops > 0 && (r.P50NS <= 0 || r.P99NS < r.P50NS) {
+			t.Errorf("row %s has implausible quantiles: %+v", r.Op, r)
+		}
+	}
+	if total != 3000 {
+		t.Errorf("total ops = %d, want 3000", total)
+	}
+	if !doc.Summary.AuditOK {
+		t.Error("stream left a failing audit behind")
+	}
+	// The ledger books must balance: issued − revoked − swept = outstanding.
+	want := issued["issue"] - issued["revoke"] - doc.Summary.SweptCounts
+	if doc.Summary.Outstanding != want {
+		t.Errorf("outstanding = %d, books say %d", doc.Summary.Outstanding, want)
+	}
+	if doc.Summary.Transferred != issued["transfer"] {
+		t.Errorf("transferred = %d, rows say %d", doc.Summary.Transferred, issued["transfer"])
+	}
+}
+
+func TestRunLifecycleErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-lifecycle", "-lifecycle-ops", "0"}, &out); err == nil {
+		t.Error("lifecycle-ops=0 accepted")
+	}
+	if err := run([]string{"-lifecycle", "-lifecycle-mix", "1:2"}, &out); err == nil {
+		t.Error("two-part mix accepted")
+	}
+	if err := run([]string{"-lifecycle", "-lifecycle-mix", "0:1:1"}, &out); err == nil {
+		t.Error("issue-free mix accepted")
+	}
+	if err := run([]string{"-lifecycle", "-lifecycle-mix", "a:b:c"}, &out); err == nil {
+		t.Error("non-numeric mix accepted")
+	}
+}
+
+func TestRunLifecycleCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-lifecycle", "-lifecycle-ops", "1500", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "op,ops,counts,ops_per_sec,p50_ns,p99_ns\n") {
+		t.Errorf("csv output = %q", s)
+	}
+	if strings.Contains(s, "==") {
+		t.Error("csv output contains table headers")
+	}
+}

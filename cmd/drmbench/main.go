@@ -29,6 +29,12 @@
 //
 //	drmbench -issue -issue-max 1000000 -issue-json issue.json
 //
+// -lifecycle benchmarks the typed lifecycle ledger under a mixed
+// issue/revoke/transfer stream (ratio set by -lifecycle-mix, with TTL
+// issues and periodic expiry sweeps riding along):
+//
+//	drmbench -lifecycle -lifecycle-mix 8:1:1 -lifecycle-json lifecycle.json
+//
 // -trace audits the N=max synthetic workload under a live tracer and
 // writes the span tree as Chrome Trace Event JSON (open in Perfetto):
 //
@@ -85,6 +91,14 @@ func run(args []string, out io.Writer) error {
 			"measured issuances per -issue point on the cached arm (the full arm caps at 200)")
 		issueJSON = fs.String("issue-json", "",
 			"also write the -issue ablation rows as a JSON artifact to this path")
+		lifecycleMode = fs.Bool("lifecycle", false,
+			"benchmark the mixed lifecycle ledger workload: issue/revoke/transfer in the -lifecycle-mix ratio, with TTL issues and periodic expiry sweeps")
+		lifecycleOps = fs.Int("lifecycle-ops", 20_000,
+			"measured ops in the -lifecycle stream")
+		lifecycleMixFlag = fs.String("lifecycle-mix", "8:1:1",
+			"issue:revoke:transfer weights for the -lifecycle stream")
+		lifecycleJSON = fs.String("lifecycle-json", "",
+			"also write the -lifecycle rows as a JSON artifact to this path")
 		statsPath = fs.String("stats", "",
 			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
 		timeout = fs.Duration("timeout", 0,
@@ -121,14 +135,14 @@ func run(args []string, out io.Writer) error {
 		ns = append(ns, n)
 	}
 
-	// -recover and -issue suppress the default all-figures sweep (a
-	// 10^7-record recovery run should not drag the full N sweep along);
-	// an explicit -fig still combines with them.
+	// -recover, -issue, and -lifecycle suppress the default all-figures
+	// sweep (a 10^7-record recovery run should not drag the full N sweep
+	// along); an explicit -fig still combines with them.
 	want := func(f int) bool {
 		if *fig != 0 {
 			return *fig == f
 		}
-		return !*recoverMode && !*issueMode
+		return !*recoverMode && !*issueMode && !*lifecycleMode
 	}
 	ran := false
 
@@ -347,6 +361,42 @@ func run(args []string, out io.Writer) error {
 			}
 			if !csvOut {
 				fmt.Fprintf(out, "issue: wrote %s\n", *issueJSON)
+			}
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if *lifecycleMode {
+		ran = true
+		if *lifecycleOps < 1 {
+			return fmt.Errorf("lifecycle-ops must be positive, got %d", *lifecycleOps)
+		}
+		mix, err := parseLifecycleMix(*lifecycleMixFlag)
+		if err != nil {
+			return err
+		}
+		if !csvOut {
+			fmt.Fprintf(out, "== Lifecycle ledger: mixed %s issue:revoke:transfer stream ==\n", mix)
+		}
+		rows, sum, err := benchLifecycle(*lifecycleOps, mix, *seed)
+		if err != nil {
+			return err
+		}
+		write := writeLifecycle
+		if csvOut {
+			write = writeLifecycleCSV
+		}
+		if err := write(out, rows, sum); err != nil {
+			return err
+		}
+		if *lifecycleJSON != "" {
+			meta := lifecycleMeta{Seed: *seed, Ops: *lifecycleOps, Mix: mix.String()}
+			if err := writeLifecycleJSON(*lifecycleJSON, rows, sum, meta); err != nil {
+				return err
+			}
+			if !csvOut {
+				fmt.Fprintf(out, "lifecycle: wrote %s\n", *lifecycleJSON)
 			}
 		}
 		if !csvOut {

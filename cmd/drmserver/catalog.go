@@ -65,6 +65,9 @@ func (s *catalogServer) routes() http.Handler {
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/corpus", s.entry(corpusAPI.handleCorpus))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/groups", s.entry(corpusAPI.handleGroups))
 	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/issue", s.entry(corpusAPI.handleIssue))
+	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/revoke", s.entry(corpusAPI.handleRevoke))
+	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/transfer", s.entry(corpusAPI.handleTransfer))
+	s.obs.wrap(mux, "POST /v1/c/{content}/{perm}/expire", s.entry(corpusAPI.handleExpire))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/audit", s.entry(corpusAPI.handleAudit))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/stats", s.entry(corpusAPI.handleStats))
 	s.obs.wrap(mux, "GET /v1/c/{content}/{perm}/headroom", s.obs.drainGuard(s.entry(corpusAPI.handleHeadroom)))

@@ -14,7 +14,10 @@
 //	GET  /v1/corpus  → the corpus document (as written by drmgen)
 //	GET  /v1/groups  → overlap grouping and theoretical gain
 //	POST /v1/issue   → {"values":[{"lo":..,"hi":..}|{"set":[..]}, ...],
-//	                    "count": 25, "kind": "usage"}
+//	                    "count": 25, "kind": "usage", "ttl_seconds": 3600}
+//	POST /v1/revoke  → {"values": [...], "count": 10} — take counts back
+//	POST /v1/transfer → {"values": [...], "count": 10} — re-home counts
+//	POST /v1/expire  → {"now": <unix>?} — run one expiry sweep on demand
 //	GET  /v1/audit   → grouped offline validation report
 //	GET  /v1/headroom → admission-cache debug view (per-group min slack)
 //	GET  /v1/healthz → liveness (503 once graceful shutdown begins)
@@ -109,6 +112,10 @@ func run() error {
 			"availability SLO target in percent: the share of requests that must not answer 5xx (0 disables)")
 		telemetryEvery = flag.Duration("telemetry-interval", 10*time.Second,
 			"runtime/SLO telemetry sampling interval (0 disables the ticker; /metrics and /v1/status still sample on demand)")
+		expireEvery = flag.Duration("expire-every", 0,
+			"background expiry sweep interval debiting due TTL issuances (0 disables; POST /v1/expire sweeps on demand)")
+		transferCap = flag.Int64("transfer-cap", 0,
+			"cumulative per-set transfer cap enforced in online mode (0 = unlimited)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -220,6 +227,13 @@ func run() error {
 		// open replays nothing.
 		defer snapshotCatalogOnExit(cat)
 		srv := newCatalogServer(cat, *workers)
+		for _, e := range cat.Entries() {
+			e.Dist.SetTransferCap(*transferCap)
+		}
+		if *expireEvery > 0 {
+			defer startSweeper(*expireEvery, srv.sweepExpired)()
+			logger.Info("expiry sweeper running", "interval", expireEvery.String())
+		}
 		logger.Info("drmserver listening", "catalog", *catalogPath,
 			"entries", cat.Len(), "mode", m.String(), "addr", *addr, "log_backend", string(backend))
 		return serve(*addr, srv.routes(), srv.obs)
@@ -278,6 +292,11 @@ func run() error {
 	srv, err := newServer(corpus, store, m, *workers)
 	if err != nil {
 		return err
+	}
+	srv.api.dist.SetTransferCap(*transferCap)
+	if *expireEvery > 0 {
+		defer startSweeper(*expireEvery, srv.sweepExpired)()
+		logger.Info("expiry sweeper running", "interval", expireEvery.String())
 	}
 	logger.Info("drmserver listening", "licenses", corpus.Len(),
 		"mode", m.String(), "addr", *addr, "log_backend", string(backend))
@@ -465,6 +484,9 @@ func (s *server) routes() http.Handler {
 	s.obs.wrap(mux, "GET /v1/corpus", s.api.handleCorpus)
 	s.obs.wrap(mux, "GET /v1/groups", s.api.handleGroups)
 	s.obs.wrap(mux, "POST /v1/issue", entryObserved(entry, s.api.handleIssue))
+	s.obs.wrap(mux, "POST /v1/revoke", entryObserved(entry, s.api.handleRevoke))
+	s.obs.wrap(mux, "POST /v1/transfer", entryObserved(entry, s.api.handleTransfer))
+	s.obs.wrap(mux, "POST /v1/expire", entryObserved(entry, s.api.handleExpire))
 	s.obs.wrap(mux, "GET /v1/audit", entryObserved(entry, s.api.handleAudit))
 	s.obs.wrap(mux, "GET /v1/stats", s.api.handleStats)
 	s.obs.wrap(mux, "GET /v1/headroom", s.obs.drainGuard(s.api.handleHeadroom))
@@ -545,6 +567,12 @@ type issueRequest struct {
 	Values []license.ValueDoc `json:"values"`
 	Count  int64              `json:"count"`
 	Kind   string             `json:"kind"` // "usage" (default) or "redistribution"
+	// TTLSeconds, when positive, makes the issuance time-limited: its
+	// record carries expiry = now + TTLSeconds, and an expiry sweep past
+	// that moment debits the counts back. Expiry (absolute Unix seconds)
+	// wins when both are set.
+	TTLSeconds int64 `json:"ttl_seconds,omitempty"`
+	Expiry     int64 `json:"expiry,omitempty"`
 }
 
 type issueResponse struct {
@@ -580,8 +608,17 @@ func (s corpusAPI) handleIssue(w http.ResponseWriter, r *http.Request) {
 		clientError(r.Context(), w, http.StatusBadRequest, err.Error())
 		return
 	}
+	expiry := req.Expiry
+	if expiry == 0 && req.TTLSeconds > 0 {
+		expiry = time.Now().Unix() + req.TTLSeconds
+	}
 	s.mu.Lock()
-	issued, err := s.dist.IssueContext(r.Context(), kind, rect, req.Count)
+	var issued *license.License
+	if expiry > 0 {
+		issued, err = s.dist.IssueTTLContext(r.Context(), kind, rect, req.Count, expiry)
+	} else {
+		issued, err = s.dist.IssueContext(r.Context(), kind, rect, req.Count)
+	}
 	var belongs []int
 	if err == nil {
 		s.dist.BelongsTo(rect).ForEach(func(j int) bool {
@@ -613,6 +650,12 @@ type statsResponse struct {
 	IssuedCounts      int64 `json:"issued_counts"`
 	RejectedInstance  int   `json:"rejected_instance"`
 	RejectedAggregate int   `json:"rejected_aggregate"`
+	Revoked           int   `json:"revoked"`
+	RevokedCounts     int64 `json:"revoked_counts"`
+	Expired           int   `json:"expired"`
+	ExpiredCounts     int64 `json:"expired_counts"`
+	Transferred       int   `json:"transferred"`
+	TransferredCounts int64 `json:"transferred_counts"`
 }
 
 func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -625,6 +668,12 @@ func (s corpusAPI) handleStats(w http.ResponseWriter, r *http.Request) {
 		IssuedCounts:      st.IssuedCounts,
 		RejectedInstance:  st.RejectedInstance,
 		RejectedAggregate: st.RejectedAggregate,
+		Revoked:           st.Revoked,
+		RevokedCounts:     st.RevokedCounts,
+		Expired:           st.Expired,
+		ExpiredCounts:     st.ExpiredCounts,
+		Transferred:       st.Transferred,
+		TransferredCounts: st.TransferredCounts,
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)

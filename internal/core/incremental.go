@@ -134,13 +134,16 @@ func (ia *IncrementalAuditor) route(set bitset.Mask) (int, bitset.Mask, error) {
 	return k, local, nil
 }
 
-// Append routes one issuance record into its group tree.
+// Append routes one lifecycle record into its group tree, applying its
+// signed effective count (issues add, revokes/expires subtract,
+// transfers are aggregate-neutral but still dirty the group — the
+// cumulative transfer totals some policies audit changed).
 func (ia *IncrementalAuditor) Append(r logstore.Record) error {
 	k, local, err := ia.route(r.Set)
 	if err != nil {
 		return err
 	}
-	if err := ia.trees[k].Tree.Insert(local, r.Count); err != nil {
+	if err := ia.trees[k].Tree.Add(local, r.Effective()); err != nil {
 		return err
 	}
 	ia.trees[k].invalidateFlat()

@@ -67,6 +67,11 @@ const (
 	// serve them right now (graceful-shutdown drain window); retry
 	// against another instance.
 	KindUnavailable
+	// KindLedgerUnsound marks lifecycle records that would break ledger
+	// soundness: a revoke or expire whose count exceeds the set's net
+	// outstanding credits. Like KindViolation it is a well-formed request
+	// the current ledger state refuses, so it maps to 409.
+	KindLedgerUnsound
 )
 
 // String returns the kind's wire name (the "kind" field of HTTP error
@@ -95,6 +100,8 @@ func (k Kind) String() string {
 		return "headroom_divergence"
 	case KindUnavailable:
 		return "unavailable"
+	case KindLedgerUnsound:
+		return "ledger_unsound"
 	default:
 		return "unknown"
 	}
@@ -137,6 +144,7 @@ var (
 	ErrNotFound        = Sentinel(KindNotFound, "drm: not found")
 	ErrHeadroomDiverge = Sentinel(KindHeadroomDivergence, "drm: headroom cache diverges from log")
 	ErrUnavailable     = Sentinel(KindUnavailable, "drm: service unavailable")
+	ErrLedgerUnsound   = Sentinel(KindLedgerUnsound, "drm: lifecycle ledger unsound")
 )
 
 // Error is a classified pipeline error: the Kind for dispatch, the
@@ -247,6 +255,7 @@ func IsCancellation(err error) bool {
 // HTTPStatus maps an error to the taxonomy's HTTP status:
 //
 //	violation         → 409 Conflict
+//	ledger unsound    → 409 Conflict
 //	instance invalid  → 422 Unprocessable Entity
 //	corpus mismatch   → 422 Unprocessable Entity
 //	cross group       → 422 Unprocessable Entity
@@ -260,7 +269,7 @@ func IsCancellation(err error) bool {
 //	anything else     → 500 Internal Server Error
 func HTTPStatus(err error) int {
 	switch KindOf(err) {
-	case KindViolation:
+	case KindViolation, KindLedgerUnsound:
 		return http.StatusConflict
 	case KindInstanceInvalid, KindCorpusMismatch, KindCrossGroup:
 		return http.StatusUnprocessableEntity

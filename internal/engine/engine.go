@@ -95,7 +95,7 @@ var (
 		"engine: issuance would violate an aggregate constraint")
 )
 
-// Stats counts a distributor's issuance outcomes.
+// Stats counts a distributor's issuance and lifecycle outcomes.
 type Stats struct {
 	// Issued counts accepted issuances; IssuedCounts sums their counts.
 	Issued       int
@@ -103,6 +103,14 @@ type Stats struct {
 	// RejectedInstance and RejectedAggregate count the two failure modes.
 	RejectedInstance  int
 	RejectedAggregate int
+	// Revoked/Expired/Transferred count accepted lifecycle operations;
+	// the *Counts fields sum the permission counts they moved.
+	Revoked           int
+	RevokedCounts     int64
+	Expired           int
+	ExpiredCounts     int64
+	Transferred       int
+	TransferredCounts int64
 }
 
 // Distributor manages one (content, permission) license corpus and its
@@ -128,10 +136,27 @@ type Distributor struct {
 	cacheDirty bool
 	cacheStale bool
 
+	// sweepMu serialises expiry sweeps: the schedule is read from a
+	// ledger snapshot, so two concurrent sweeps over the same snapshot
+	// would both try to debit the same due buckets (the store would
+	// refuse the second as unsound — correct but noisy).
+	sweepMu sync.Mutex
+
+	// transferCap bounds the cumulative per-set transfer total (0 =
+	// unlimited). Policy, not ledger soundness: enforced only on the
+	// online path, against totals that survive log compaction.
+	transferCap atomic.Int64
+
 	issued            atomic.Int64
 	issuedCounts      atomic.Int64
 	rejectedInstance  atomic.Int64
 	rejectedAggregate atomic.Int64
+	revoked           atomic.Int64
+	revokedCounts     atomic.Int64
+	expired           atomic.Int64
+	expiredCounts     atomic.Int64
+	transferred       atomic.Int64
+	transferredCounts atomic.Int64
 	seq               atomic.Int64
 }
 
@@ -164,6 +189,12 @@ func (d *Distributor) Stats() Stats {
 		IssuedCounts:      d.issuedCounts.Load(),
 		RejectedInstance:  int(d.rejectedInstance.Load()),
 		RejectedAggregate: int(d.rejectedAggregate.Load()),
+		Revoked:           int(d.revoked.Load()),
+		RevokedCounts:     d.revokedCounts.Load(),
+		Expired:           int(d.expired.Load()),
+		ExpiredCounts:     d.expiredCounts.Load(),
+		Transferred:       int(d.transferred.Load()),
+		TransferredCounts: d.transferredCounts.Load(),
 	}
 }
 
@@ -278,9 +309,25 @@ func (d *Distributor) Issue(kind license.Kind, rect geometry.Rect, count int64) 
 // online aggregate check, so an abandoned request never appends to the
 // log. A cancelled issuance returns a KindCancelled error.
 func (d *Distributor) IssueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64) (*license.License, error) {
+	return d.issueTraced(ctx, kind, rect, count, 0)
+}
+
+// IssueTTLContext is IssueContext for a time-limited license: the
+// issuance record carries expiry (Unix seconds), so the counts it grants
+// are debited back automatically when ExpireSweep runs past that moment.
+// Until then the issuance consumes headroom exactly like a plain one.
+func (d *Distributor) IssueTTLContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64, expiry int64) (*license.License, error) {
+	if expiry <= 0 {
+		return nil, drmerr.New(drmerr.KindInvalidInput, "engine.issue",
+			"engine: non-positive expiry %d", expiry)
+	}
+	return d.issueTraced(ctx, kind, rect, count, expiry)
+}
+
+func (d *Distributor) issueTraced(ctx context.Context, kind license.Kind, rect geometry.Rect, count, expiry int64) (*license.License, error) {
 	start := time.Now()
 	ctx, isp := trace.Start(ctx, "engine.issue")
-	lic, err := d.issueContext(ctx, kind, rect, count, start)
+	lic, err := d.issueContext(ctx, kind, rect, count, expiry, start)
 	if isp != nil {
 		isp.SetAttr("distributor", d.name)
 		isp.SetInt("count", count)
@@ -309,7 +356,7 @@ func (d *Distributor) recordHitter(set bitset.Mask, start time.Time, rejected bo
 	h.ObserveIssue(d.name, d.name+"#g"+strconv.Itoa(root), time.Since(start), rejected)
 }
 
-func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count int64, start time.Time) (*license.License, error) {
+func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count, expiry int64, start time.Time) (*license.License, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
 	}
@@ -330,7 +377,7 @@ func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect 
 		M.RejectedInstance.Inc()
 		return nil, fmt.Errorf("%w: %s not contained in any redistribution license", ErrInstanceInvalid, rect)
 	}
-	rec := logstore.Record{Set: set, Count: count}
+	rec := logstore.Record{Set: set, Count: count, Meta: logstore.Meta{Expiry: expiry}}
 	if d.mode == ModeOnline {
 		if err := ctx.Err(); err != nil {
 			return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/drmerr"
+	"repro/internal/license"
+	"repro/internal/logstore"
+	"repro/internal/vtree"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// TestLifecycleInterleavingEquivalence is the keystone property of the
+// typed lifecycle ledger: under random interleavings of plain and
+// TTL-carrying issuance, revocation, transfers, expiry sweeps, batch
+// audits, WAL snapshots, and crash-recovery, two equivalences must hold
+// at every step:
+//
+//  1. cached headroom admission ≡ a fresh full audit of the net ledger —
+//     the validation tree rebuilt from the log (signed effective counts)
+//     reports exactly the headroom the incrementally-maintained cache
+//     serves admission from;
+//  2. recovered state ≡ uninterrupted state — a distributor warmed from
+//     the reopened WAL (snapshot + tail) answers every headroom,
+//     net-count, and transfer-total query identically to the one that
+//     never went away.
+//
+// Debits the ledger would make unsound (revoking more than is
+// outstanding) must be refused with a typed ledger_unsound error, and
+// over-the-outstanding transfers with a violation. Run under -race in CI.
+func TestLifecycleInterleavingEquivalence(t *testing.T) {
+	for _, seed := range []int64{2, 7, 13} {
+		t.Logf("seed %d", seed)
+		w := workload.MustGenerate(workload.Config{
+			N: 8, Groups: 3, Dims: 2, RecordsPerLicense: 2,
+			AggregateLo: 1500, AggregateHi: 3000, Seed: seed,
+		})
+		dir := filepath.Join(t.TempDir(), "wal")
+		store, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { store.Close() }()
+		build := func(log logstore.Store) *Distributor {
+			d := NewDistributor("prop", w.Schema, ModeOnline, log)
+			for _, l := range w.Corpus.Licenses() {
+				cp := *l
+				if _, err := d.AddRedistribution(&cp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return d
+		}
+		d := build(store)
+		rng := rand.New(rand.NewSource(seed*13 + 3))
+		ctx := context.Background()
+		now := int64(1_000_000) // logical clock for TTLs and sweeps
+		var issued, revokes, unsound, transfers, overdrawn, sweeps, swept, audits, snapshots, recoveries int
+
+		// headroomCheck asserts equivalence 1 for one belongs-to set.
+		headroomCheck := func(step int, set bitset.Mask) int64 {
+			tree, err := vtree.Build(w.Corpus.Len(), store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tree.Headroom(set, d.Corpus().Aggregates())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.HeadroomContext(ctx, set)
+			if err != nil {
+				t.Fatalf("step %d: HeadroomContext(%v): %v", step, set, err)
+			}
+			if got != want {
+				t.Fatalf("step %d: cached headroom(%v) = %d, fresh net-ledger audit says %d",
+					step, set, got, want)
+			}
+			return want
+		}
+
+		for step := 0; step < 240; step++ {
+			rect := w.Corpus.License(rng.Intn(w.Corpus.Len())).Rect
+			set := d.BelongsTo(rect)
+			if set.Empty() {
+				t.Fatalf("step %d: corpus rect outside corpus", step)
+			}
+			net := store.LedgerSnapshot().Net(set)
+			switch op := rng.Intn(20); {
+			case op < 9: // issue (plain or TTL)
+				count := int64(1 + rng.Intn(300))
+				room := headroomCheck(step, set)
+				var err error
+				if rng.Intn(3) == 0 {
+					_, err = d.IssueTTLContext(ctx, license.Usage, rect, count, now+int64(1+rng.Intn(50)))
+				} else {
+					_, err = d.IssueContext(ctx, license.Usage, rect, count)
+				}
+				if count <= room {
+					if err != nil {
+						t.Fatalf("step %d: issue(%v, %d) rejected with headroom %d: %v",
+							step, set, count, room, err)
+					}
+					issued++
+				} else if !errors.Is(err, ErrAggregateExhausted) {
+					t.Fatalf("step %d: issue(%v, %d) err = %v, want exhaustion (headroom %d)",
+						step, set, count, err, room)
+				}
+			case op < 12: // revoke, sometimes deliberately past the net count
+				count := int64(1 + rng.Intn(200))
+				_, err := d.RevokeContext(ctx, rect, count)
+				if count <= net {
+					if err != nil {
+						t.Fatalf("step %d: revoke(%v, %d) with net %d: %v", step, set, count, net, err)
+					}
+					revokes++
+					headroomCheck(step, set)
+				} else {
+					if drmerr.KindOf(err) != drmerr.KindLedgerUnsound {
+						t.Fatalf("step %d: revoke(%v, %d) past net %d: err = %v, want ledger_unsound",
+							step, set, count, net, err)
+					}
+					unsound++
+				}
+			case op < 14: // transfer, sometimes past the outstanding bound
+				count := int64(1 + rng.Intn(200))
+				if rng.Intn(4) == 0 {
+					count = net + int64(1+rng.Intn(50))
+				}
+				_, err := d.TransferContext(ctx, rect, count)
+				if count <= net {
+					if err != nil {
+						t.Fatalf("step %d: transfer(%v, %d) with net %d: %v", step, set, count, net, err)
+					}
+					transfers++
+					headroomCheck(step, set) // transfers are aggregate-neutral
+				} else {
+					if drmerr.KindOf(err) != drmerr.KindViolation {
+						t.Fatalf("step %d: transfer(%v, %d) past net %d: err = %v, want violation",
+							step, set, count, net, err)
+					}
+					overdrawn++
+				}
+			case op < 16: // advance the clock and sweep expiries
+				now += int64(rng.Intn(40))
+				due := store.LedgerSnapshot().Due(now)
+				var wantRecords int
+				var wantCounts int64
+				for _, r := range due {
+					wantRecords++
+					wantCounts += r.Count
+				}
+				res, err := d.ExpireSweep(ctx, time.Unix(now, 0))
+				if err != nil {
+					t.Fatalf("step %d: expire sweep at %d: %v", step, now, err)
+				}
+				if res.Records != wantRecords || res.Counts != wantCounts {
+					t.Fatalf("step %d: sweep debited %d records / %d counts, schedule said %d / %d",
+						step, res.Records, res.Counts, wantRecords, wantCounts)
+				}
+				if left := store.LedgerSnapshot().Due(now); len(left) != 0 {
+					t.Fatalf("step %d: %d buckets still due after sweep", step, len(left))
+				}
+				sweeps++
+				swept += res.Records
+			case op < 17: // audit: clean, and the cache verifies against the net ledger
+				rep, _, err := d.Audit(1)
+				if err != nil {
+					t.Fatalf("step %d: audit: %v", step, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("step %d: audit found violations in an online-guarded log: %+v",
+						step, rep.Violations)
+				}
+				audits++
+			case op < 18: // snapshot: compact the signed history
+				if _, err := store.Snapshot(); err != nil {
+					t.Fatalf("step %d: snapshot: %v", step, err)
+				}
+				snapshots++
+			default: // crash-recover: reopen the WAL, rebuild, compare everything
+				type state struct {
+					room, net, xfer int64
+				}
+				pre := make(map[bitset.Mask]state)
+				for i := 0; i < w.Corpus.Len(); i++ {
+					s := d.BelongsTo(w.Corpus.License(i).Rect)
+					room, err := d.HeadroomContext(ctx, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					led := store.LedgerSnapshot()
+					pre[s] = state{room: room, net: led.Net(s), xfer: led.Transferred(s)}
+				}
+				if err := store.Close(); err != nil {
+					t.Fatalf("step %d: close: %v", step, err)
+				}
+				store, err = wal.Open(dir, wal.Options{})
+				if err != nil {
+					t.Fatalf("step %d: reopen: %v", step, err)
+				}
+				d = build(store)
+				if err := d.WarmHeadroom(ctx); err != nil {
+					t.Fatalf("step %d: warm after recovery: %v", step, err)
+				}
+				led := store.LedgerSnapshot()
+				for s, want := range pre {
+					room, err := d.HeadroomContext(ctx, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if room != want.room || led.Net(s) != want.net || led.Transferred(s) != want.xfer {
+						t.Fatalf("step %d: recovered state for %v = (room %d, net %d, xfer %d), uninterrupted was (%d, %d, %d)",
+							step, s, room, led.Net(s), led.Transferred(s), want.room, want.net, want.xfer)
+					}
+				}
+				recoveries++
+			}
+		}
+		rep, _, err := d.Audit(1)
+		if err != nil || !rep.OK() {
+			t.Fatalf("final audit: ok=%v err=%v", rep.OK(), err)
+		}
+		if issued == 0 || revokes == 0 || unsound == 0 || transfers == 0 ||
+			overdrawn == 0 || sweeps == 0 || swept == 0 || audits == 0 ||
+			snapshots == 0 || recoveries == 0 {
+			t.Fatalf("interleaving did not exercise all ops: issued=%d revokes=%d unsound=%d transfers=%d overdrawn=%d sweeps=%d swept=%d audits=%d snapshots=%d recoveries=%d",
+				issued, revokes, unsound, transfers, overdrawn, sweeps, swept, audits, snapshots, recoveries)
+		}
+	}
+}

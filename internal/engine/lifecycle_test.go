@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/drmerr"
+	"repro/internal/geometry"
+	"repro/internal/license"
+)
+
+// lifecycleFixture wires Example 1 into a distributor and returns the
+// usage rectangle (belongs to {L1,L2}), its belongs-to set, and the
+// starting headroom for that set. Lifecycle deltas are exact: issuing n
+// against S lowers headroom(S) by exactly n (every equation V ⊇ S gains
+// n on its LHS), revoking/expiring n raises it by n, transfers leave it.
+func lifecycleFixture(t *testing.T, mode Mode) (*Distributor, geometry.Rect, bitset.Mask, int64) {
+	t.Helper()
+	ex, d := ex1Distributor(t, mode)
+	rect := ex.Usage1.Rect
+	set := d.BelongsTo(rect)
+	if set.Empty() {
+		t.Fatal("usage rect outside corpus")
+	}
+	room, err := d.HeadroomContext(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rect, set, room
+}
+
+func TestRevokeFreesHeadroom(t *testing.T) {
+	d, rect, set, room0 := lifecycleFixture(t, ModeOnline)
+	ctx := context.Background()
+	if _, err := d.IssueContext(ctx, license.Usage, rect, 600); err != nil {
+		t.Fatal(err)
+	}
+	if room, _ := d.HeadroomContext(ctx, set); room != room0-600 {
+		t.Fatalf("headroom after issue = %d, want %d", room, room0-600)
+	}
+	if _, err := d.RevokeContext(ctx, rect, 250); err != nil {
+		t.Fatal(err)
+	}
+	if room, _ := d.HeadroomContext(ctx, set); room != room0-350 {
+		t.Fatalf("headroom after revoke = %d, want %d", room, room0-350)
+	}
+	// Revoking past the outstanding 350 is refused by the store's
+	// soundness gate with a typed 409 kind.
+	if _, err := d.RevokeContext(ctx, rect, 500); drmerr.KindOf(err) != drmerr.KindLedgerUnsound {
+		t.Fatalf("over-revoke err = %v, want ledger_unsound", err)
+	}
+	st := d.Stats()
+	if st.Revoked != 1 || st.RevokedCounts != 250 {
+		t.Fatalf("stats = %+v, want 1 revoke of 250", st)
+	}
+}
+
+func TestTransferCapAndOutstandingBound(t *testing.T) {
+	d, rect, set, room0 := lifecycleFixture(t, ModeOnline)
+	ctx := context.Background()
+	if _, err := d.IssueContext(ctx, license.Usage, rect, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Transfers past the outstanding count are violations.
+	if _, err := d.TransferContext(ctx, rect, 501); drmerr.KindOf(err) != drmerr.KindViolation {
+		t.Fatalf("over-outstanding transfer err = %v, want violation", err)
+	}
+	d.SetTransferCap(300)
+	if _, err := d.TransferContext(ctx, rect, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative total 200 + 150 would exceed the cap of 300.
+	if _, err := d.TransferContext(ctx, rect, 150); !errors.Is(err, ErrTransferCapExceeded) {
+		t.Fatalf("capped transfer err = %v, want ErrTransferCapExceeded", err)
+	}
+	// Transfers are aggregate-neutral: headroom is unchanged by them.
+	if room, _ := d.HeadroomContext(ctx, set); room != room0-500 {
+		t.Fatalf("headroom after transfers = %d, want %d", room, room0-500)
+	}
+	st := d.Stats()
+	if st.Transferred != 1 || st.TransferredCounts != 200 {
+		t.Fatalf("stats = %+v, want 1 transfer of 200", st)
+	}
+}
+
+func TestExpireSweepDebitsDueBuckets(t *testing.T) {
+	d, rect, set, room0 := lifecycleFixture(t, ModeOnline)
+	ctx := context.Background()
+	base := time.Now().Unix()
+	if _, err := d.IssueTTLContext(ctx, license.Usage, rect, 100, base+10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.IssueTTLContext(ctx, license.Usage, rect, 50, base+100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.IssueContext(ctx, license.Usage, rect, 25); err != nil {
+		t.Fatal(err)
+	}
+	if room, _ := d.HeadroomContext(ctx, set); room != room0-175 {
+		t.Fatalf("headroom before sweep = %d, want %d", room, room0-175)
+	}
+	// Sweep past the first expiry only.
+	res, err := d.ExpireSweep(ctx, time.Unix(base+10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1 || res.Counts != 100 {
+		t.Fatalf("sweep = %+v, want 1 record of 100", res)
+	}
+	if room, _ := d.HeadroomContext(ctx, set); room != room0-75 {
+		t.Fatalf("headroom after sweep = %d, want %d", room, room0-75)
+	}
+	// A second sweep at the same moment finds nothing due.
+	res, err = d.ExpireSweep(ctx, time.Unix(base+10, 0))
+	if err != nil || res.Records != 0 {
+		t.Fatalf("repeat sweep = %+v, %v; want empty", res, err)
+	}
+	st := d.Stats()
+	if st.Expired != 1 || st.ExpiredCounts != 100 {
+		t.Fatalf("stats = %+v, want 1 expiry of 100", st)
+	}
+}
+
+func TestOfflineLifecycleOnlyLogs(t *testing.T) {
+	d, rect, set, room0 := lifecycleFixture(t, ModeOffline)
+	ctx := context.Background()
+	if _, err := d.IssueContext(ctx, license.Usage, rect, 400); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RevokeContext(ctx, rect, 150); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TransferContext(ctx, rect, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Offline skips the cap: policy is audited in batch, not at append.
+	d.SetTransferCap(1)
+	if _, err := d.TransferContext(ctx, rect, 100); err != nil {
+		t.Fatal(err)
+	}
+	// The store's soundness gate still holds offline: net is 250.
+	if _, err := d.RevokeContext(ctx, rect, 1000); drmerr.KindOf(err) != drmerr.KindLedgerUnsound {
+		t.Fatalf("offline over-revoke err = %v, want ledger_unsound", err)
+	}
+	// A headroom query replays the net log.
+	if room, err := d.HeadroomContext(ctx, set); err != nil || room != room0-250 {
+		t.Fatalf("offline headroom = %d, %v; want %d", room, err, room0-250)
+	}
+	rep, _, err := d.Audit(1)
+	if err != nil || !rep.OK() {
+		t.Fatalf("offline audit: ok=%v err=%v", rep.OK(), err)
+	}
+}

@@ -32,6 +32,18 @@ type Metrics struct {
 	// divide, validate).
 	Audits       *obs.Counter
 	AuditSeconds *obs.Histogram
+	// Lifecycle signals: accepted revokes/expires/transfers and the
+	// permission counts they moved, cap-rejected transfers, expiry
+	// sweeps, and lifecycle-operation latency.
+	Revoked           *obs.Counter
+	RevokedCounts     *obs.Counter
+	Expired           *obs.Counter
+	ExpiredCounts     *obs.Counter
+	Transferred       *obs.Counter
+	TransferredCounts *obs.Counter
+	TransferRejected  *obs.Counter
+	Sweeps            *obs.Counter
+	LifecycleSeconds  *obs.Histogram
 }
 
 // Instrument registers the engine's metric families on reg and points the
@@ -52,6 +64,24 @@ func Instrument(reg *obs.Registry) {
 			"Distributor-level offline audits."),
 		AuditSeconds: reg.Histogram("drm_distributor_audit_seconds",
 			"Wall time of one distributor audit (build + divide + validate).", nil),
+		Revoked: reg.Counter("drm_lifecycle_revoke_total",
+			"Accepted revocations."),
+		RevokedCounts: reg.Counter("drm_lifecycle_revoke_counts_total",
+			"Permission counts revoked (sum over accepted revocations)."),
+		Expired: reg.Counter("drm_lifecycle_expire_total",
+			"Expire records appended by sweeps."),
+		ExpiredCounts: reg.Counter("drm_lifecycle_expire_counts_total",
+			"Permission counts expired (sum over expire records)."),
+		Transferred: reg.Counter("drm_lifecycle_transfer_total",
+			"Accepted transfers."),
+		TransferredCounts: reg.Counter("drm_lifecycle_transfer_counts_total",
+			"Permission counts transferred (sum over accepted transfers)."),
+		TransferRejected: reg.Counter("drm_lifecycle_transfer_rejected_total",
+			"Transfers rejected by the cumulative transfer cap."),
+		Sweeps: reg.Counter("drm_lifecycle_sweeps_total",
+			"Expiry sweeps run (including sweeps that found nothing due)."),
+		LifecycleSeconds: reg.Histogram("drm_lifecycle_seconds",
+			"Wall time of one lifecycle operation (revoke or transfer).", nil),
 	}
 }
 

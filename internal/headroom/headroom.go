@@ -88,11 +88,18 @@ type Cache struct {
 type group struct {
 	mu      sync.Mutex
 	members bitset.Mask
-	// cnt sums issued counts per observed belongs-to set (global masks) —
-	// the compacted log restricted to this group. It is the ground truth
-	// the dense table is derived from, and what Rebuild reuses so corpus
-	// changes never replay the log.
-	cnt  map[bitset.Mask]int64
+	// cnt sums net counts (issues minus revokes and expiries) per
+	// observed belongs-to set (global masks) — the compacted ledger
+	// restricted to this group. It is the ground truth the dense table
+	// is derived from, and what Rebuild reuses so corpus changes never
+	// replay the log. Entries are always positive: a set whose net count
+	// returns to zero is pruned, so the span matches what a fresh build
+	// from the log derives.
+	cnt map[bitset.Mask]int64
+	// xfer sums cumulative transferred counts per set — lifecycle
+	// bookkeeping the engine's transfer-cap policy reads. Transfers do
+	// not move slack.
+	xfer map[bitset.Mask]int64
 	span bitset.Mask
 	// spanElems maps span-coordinate bit → global license index, in
 	// span-arrival order (so growing the span never remaps old bits);
@@ -148,7 +155,12 @@ func buildMaxSpan(ctx context.Context, grouping overlap.Grouping, aggs []int64, 
 		if err != nil {
 			return err
 		}
-		g.cnt[r.Set] += r.Count
+		if eff := r.Effective(); eff != 0 {
+			g.cnt[r.Set] += eff
+		}
+		if r.Kind == logstore.KindTransfer {
+			g.xfer[r.Set] += r.Count
+		}
 		records++
 		return nil
 	})
@@ -156,6 +168,14 @@ func buildMaxSpan(ctx context.Context, grouping overlap.Grouping, aggs []int64, 
 		return nil, err
 	}
 	for _, g := range c.groups {
+		// Sets whose net count returned to zero contribute to no
+		// equation; prune them so the span (and hence the dense table
+		// shape) is determined by the live counts alone.
+		for set, n := range g.cnt {
+			if n == 0 {
+				delete(g.cnt, set)
+			}
+		}
 		c.finalizeGroup(g)
 	}
 	M.Rebuilds.Inc()
@@ -188,7 +208,7 @@ func newCache(grouping overlap.Grouping, aggs []int64, maxSpanBits int) (*Cache,
 		groups:      make([]*group, len(grouping.Groups)),
 	}
 	for k, gr := range grouping.Groups {
-		g := &group{members: gr.Members, cnt: make(map[bitset.Mask]int64)}
+		g := &group{members: gr.Members, cnt: make(map[bitset.Mask]int64), xfer: make(map[bitset.Mask]int64)}
 		g.minSlack.Store(unbounded)
 		for i := range g.coord {
 			g.coord[i] = -1
@@ -228,12 +248,23 @@ func (c *Cache) rebuild(grouping overlap.Grouping, aggs []int64) error {
 	for _, old := range c.groups {
 		old.mu.Lock()
 		for set, n := range old.cnt {
+			if n == 0 {
+				continue
+			}
 			g, err := fresh.route(set)
 			if err != nil {
 				old.mu.Unlock()
 				return err
 			}
 			g.cnt[set] += n
+		}
+		for set, n := range old.xfer {
+			g, err := fresh.route(set)
+			if err != nil {
+				old.mu.Unlock()
+				return err
+			}
+			g.xfer[set] += n
 		}
 		old.mu.Unlock()
 	}
@@ -639,6 +670,136 @@ func (c *Cache) Release(set bitset.Mask, count int64) error {
 	// a log append failed, so the full refinalize is off the hot path.
 	c.finalizeGroup(g)
 	return nil
+}
+
+// Hold registers an in-flight lifecycle mutation (a revoke, expiry, or
+// transfer between its log append and the matching cache update) so
+// Verify treats the cache as non-quiescent. Every Hold must be paired
+// with a Confirm.
+func (c *Cache) Hold() { c.pending.Add(1) }
+
+// Credit applies a durably-logged debit record (revoke or expire) to
+// the cache: the set's net count drops by count and slack for every
+// equation S ⊇ set rises by count, mirroring the admission decrement
+// path in place. Callers bracket the log append and the Credit with
+// Hold/Confirm so Verify never observes the halfway state. A count
+// exceeding the cached net count means the cache has diverged from the
+// log (the store would have refused the append) and is reported as
+// KindHeadroomDivergence.
+func (c *Cache) Credit(ctx context.Context, set bitset.Mask, count int64) error {
+	_, sp := trace.Start(ctx, "headroom.credit")
+	err := c.credit(set, count)
+	if sp != nil {
+		sp.SetInt("count", count)
+		sp.Fail(err)
+		sp.End()
+	}
+	return err
+}
+
+func (c *Cache) credit(set bitset.Mask, count int64) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, err := c.route(set)
+	if err != nil {
+		return err
+	}
+	if count <= 0 {
+		return drmerr.New(drmerr.KindInvalidInput, "headroom.credit",
+			"headroom: non-positive credit %d", count)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := g.cnt[set]
+	if count > cur {
+		return drmerr.New(drmerr.KindHeadroomDivergence, "headroom.credit",
+			"headroom: credit of %d against cached net count %d for set %v", count, cur, set)
+	}
+	if count == cur {
+		// The set's net count returns to zero: prune it and re-derive
+		// span, mode, table, and minimum, exactly like a rolled-back
+		// reservation — a fresh build from the log would not observe the
+		// set either. Debits are off the admission hot path, so the full
+		// refinalize is acceptable here.
+		delete(g.cnt, set)
+		c.finalizeGroup(g)
+		return nil
+	}
+	g.cnt[set] = cur - count
+	if !g.dense {
+		// Slacks only rose; the sparse minimum must be re-derived to stay
+		// exact at ≤ 0.
+		c.recomputeSparseMinSlack(g)
+		return nil
+	}
+	bs := g.spanCoord(set)
+	rem := bitset.Mask(len(g.table)-1) ^ bs
+	g.table[bs] += count
+	rem.Subsets(func(extra bitset.Mask) bool {
+		g.table[bs|extra] += count
+		return true
+	})
+	M.Equations.Add(int64(1) << uint(rem.Len()))
+	// Increments can raise the minimum anywhere in the table, not just
+	// among the touched entries; rescan for the exact value.
+	min := unbounded
+	for t := 1; t < len(g.table); t++ {
+		if g.table[t] < min {
+			min = g.table[t]
+		}
+	}
+	g.minSlack.Store(min)
+	return nil
+}
+
+// ApplyTransfer records a durably-logged transfer against the cache's
+// per-set transfer totals. Slack is untouched — transfers move
+// permissions between consumers, not against the corpus.
+func (c *Cache) ApplyTransfer(set bitset.Mask, count int64) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, err := c.route(set)
+	if err != nil {
+		return err
+	}
+	if count <= 0 {
+		return drmerr.New(drmerr.KindInvalidInput, "headroom.transfer",
+			"headroom: non-positive transfer %d", count)
+	}
+	g.mu.Lock()
+	g.xfer[set] += count
+	g.mu.Unlock()
+	return nil
+}
+
+// Transferred returns the cumulative transferred total for set (0 if
+// the set routes but has no transfers) — the number the engine's
+// transfer-cap policy compares against.
+func (c *Cache) Transferred(set bitset.Mask) (int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, err := c.route(set)
+	if err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.xfer[set], nil
+}
+
+// NetCount returns the cached net outstanding count for set (exact-set
+// count, not the subset-closed C⟨S⟩) — what revokes and transfers are
+// bounded by.
+func (c *Cache) NetCount(set bitset.Mask) (int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, err := c.route(set)
+	if err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cnt[set], nil
 }
 
 // TopUp raises license i's budget by extra, patching every affected

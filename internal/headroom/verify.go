@@ -97,6 +97,15 @@ func (c *Cache) verifyGroup(k int, g, sg *group, res *VerifyResult) error {
 			return diverge("set %v cached count %d, log says %d", set, got, n)
 		}
 	}
+	if len(g.xfer) != len(sg.xfer) {
+		return diverge("%d cached transfer sets, log has %d", len(g.xfer), len(sg.xfer))
+	}
+	for set, n := range sg.xfer {
+		res.Entries++
+		if got := g.xfer[set]; got != n {
+			return diverge("set %v cached transfer total %d, log says %d", set, got, n)
+		}
+	}
 	if g.span != sg.span {
 		return diverge("cached span %v, log implies %v", g.span, sg.span)
 	}

@@ -20,7 +20,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 
 	"repro/internal/bitset"
@@ -28,22 +27,77 @@ import (
 	"repro/internal/trace"
 )
 
-// Record is one issuance log row: Table 2's (Set, Set Counts) pair.
+// Record is one lifecycle ledger row. The original model held only
+// Table 2's (Set, Set Counts) pair — an append-only issuance log — and
+// that remains the zero-Kind case: a kindless record is an issue, so
+// pre-lifecycle JSONL logs and WAL segments replay unchanged. The
+// generalized ledger adds revocation, expiry, and transfer records whose
+// signed contributions to the net consumed count come from Effective.
 type Record struct {
-	// Set is the belongs-to set of the issued license as a corpus-index
-	// mask (the paper's S column).
+	// Kind classifies the lifecycle event. The zero value is KindIssue
+	// and is omitted on the wire, so plain issue records keep their
+	// pre-lifecycle encoding byte for byte.
+	Kind Kind `json:"kind,omitempty"`
+	// Set is the belongs-to set of the license as a corpus-index mask
+	// (the paper's S column).
 	Set bitset.Mask `json:"set"`
-	// Count is the issued permission count (the paper's C column).
+	// Count is the permission count the event carries (the paper's C
+	// column). It is always positive; the sign of the ledger movement is
+	// determined by Kind (see Effective).
 	Count int64 `json:"count"`
+	// Meta carries optional per-record lifecycle metadata. Its fields
+	// are inlined into the JSON encoding and omitted when zero.
+	Meta
 }
 
-// Validate checks structural well-formedness of a record.
+// Meta is the lifecycle metadata a record may carry.
+type Meta struct {
+	// Expiry is the unix-seconds instant at which the issued permissions
+	// lapse (0 = never). Only issue records carry it — the expiry
+	// sweeper turns due buckets into expire records that name the same
+	// instant, so the ledger can retire the matching bucket.
+	Expiry int64 `json:"expiry,omitempty"`
+}
+
+// Effective returns the record's signed contribution to the net consumed
+// count C⟨S⟩: +Count for issues, −Count for revokes and expiries, and 0
+// for transfers, which move permissions between consumers without
+// changing the total consumed against the set.
+func (r Record) Effective() int64 {
+	switch r.Kind {
+	case KindRevoke, KindExpire:
+		return -r.Count
+	case KindTransfer:
+		return 0
+	default:
+		return r.Count
+	}
+}
+
+// Validate checks structural well-formedness of a record. Failures are
+// typed KindInvalidInput so the HTTP layer maps malformed ledger bodies
+// to a structured 400; replay paths re-wrap them as KindStoreCorrupt.
 func (r Record) Validate() error {
+	const op = "logstore.record"
+	if !r.Kind.Valid() {
+		return drmerr.New(drmerr.KindInvalidInput, op,
+			"logstore: record with unknown kind %d", uint8(r.Kind))
+	}
 	if r.Set.Empty() {
-		return errors.New("logstore: record with empty belongs-to set")
+		return drmerr.New(drmerr.KindInvalidInput, op,
+			"logstore: %s record with empty belongs-to set", r.Kind)
 	}
 	if r.Count <= 0 {
-		return fmt.Errorf("logstore: record with non-positive count %d", r.Count)
+		return drmerr.New(drmerr.KindInvalidInput, op,
+			"logstore: %s record with non-positive count %d", r.Kind, r.Count)
+	}
+	if r.Expiry < 0 {
+		return drmerr.New(drmerr.KindInvalidInput, op,
+			"logstore: %s record with negative expiry %d", r.Kind, r.Expiry)
+	}
+	if r.Expiry != 0 && r.Kind != KindIssue && r.Kind != KindExpire {
+		return drmerr.New(drmerr.KindInvalidInput, op,
+			"logstore: %s record cannot carry expiry metadata", r.Kind)
 	}
 	return nil
 }
@@ -135,6 +189,7 @@ func ForEachContext(ctx context.Context, s Store, fn func(Record) error) error {
 // concurrent issuance path relies on this).
 type Mem struct {
 	mu      sync.RWMutex
+	ledger  Ledger
 	records []Record
 }
 
@@ -143,16 +198,30 @@ func NewMem(capacity int) *Mem {
 	return &Mem{records: make([]Record, 0, capacity)}
 }
 
-// Append implements Store.
+// Append implements Store. Appends that would break ledger soundness
+// (a debit exceeding the set's net outstanding credits) are refused
+// with a KindLedgerUnsound error and leave the store unchanged.
 func (m *Mem) Append(r Record) error {
 	if err := r.Validate(); err != nil {
 		return drmerr.Wrap(drmerr.KindInvalidInput, "logstore.append", err)
 	}
 	m.mu.Lock()
+	if err := m.ledger.Admit(r); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.ledger.Apply(r)
 	m.records = append(m.records, r)
 	m.mu.Unlock()
 	M.Appends.Inc()
 	return nil
+}
+
+// LedgerSnapshot implements LedgerReader.
+func (m *Mem) LedgerSnapshot() *Ledger {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ledger.Clone()
 }
 
 // Len implements Store.
@@ -184,21 +253,20 @@ func (m *Mem) Records() []Record {
 	return m.records
 }
 
-// Compact merges records with identical belongs-to sets, summing counts, and
-// returns the merged records ordered by set mask. The validation tree does
-// the same aggregation implicitly; Compact exists so persisted logs and
-// network payloads stay small.
+// Compact reduces a record sequence to its canonical ledger form: per
+// set, one plain issue holding the non-expiring net count, one issue per
+// surviving TTL bucket (ordered by expiry), and one transfer carrying
+// the cumulative transferred total. Replaying the compacted sequence
+// rebuilds the same net counts, due-expiry schedule, and transfer
+// totals as the original — debits consume the non-expiring pool first
+// and then the latest-expiring buckets, matching how Ledger.Due
+// allocates budget to the earliest buckets — so audits and snapshot
+// recovery are unchanged by compaction. For pure-issue logs this is the
+// original behavior: one record per distinct set, counts summed,
+// ordered by set mask.
 func Compact(records []Record) []Record {
-	sums := make(map[bitset.Mask]int64, len(records))
-	for _, r := range records {
-		sums[r.Set] += r.Count
-	}
-	out := make([]Record, 0, len(sums))
-	for set, count := range sums {
-		out = append(out, Record{Set: set, Count: count})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Set < out[j].Set })
-	return out
+	led := LedgerOf(records)
+	return led.Canonical()
 }
 
 // CompactFile rewrites a JSONL log file with its records compacted (one
@@ -246,11 +314,12 @@ func CompactFile(path string) (before, after int, err error) {
 // Append with ForEach is still the caller's problem: a replay running
 // concurrently with appends sees an unspecified prefix of them.
 type File struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	enc *json.Encoder
-	n   int
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	enc    *json.Encoder
+	n      int
+	ledger Ledger
 }
 
 // OpenFile opens (creating if needed) a JSONL log at path, decoding the
@@ -261,7 +330,7 @@ type File struct {
 // with RepairFile (or drmaudit -repair) rather than silently appending
 // after garbage.
 func OpenFile(path string) (*File, error) {
-	n, _, err := scanFile(path)
+	n, _, led, err := scanFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +339,7 @@ func OpenFile(path string) (*File, error) {
 		return nil, fmt.Errorf("logstore: open %s: %w", path, err)
 	}
 	w := bufio.NewWriter(f)
-	return &File{f: f, w: w, enc: json.NewEncoder(w), n: n}, nil
+	return &File{f: f, w: w, enc: json.NewEncoder(w), n: n, ledger: led}, nil
 }
 
 // CorruptError reports undecodable bytes in a JSONL log: everything
@@ -303,19 +372,21 @@ func (e *CorruptError) Error() string {
 func (e *CorruptError) Unwrap() error { return e.Err }
 
 // scanFile decodes every record in a JSONL log, returning the record
-// count and the byte offset just past the last valid record. Undecodable
-// content yields a KindStoreCorrupt error wrapping a *CorruptError; a
-// missing file is an empty log. Note the limits of JSONL self-checking:
-// a tail torn at a byte position that still parses as a valid record
-// (e.g. a count cut from 800 to 80) is undetectable here — the CRC-framed
-// internal/wal backend exists for exactly that reason.
-func scanFile(path string) (n int, validEnd int64, err error) {
+// count, the byte offset just past the last valid record, and the
+// rebuilt lifecycle ledger. Undecodable content — including records
+// that would break ledger soundness — yields a KindStoreCorrupt error
+// wrapping a *CorruptError; a missing file is an empty log. Note the
+// limits of JSONL self-checking: a tail torn at a byte position that
+// still parses as a valid record (e.g. a count cut from 800 to 80) is
+// undetectable here — the CRC-framed internal/wal backend exists for
+// exactly that reason.
+func scanFile(path string) (n int, validEnd int64, led Ledger, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, 0, nil
+		return 0, 0, Ledger{}, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("logstore: open %s: %w", path, err)
+		return 0, 0, Ledger{}, fmt.Errorf("logstore: open %s: %w", path, err)
 	}
 	defer f.Close()
 	dec := json.NewDecoder(f)
@@ -323,18 +394,21 @@ func scanFile(path string) (n int, validEnd int64, err error) {
 		var rec Record
 		derr := dec.Decode(&rec)
 		if derr == io.EOF {
-			return n, validEnd, nil
+			return n, validEnd, led, nil
 		}
 		if derr == nil {
 			derr = rec.Validate()
 		}
+		if derr == nil {
+			derr = led.Observe(rec)
+		}
 		if derr != nil {
 			torn, terr := tailBeyondRepair(f, validEnd)
 			if terr != nil {
-				return 0, 0, terr
+				return 0, 0, Ledger{}, terr
 			}
 			cerr := &CorruptError{Path: path, Offset: validEnd, Records: n, Torn: torn, Err: derr}
-			return 0, 0, drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.open", cerr)
+			return 0, 0, Ledger{}, drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.open", cerr)
 		}
 		n++
 		validEnd = dec.InputOffset()
@@ -380,7 +454,7 @@ func tailBeyondRepair(f *os.File, off int64) (torn bool, err error) {
 // real records. The truncation is fsynced so a repair survives power
 // loss.
 func RepairFile(path string) (removed int64, err error) {
-	_, _, serr := scanFile(path)
+	_, _, _, serr := scanFile(path)
 	if serr == nil {
 		return 0, nil
 	}
@@ -420,19 +494,32 @@ func RepairFile(path string) (removed int64, err error) {
 	return removed, nil
 }
 
-// Append implements Store.
+// Append implements Store. Like Mem, soundness-breaking debits are
+// refused with a KindLedgerUnsound error before anything is written.
 func (s *File) Append(r Record) error {
 	if err := r.Validate(); err != nil {
 		return drmerr.Wrap(drmerr.KindInvalidInput, "logstore.append", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.ledger.Admit(r); err != nil {
+		return err
+	}
 	if err := s.enc.Encode(r); err != nil {
 		return fmt.Errorf("logstore: append: %w", err)
 	}
+	s.ledger.Apply(r)
 	s.n++
 	M.Appends.Inc()
 	return nil
+}
+
+// LedgerSnapshot implements LedgerReader. Buffered records are already
+// reflected: the ledger is maintained at append time.
+func (s *File) LedgerSnapshot() *Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.Clone()
 }
 
 // Len implements Store.
@@ -493,6 +580,7 @@ func ReadFile(path string, fn func(Record) error) error {
 	defer f.Close()
 	dec := json.NewDecoder(f)
 	var validEnd int64
+	var led Ledger
 	n := 0
 	for {
 		var rec Record
@@ -502,6 +590,9 @@ func ReadFile(path string, fn func(Record) error) error {
 		}
 		if derr == nil {
 			derr = rec.Validate()
+		}
+		if derr == nil {
+			derr = led.Observe(rec)
 		}
 		if derr != nil {
 			torn, terr := tailBeyondRepair(f, validEnd)
@@ -519,11 +610,13 @@ func ReadFile(path string, fn func(Record) error) error {
 	}
 }
 
-// Read replays JSONL records from r. Undecodable input and structurally
-// invalid persisted records surface as KindStoreCorrupt errors — a log
-// that fails replay is corrupt state, not a caller mistake.
+// Read replays JSONL records from r. Undecodable input, structurally
+// invalid persisted records, and soundness-breaking sequences surface
+// as KindStoreCorrupt errors — a log that fails replay is corrupt
+// state, not a caller mistake.
 func Read(r io.Reader, fn func(Record) error) error {
 	dec := json.NewDecoder(r)
+	var led Ledger
 	for {
 		var rec Record
 		if err := dec.Decode(&rec); err == io.EOF {
@@ -534,19 +627,28 @@ func Read(r io.Reader, fn func(Record) error) error {
 		if err := rec.Validate(); err != nil {
 			return drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.read", err)
 		}
+		if err := led.Observe(rec); err != nil {
+			return drmerr.Wrap(drmerr.KindStoreCorrupt, "logstore.read", err)
+		}
 		if err := fn(rec); err != nil {
 			return err
 		}
 	}
 }
 
-// WriteAll writes records as JSONL to w — the bulk counterpart of File for
-// workload generators.
+// WriteAll writes records as JSONL to w — the bulk counterpart of File
+// for workload generators. The sequence must be sound (every debit
+// covered by prior credits), since an unsound log would be refused on
+// replay.
 func WriteAll(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	var led Ledger
 	for _, r := range records {
 		if err := r.Validate(); err != nil {
+			return err
+		}
+		if err := led.Observe(r); err != nil {
 			return err
 		}
 		if err := enc.Encode(r); err != nil {

@@ -93,12 +93,37 @@ func (t *Tree) Insert(set bitset.Mask, count int64) error {
 	if count <= 0 {
 		return drmerr.New(drmerr.KindInvalidInput, "vtree.insert", "vtree: non-positive count %d", count)
 	}
+	return t.add(set, count)
+}
+
+// Add folds a signed count delta into the node for the given set — the
+// lifecycle-ledger generalization of Insert. Revocation and expiry
+// records contribute negative deltas; ledger soundness (debits never
+// exceed credits per set, enforced at append time) keeps every net
+// C[S] non-negative when replaying a sound log, so the validation
+// equations C⟨S⟩ ≤ A[S] evaluated over net counts stay the paper's.
+// A zero delta is a no-op.
+func (t *Tree) Add(set bitset.Mask, delta int64) error {
+	if delta == 0 {
+		return nil
+	}
+	if set.Empty() {
+		return drmerr.New(drmerr.KindInvalidInput, "vtree.insert", "vtree: insert with empty set")
+	}
+	if !set.SubsetOf(bitset.FullMask(t.n)) {
+		return drmerr.New(drmerr.KindCorpusMismatch, "vtree.insert",
+			"vtree: set %v outside universe of %d licenses", set, t.n)
+	}
+	return t.add(set, delta)
+}
+
+func (t *Tree) add(set bitset.Mask, delta int64) error {
 	cur := t.root
 	set.ForEach(func(e int) bool {
 		cur = cur.child(e)
 		return true
 	})
-	cur.C += count
+	cur.C += delta
 	return nil
 }
 
@@ -120,9 +145,12 @@ func (n *Node) child(l int) *Node {
 	return nc
 }
 
-// InsertRecord inserts a log record.
+// InsertRecord folds a ledger record's effective count into the tree:
+// issues add, revokes and expiries subtract, transfers leave counts
+// unchanged (they move permissions between consumers, not against the
+// corpus).
 func (t *Tree) InsertRecord(r logstore.Record) error {
-	return t.Insert(r.Set, r.Count)
+	return t.Add(r.Set, r.Effective())
 }
 
 // Build replays an issuance log into a fresh tree over n licenses.
@@ -159,7 +187,7 @@ func BuildRecords(n int, records []logstore.Record) (*Tree, error) {
 		return nil, err
 	}
 	for _, r := range records {
-		if err := t.Insert(r.Set, r.Count); err != nil {
+		if err := t.InsertRecord(r); err != nil {
 			return nil, err
 		}
 	}

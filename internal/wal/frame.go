@@ -8,25 +8,45 @@ import (
 	"repro/internal/logstore"
 )
 
-// Frame layout (little-endian), one per issuance record:
+// Frame layout (little-endian), one per ledger record. Two payload
+// versions coexist, distinguished by the length prefix:
+//
+// v1 (plain issue records, and every frame written before the lifecycle
+// ledger existed):
 //
 //	offset  size  field
-//	0       4     payload length (uint32; recordPayloadSize for v1 frames)
+//	0       4     payload length (uint32; recordPayloadSize)
 //	4       4     CRC32C (Castagnoli) of the payload bytes
 //	8       8     belongs-to set (bitset.Mask as uint64)
-//	16      8     permission count (int64)
+//	16      8     permission count (int64, positive)
 //
-// The length prefix makes the format self-delimiting (future frame kinds
-// can carry longer payloads without a segment-version bump); the CRC
-// detects both bit rot and — unlike JSONL — tails torn at a byte position
-// that still happens to parse. A frame is valid iff its length is known,
-// the payload is fully present, the CRC matches, and the decoded record
-// passes logstore validation.
-
+// v2 (any record carrying a kind or expiry metadata):
+//
+//	offset  size  field
+//	0       4     payload length (uint32; ledgerPayloadSize)
+//	4       4     CRC32C (Castagnoli) of the payload bytes
+//	8       1     kind byte (logstore.Kind)
+//	9       8     belongs-to set (bitset.Mask as uint64)
+//	17      8     signed effective count (int64): positive for issues
+//	              and transfers, negative for revokes and expiries; the
+//	              sign must agree with the kind byte or the frame is
+//	              corrupt
+//	25      8     expiry (int64 unix seconds, 0 = none)
+//
+// Plain issues keep the v1 encoding, so a log that never uses lifecycle
+// records is byte-identical to one written by the pre-lifecycle store —
+// and v1 segments replay as implicit issue records with no migration.
+// The length prefix makes the format self-delimiting; the CRC detects
+// both bit rot and — unlike JSONL — tails torn at a byte position that
+// still happens to parse. A frame is valid iff its length names a known
+// version, the payload is fully present, the CRC matches, the kind and
+// count sign agree, and the decoded record passes logstore validation.
 const (
 	frameHeaderSize   = 8
 	recordPayloadSize = 16
 	recordFrameSize   = frameHeaderSize + recordPayloadSize
+	ledgerPayloadSize = 25
+	ledgerFrameSize   = frameHeaderSize + ledgerPayloadSize
 
 	// maxPayloadSize bounds the length prefix a reader will trust, so a
 	// corrupt length cannot make recovery skip gigabytes.
@@ -37,12 +57,34 @@ const (
 // on amd64/arm64, and the one storage formats conventionally use).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// frameSize returns the encoded size of r's frame.
+func frameSize(r logstore.Record) int64 {
+	if r.Kind == logstore.KindIssue && r.Expiry == 0 {
+		return recordFrameSize
+	}
+	return ledgerFrameSize
+}
+
 // appendFrame appends r's frame to buf and returns the extended slice.
 func appendFrame(buf []byte, r logstore.Record) []byte {
-	var payload [recordPayloadSize]byte
-	binary.LittleEndian.PutUint64(payload[0:8], uint64(r.Set))
-	binary.LittleEndian.PutUint64(payload[8:16], uint64(r.Count))
-	buf = binary.LittleEndian.AppendUint32(buf, recordPayloadSize)
+	if r.Kind == logstore.KindIssue && r.Expiry == 0 {
+		var payload [recordPayloadSize]byte
+		binary.LittleEndian.PutUint64(payload[0:8], uint64(r.Set))
+		binary.LittleEndian.PutUint64(payload[8:16], uint64(r.Count))
+		buf = binary.LittleEndian.AppendUint32(buf, recordPayloadSize)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload[:], castagnoli))
+		return append(buf, payload[:]...)
+	}
+	stored := r.Effective()
+	if r.Kind == logstore.KindTransfer {
+		stored = r.Count
+	}
+	var payload [ledgerPayloadSize]byte
+	payload[0] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(r.Set))
+	binary.LittleEndian.PutUint64(payload[9:17], uint64(stored))
+	binary.LittleEndian.PutUint64(payload[17:25], uint64(r.Expiry))
+	buf = binary.LittleEndian.AppendUint32(buf, ledgerPayloadSize)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload[:], castagnoli))
 	return append(buf, payload[:]...)
 }
@@ -57,7 +99,8 @@ const (
 	// segment this is a torn tail, elsewhere it is corruption.
 	frameShort
 	// frameCorrupt: the bytes are structurally wrong (absurd length, CRC
-	// mismatch, or an invalid decoded record).
+	// mismatch, unknown kind, kind/count sign mismatch, or an invalid
+	// decoded record).
 	frameCorrupt
 )
 
@@ -68,12 +111,10 @@ func parseFrame(b []byte) (rec logstore.Record, n int, status frameStatus) {
 		return rec, 0, frameShort
 	}
 	length := binary.LittleEndian.Uint32(b[0:4])
-	if length != recordPayloadSize {
-		if length > maxPayloadSize {
-			return rec, 0, frameCorrupt
-		}
+	if length != recordPayloadSize && length != ledgerPayloadSize {
 		// An unknown (future) payload size is corruption for this reader
-		// version: we cannot check its record invariants.
+		// version: we cannot check its record invariants. Absurd lengths
+		// (beyond maxPayloadSize) are corruption outright.
 		return rec, 0, frameCorrupt
 	}
 	if len(b) < frameHeaderSize+int(length) {
@@ -83,12 +124,41 @@ func parseFrame(b []byte) (rec logstore.Record, n int, status frameStatus) {
 	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
 		return rec, 0, frameCorrupt
 	}
-	rec = logstore.Record{
-		Set:   bitset.Mask(binary.LittleEndian.Uint64(payload[0:8])),
-		Count: int64(binary.LittleEndian.Uint64(payload[8:16])),
+	switch length {
+	case recordPayloadSize:
+		rec = logstore.Record{
+			Set:   bitset.Mask(binary.LittleEndian.Uint64(payload[0:8])),
+			Count: int64(binary.LittleEndian.Uint64(payload[8:16])),
+		}
+	case ledgerPayloadSize:
+		kind := logstore.Kind(payload[0])
+		if !kind.Valid() {
+			return logstore.Record{}, 0, frameCorrupt
+		}
+		stored := int64(binary.LittleEndian.Uint64(payload[9:17]))
+		count := stored
+		switch kind {
+		case logstore.KindRevoke, logstore.KindExpire:
+			// Debits store their effective (negative) count; a positive
+			// stored count contradicts the kind byte.
+			if stored >= 0 {
+				return logstore.Record{}, 0, frameCorrupt
+			}
+			count = -stored
+		default:
+			if stored <= 0 {
+				return logstore.Record{}, 0, frameCorrupt
+			}
+		}
+		rec = logstore.Record{
+			Kind:  kind,
+			Set:   bitset.Mask(binary.LittleEndian.Uint64(payload[1:9])),
+			Count: count,
+			Meta:  logstore.Meta{Expiry: int64(binary.LittleEndian.Uint64(payload[17:25]))},
+		}
 	}
 	if rec.Validate() != nil {
-		return rec, 0, frameCorrupt
+		return logstore.Record{}, 0, frameCorrupt
 	}
 	return rec, frameHeaderSize + int(length), frameOK
 }

@@ -37,15 +37,27 @@ type snapshotDoc struct {
 	CRC     uint32            `json:"crc"`
 }
 
-// crcOf checksums the semantic content of a snapshot document.
+// snapshotVersion is the version new snapshots are written at. Version
+// 1 (pre-lifecycle, kindless records) remains loadable; its CRC covers
+// only (set, count) per record, version 2 also covers kind and expiry.
+const snapshotVersion = 2
+
+// crcOf checksums the semantic content of a snapshot document, using
+// the rendering of the document's own version.
 func (d *snapshotDoc) crcOf() uint32 {
-	buf := make([]byte, 0, 24+16*len(d.Records))
+	buf := make([]byte, 0, 24+33*len(d.Records))
 	buf = binary.LittleEndian.AppendUint64(buf, d.Seq)
 	buf = binary.LittleEndian.AppendUint64(buf, d.Segment)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.Offset))
 	for _, r := range d.Records {
+		if d.Version >= snapshotVersion {
+			buf = append(buf, byte(r.Kind))
+		}
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Set))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Count))
+		if d.Version >= snapshotVersion {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Expiry))
+		}
 	}
 	return crc32.Checksum(buf, castagnoli)
 }
@@ -67,7 +79,7 @@ func loadSnapshot(dir string) (*snapshotDoc, error) {
 		return nil, drmerr.Wrapf(drmerr.KindStoreCorrupt, "wal.snapshot", err,
 			"wal: %s: undecodable snapshot", path)
 	}
-	if doc.Version != 1 {
+	if doc.Version != 1 && doc.Version != snapshotVersion {
 		return nil, drmerr.New(drmerr.KindStoreCorrupt, "wal.snapshot",
 			"wal: %s: unsupported snapshot version %d", path, doc.Version)
 	}
@@ -143,7 +155,7 @@ func (s *Store) snapshotLocked(ctx context.Context) (SnapshotInfo, error) {
 		both = append(both, s.tail...)
 		merged = logstore.Compact(both)
 	}
-	doc := snapshotDoc{Version: 1, Seq: s.seq, Segment: s.segIdx, Offset: s.size, Records: merged}
+	doc := snapshotDoc{Version: snapshotVersion, Seq: s.seq, Segment: s.segIdx, Offset: s.size, Records: merged}
 	doc.CRC = doc.crcOf()
 	path := filepath.Join(s.dir, snapshotFile)
 	if err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
@@ -155,6 +167,11 @@ func (s *Store) snapshotLocked(ctx context.Context) (SnapshotInfo, error) {
 	}
 	s.snap = merged
 	s.tail = nil
+	// Compaction clamps TTL buckets that revokes partially consumed
+	// (logstore.Compact's earliest-first budget rule); rebuilding the
+	// ledger from the merged records keeps this store's expiry schedule
+	// identical to the one a recovery from the new snapshot would build.
+	s.ledger = *logstore.LedgerOf(merged)
 	s.snapSeq = s.seq
 	s.snapSeg = s.segIdx
 	s.sinceSnap = 0

@@ -194,6 +194,7 @@ type Store struct {
 	snapSeq   uint64            // watermark: records snap aggregates
 	snapSeg   uint64            // watermark segment of the installed snapshot
 	tail      []logstore.Record // records appended after the watermark
+	ledger    logstore.Ledger   // lifecycle state over snap+tail, checked on append
 	sinceSnap int               // appends since the last snapshot
 	lastSnap  time.Time
 
@@ -285,6 +286,19 @@ func (s *Store) recover() error {
 		s.rec.SegmentsScanned++
 	}
 	s.rec.TailRecords = len(s.tail)
+	// Rebuild the lifecycle ledger over the recovered state. The append
+	// path admits every record before writing it, so an unsound sequence
+	// here means the segments were tampered with after the fact.
+	for _, r := range s.snap {
+		if err := s.ledger.Observe(r); err != nil {
+			return drmerr.Wrap(drmerr.KindStoreCorrupt, "wal.open", err)
+		}
+	}
+	for _, r := range s.tail {
+		if err := s.ledger.Observe(r); err != nil {
+			return drmerr.Wrap(drmerr.KindStoreCorrupt, "wal.open", err)
+		}
+	}
 	if s.segIdx == 0 {
 		// Fresh store, or the only segment was a headerless stub (the
 		// watermark segment always replays, so doc == nil here).
@@ -515,6 +529,12 @@ func (s *Store) AppendBatch(recs []logstore.Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Admit the whole batch up front (debits may consume credits from
+	// earlier records in the same batch); an unsound batch is refused
+	// atomically before any frame is written.
+	if err := s.ledger.ObserveAll(recs); err != nil {
+		return err
+	}
 	for len(recs) > 0 {
 		if err := s.stateErrLocked(); err != nil {
 			return err
@@ -547,6 +567,9 @@ func (s *Store) appendLocked(ctx context.Context, r logstore.Record) error {
 	if err := s.stateErrLocked(); err != nil {
 		return err
 	}
+	if err := s.ledger.Admit(r); err != nil {
+		return err
+	}
 	if s.size >= s.opts.SegmentBytes && s.size > segmentHeaderSize {
 		if err := s.rotateLocked(ctx); err != nil {
 			return err
@@ -556,6 +579,7 @@ func (s *Store) appendLocked(ctx context.Context, r logstore.Record) error {
 	if err := s.writeLocked(s.buf); err != nil {
 		return err
 	}
+	s.ledger.Apply(r)
 	s.seq++
 	s.tail = append(s.tail, r)
 	s.sinceSnap++
@@ -722,6 +746,13 @@ func (s *Store) ForEach(fn func(logstore.Record) error) error {
 // the OS (there is no user-space buffer), so Flush has nothing to do;
 // durability against power loss is Sync's job.
 func (s *Store) Flush() error { return nil }
+
+// LedgerSnapshot implements logstore.LedgerReader.
+func (s *Store) LedgerSnapshot() *logstore.Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.Clone()
+}
 
 // Close seals the store: final fsync, stop the group-committer, wait for
 // background compaction, close the active segment.
