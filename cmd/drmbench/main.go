@@ -35,6 +35,13 @@
 //
 //	drmbench -lifecycle -lifecycle-mix 8:1:1 -lifecycle-json lifecycle.json
 //
+// -repl benchmarks WAL log shipping: a follower catching a leader up
+// over real replication handlers in bounded fetch windows (throughput,
+// fetch rounds, lag-convergence time), then a failover — leader gone,
+// follower promoted, first post-promotion write:
+//
+//	drmbench -repl -repl-max 100000 -repl-json BENCH_repl.json
+//
 // -trace audits the N=max synthetic workload under a live tracer and
 // writes the span tree as Chrome Trace Event JSON (open in Perfetto):
 //
@@ -99,6 +106,14 @@ func run(args []string, out io.Writer) error {
 			"issue:revoke:transfer weights for the -lifecycle stream")
 		lifecycleJSON = fs.String("lifecycle-json", "",
 			"also write the -lifecycle rows as a JSON artifact to this path")
+		replMode = fs.Bool("repl", false,
+			"benchmark WAL log shipping: follower catch-up throughput, lag convergence, and promote/failover time")
+		replMax = fs.Int("repl-max", 100_000,
+			"largest leader record count in the -repl sweep (decades from 10k)")
+		replWindow = fs.Int("repl-window", 64<<10,
+			"replication fetch window in bytes per round-trip")
+		replJSON = fs.String("repl-json", "",
+			"also write the -repl rows as a JSON artifact to this path")
 		statsPath = fs.String("stats", "",
 			"audit the N=max synthetic workload and write its AuditStats record (JSON) to this path")
 		timeout = fs.Duration("timeout", 0,
@@ -135,14 +150,14 @@ func run(args []string, out io.Writer) error {
 		ns = append(ns, n)
 	}
 
-	// -recover, -issue, and -lifecycle suppress the default all-figures
-	// sweep (a 10^7-record recovery run should not drag the full N sweep
-	// along); an explicit -fig still combines with them.
+	// -recover, -issue, -lifecycle, and -repl suppress the default
+	// all-figures sweep (a 10^7-record recovery run should not drag the
+	// full N sweep along); an explicit -fig still combines with them.
 	want := func(f int) bool {
 		if *fig != 0 {
 			return *fig == f
 		}
-		return !*recoverMode && !*issueMode && !*lifecycleMode
+		return !*recoverMode && !*issueMode && !*lifecycleMode && !*replMode
 	}
 	ran := false
 
@@ -397,6 +412,40 @@ func run(args []string, out io.Writer) error {
 			}
 			if !csvOut {
 				fmt.Fprintf(out, "lifecycle: wrote %s\n", *lifecycleJSON)
+			}
+		}
+		if !csvOut {
+			fmt.Fprintln(out)
+		}
+	}
+	if *replMode {
+		ran = true
+		if *replMax < 1 {
+			return fmt.Errorf("repl-max must be positive, got %d", *replMax)
+		}
+		if *replWindow < 1 {
+			return fmt.Errorf("repl-window must be positive, got %d", *replWindow)
+		}
+		if !csvOut {
+			fmt.Fprintln(out, "== Replication: WAL log shipping and failover ==")
+		}
+		rows, err := benchRepl(*replMax, *replWindow)
+		if err != nil {
+			return err
+		}
+		write := writeRepl
+		if csvOut {
+			write = writeReplCSV
+		}
+		if err := write(out, rows); err != nil {
+			return err
+		}
+		if *replJSON != "" {
+			if err := writeReplJSON(*replJSON, rows, replMeta{Max: *replMax, Window: *replWindow}); err != nil {
+				return err
+			}
+			if !csvOut {
+				fmt.Fprintf(out, "repl: wrote %s\n", *replJSON)
 			}
 		}
 		if !csvOut {

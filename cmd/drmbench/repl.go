@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/logstore"
+	"repro/internal/wal"
+)
+
+// replRow is one point of the replication benchmark: a leader holding n
+// durable records, a fresh follower tailing it over real HTTP handlers
+// in bounded fetch windows until lag reaches zero, then a failover —
+// the leader disappears and the follower is promoted and takes its
+// first write.
+type replRow struct {
+	// Records is the leader's durable record count when the follower
+	// starts; ShippedBytes is the wire-visible size of the mirrored log
+	// (frames plus segment headers) the follower materialised.
+	Records      int   `json:"records"`
+	ShippedBytes int64 `json:"shipped_bytes"`
+	// FetchRounds is how many bounded /v1/repl/wal round-trips the
+	// catch-up took; ConvergeNS is the wall time from first fetch to
+	// lag zero.
+	FetchRounds int   `json:"fetch_rounds"`
+	ConvergeNS  int64 `json:"converge_ns"`
+	// RecordsPerSec / BytesPerSec are the sustained shipping throughputs
+	// over the catch-up.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	// PromoteNS is the cost of Promote against a dead leader (drain
+	// attempt included); FirstWriteNS is the first post-promotion append;
+	// FailoverNS is their sum — the read-only window a client observes.
+	PromoteNS    int64 `json:"promote_ns"`
+	FirstWriteNS int64 `json:"first_write_ns"`
+	FailoverNS   int64 `json:"failover_ns"`
+}
+
+// replMeta pins the run parameters inside the artifact so two
+// BENCH_repl.json records are comparable.
+type replMeta struct {
+	Max    int `json:"max_records"`
+	Window int `json:"fetch_window_bytes"`
+}
+
+// dirBytes sums the regular files under dir — the bytes the follower
+// had to materialise to mirror the leader.
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// benchReplOne measures shipping and failover at n leader records with
+// window-byte fetch batches.
+func benchReplOne(n, window int) (replRow, error) {
+	dir, err := os.MkdirTemp("", "drmbench-repl-*")
+	if err != nil {
+		return replRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	// Default durability (FsyncAlways): only fsync-covered frames ship,
+	// and the post-promotion first write pays the same fsync a real
+	// leader would.
+	var opts wal.Options
+
+	// The leader: n durable records behind the real replication handlers.
+	lstore, err := wal.Open(filepath.Join(dir, "leader.wal"), opts)
+	if err != nil {
+		return replRow{}, err
+	}
+	defer lstore.Close()
+	if err := lstore.AppendBatch(genRecords(n)); err != nil {
+		return replRow{}, err
+	}
+	mux := http.NewServeMux()
+	cluster.NewLeader(lstore, 0).Mount(mux)
+	srv := httptest.NewServer(mux)
+
+	fdir := filepath.Join(dir, "follower.wal")
+	fstore, err := wal.Open(fdir, opts)
+	if err != nil {
+		srv.Close()
+		return replRow{}, err
+	}
+	var applied int
+	f, err := cluster.NewFollower(cluster.FollowerConfig{
+		Leader:   srv.URL,
+		Store:    fstore,
+		MaxBytes: window,
+		Apply: func(_ context.Context, rs []logstore.Record) {
+			applied += len(rs)
+		},
+	})
+	if err != nil {
+		srv.Close()
+		fstore.Close()
+		return replRow{}, err
+	}
+	defer func() { f.Store().Close() }()
+
+	// Catch-up: bounded fetches until the leader has nothing left.
+	ctx := context.Background()
+	row := replRow{Records: n}
+	start := time.Now()
+	for {
+		got, err := f.FetchOnce(ctx)
+		if err != nil {
+			srv.Close()
+			return replRow{}, err
+		}
+		row.FetchRounds++
+		if got == 0 && f.Lag().Seqs == 0 {
+			break
+		}
+	}
+	converge := time.Since(start)
+	row.ConvergeNS = converge.Nanoseconds()
+	if applied != n {
+		srv.Close()
+		return replRow{}, fmt.Errorf("follower applied %d records, leader holds %d", applied, n)
+	}
+	if row.ShippedBytes, err = dirBytes(fdir); err != nil {
+		srv.Close()
+		return replRow{}, err
+	}
+	if s := converge.Seconds(); s > 0 {
+		row.RecordsPerSec = float64(n) / s
+		row.BytesPerSec = float64(row.ShippedBytes) / s
+	}
+
+	// Failover: the leader is gone; promote and take the first write.
+	srv.Close()
+	start = time.Now()
+	f.Promote(ctx)
+	promote := time.Since(start)
+	row.PromoteNS = promote.Nanoseconds()
+	start = time.Now()
+	if err := f.Store().Append(logstore.Record{Set: genRecords(1)[0].Set, Count: 1}); err != nil {
+		return replRow{}, err
+	}
+	write := time.Since(start)
+	row.FirstWriteNS = write.Nanoseconds()
+	row.FailoverNS = (promote + write).Nanoseconds()
+	return row, nil
+}
+
+// benchRepl sweeps decades from 10^4 up to maxRecords.
+func benchRepl(maxRecords, window int) ([]replRow, error) {
+	var rows []replRow
+	for n := 10_000; n <= maxRecords; n *= 10 {
+		row, err := benchReplOne(n, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 { // maxRecords below the first decade: one point
+		row, err := benchReplOne(maxRecords, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func writeRepl(out io.Writer, rows []replRow) error {
+	tw := tabwriter.NewWriter(out, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "records\tshipped\trounds\tconverge\trec/s\tMiB/s\tpromote\tfirst_write\tfailover\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%.0f\t%.1f\t%v\t%v\t%v\t\n",
+			r.Records, r.ShippedBytes, r.FetchRounds,
+			time.Duration(r.ConvergeNS).Round(10*time.Microsecond),
+			r.RecordsPerSec, r.BytesPerSec/(1<<20),
+			time.Duration(r.PromoteNS).Round(time.Microsecond),
+			time.Duration(r.FirstWriteNS).Round(time.Microsecond),
+			time.Duration(r.FailoverNS).Round(time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+func writeReplCSV(out io.Writer, rows []replRow) error {
+	if _, err := fmt.Fprintln(out, "records,shipped_bytes,fetch_rounds,converge_ns,records_per_sec,bytes_per_sec,promote_ns,first_write_ns,failover_ns"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(out, "%d,%d,%d,%d,%.2f,%.2f,%d,%d,%d\n",
+			r.Records, r.ShippedBytes, r.FetchRounds, r.ConvergeNS,
+			r.RecordsPerSec, r.BytesPerSec, r.PromoteNS, r.FirstWriteNS, r.FailoverNS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeReplJSON writes the rows as a stable JSON artifact (the
+// BENCH_repl.json record CI uploads): a schema tag, the run parameters,
+// and the rows.
+func writeReplJSON(path string, rows []replRow, meta replMeta) error {
+	doc := struct {
+		Bench  string    `json:"bench"`
+		Schema string    `json:"schema"`
+		Meta   replMeta  `json:"meta"`
+		Rows   []replRow `json:"rows"`
+	}{Bench: "repl_failover", Schema: "drmbench/repl/v1", Meta: meta, Rows: rows}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunReplMode(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_repl.json")
+	var out bytes.Buffer
+	// A sub-decade max keeps the test to one point; a small window
+	// forces a real multi-round catch-up.
+	args := []string{"-repl", "-repl-max", "2000", "-repl-window", "4096",
+		"-repl-json", jsonPath}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Replication") || !strings.Contains(s, "repl: wrote") {
+		t.Errorf("output = %q", s)
+	}
+	if strings.Contains(s, "Fig 6") {
+		t.Error("-repl also ran the figure sweep")
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench  string `json:"bench"`
+		Schema string `json:"schema"`
+		Meta   struct {
+			Max    int `json:"max_records"`
+			Window int `json:"fetch_window_bytes"`
+		} `json:"meta"`
+		Rows []replRow `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "repl_failover" || doc.Schema != "drmbench/repl/v1" {
+		t.Errorf("artifact tags = %q %q", doc.Bench, doc.Schema)
+	}
+	if doc.Meta.Max != 2000 || doc.Meta.Window != 4096 {
+		t.Errorf("meta = %+v", doc.Meta)
+	}
+	if len(doc.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (max below the first decade)", len(doc.Rows))
+	}
+	r := doc.Rows[0]
+	if r.Records != 2000 {
+		t.Errorf("records = %d, want 2000", r.Records)
+	}
+	// 2000 v1 frames at 24 bytes cannot fit one 4 KiB window.
+	if r.FetchRounds < 2 {
+		t.Errorf("fetch rounds = %d, want a multi-round catch-up", r.FetchRounds)
+	}
+	if r.ShippedBytes < int64(r.Records)*24 {
+		t.Errorf("shipped bytes = %d, below the frame floor %d", r.ShippedBytes, r.Records*24)
+	}
+	if r.ConvergeNS <= 0 || r.RecordsPerSec <= 0 || r.BytesPerSec <= 0 {
+		t.Errorf("implausible throughput row: %+v", r)
+	}
+	if r.PromoteNS <= 0 || r.FirstWriteNS <= 0 || r.FailoverNS < r.PromoteNS {
+		t.Errorf("implausible failover row: %+v", r)
+	}
+}
+
+func TestRunReplErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-repl", "-repl-max", "0"}, &out); err == nil {
+		t.Error("repl-max 0 did not error")
+	}
+	if err := run([]string{"-repl", "-repl-window", "0"}, &out); err == nil {
+		t.Error("repl-window 0 did not error")
+	}
+}

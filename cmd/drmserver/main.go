@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/drmerr"
 	"repro/internal/engine"
@@ -116,6 +117,19 @@ func run() error {
 			"background expiry sweep interval debiting due TTL issuances (0 disables; POST /v1/expire sweeps on demand)")
 		transferCap = flag.Int64("transfer-cap", 0,
 			"cumulative per-set transfer cap enforced in online mode (0 = unlimited)")
+		role  = flag.String("role", "standalone", "cluster role: standalone, leader, follower, or router")
+		peers = flag.String("peers", "",
+			"comma-separated peer base URLs the router shards over (role router)")
+		leaderURL = flag.String("leader", "",
+			"leader base URL to replicate from (role follower)")
+		maxLag = flag.String("max-lag", "0",
+			"replication lag bound before a follower reports unready: a record count or a duration like 5s (0 disables)")
+		fetchInterval = flag.Duration("fetch-interval", time.Second,
+			"follower WAL fetch interval")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second,
+			"router peer role-probe interval")
+		redirect = flag.Bool("redirect", false,
+			"router answers 307 redirects to the owning shard instead of proxying")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -125,6 +139,31 @@ func run() error {
 		return fmt.Errorf("max-body = %d, want >= 1", *maxBody)
 	}
 	maxIssueBody = *maxBody
+	switch *role {
+	case "standalone", cluster.RoleLeader, cluster.RoleFollower, cluster.RoleRouter:
+	default:
+		return fmt.Errorf("unknown role %q (want standalone, leader, follower, or router)", *role)
+	}
+	maxLagSeqs, maxLagAge, err := cluster.ParseMaxLag(*maxLag)
+	if err != nil {
+		return err
+	}
+	clf := clusterFlags{
+		role:          *role,
+		peers:         *peers,
+		leader:        *leaderURL,
+		maxLagSeqs:    maxLagSeqs,
+		maxLagAge:     maxLagAge,
+		fetchInterval: *fetchInterval,
+		probeInterval: *probeInterval,
+		redirect:      *redirect,
+	}
+	if clf.role == cluster.RoleFollower && clf.leader == "" {
+		return fmt.Errorf("role follower needs -leader")
+	}
+	if clf.role == cluster.RoleRouter && clf.peers == "" {
+		return fmt.Errorf("role router needs -peers")
+	}
 	if *sloAvailability < 0 || *sloAvailability >= 100 {
 		return fmt.Errorf("slo-availability = %g%%, want 0 <= target < 100", *sloAvailability)
 	}
@@ -191,6 +230,12 @@ func run() error {
 		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
+	if clf.role == cluster.RoleRouter {
+		// The router carries no corpus and no log: just the ring, the
+		// prober, and the shared observability surface.
+		return runRouter(*addr, clf)
+	}
+
 	var m engine.Mode
 	switch *mode {
 	case "online":
@@ -217,6 +262,9 @@ func run() error {
 	}
 
 	if *catalogPath != "" {
+		if clf.role != "standalone" {
+			return fmt.Errorf("role %s needs single-corpus mode; shard catalogs with a router over single-corpus peers", clf.role)
+		}
 		cat, err := catalog.OpenWith(*catalogPath, catalog.Config{Mode: m, Backend: backend, WAL: walOpts})
 		if err != nil {
 			return err
@@ -273,14 +321,19 @@ func run() error {
 		return err
 	}
 	defer store.Close()
+	// snapTarget names the store the drain-time checkpoint snapshots; a
+	// follower re-bootstrap swaps in a fresh store, so the deferred
+	// closure reads it late.
+	var snapTarget func() *wal.Store
 	if ws, ok := store.(*wal.Store); ok {
 		st := ws.RecoveryStats()
 		logger.Info("wal recovered", "snapshot_records", st.SnapshotRecords,
 			"tail_records", st.TailRecords, "segments", st.SegmentsScanned,
 			"truncated_bytes", st.TruncatedBytes, "duration", st.Duration.String())
+		snapTarget = func() *wal.Store { return ws }
 		// Drain-time checkpoint; runs before the deferred Close above.
 		defer func() {
-			info, err := ws.Snapshot()
+			info, err := snapTarget().Snapshot()
 			if err != nil {
 				logger.Error("final snapshot failed", "err", err)
 				return
@@ -293,13 +346,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	srv.walOpts = walOpts
 	srv.api.dist.SetTransferCap(*transferCap)
+	if snapTarget != nil {
+		snapTarget = func() *wal.Store { return srv.currentAPI().wal }
+	}
+	if clf.role == cluster.RoleLeader {
+		srv.role = cluster.RoleLeader
+		if srv.currentAPI().wal == nil {
+			return fmt.Errorf("role leader needs a WAL-backed log (run with -log-backend wal)")
+		}
+	}
+	if clf.role == cluster.RoleFollower {
+		stopFollower, err := srv.startFollower(clf)
+		if err != nil {
+			return err
+		}
+		defer stopFollower()
+		logger.Info("replicating", "leader", clf.leader,
+			"fetch_interval", clf.fetchInterval.String(),
+			"max_lag_seqs", clf.maxLagSeqs, "max_lag_age", clf.maxLagAge.String())
+	}
 	if *expireEvery > 0 {
 		defer startSweeper(*expireEvery, srv.sweepExpired)()
 		logger.Info("expiry sweeper running", "interval", expireEvery.String())
 	}
 	logger.Info("drmserver listening", "licenses", corpus.Len(),
-		"mode", m.String(), "addr", *addr, "log_backend", string(backend))
+		"mode", m.String(), "addr", *addr, "log_backend", string(backend), "role", clf.role)
 	return serve(*addr, srv.routes(), srv.obs)
 }
 
@@ -427,12 +500,26 @@ type corpusAPI struct {
 }
 
 // server is the single-corpus mode: one corpusAPI at fixed routes.
+// swapMu guards the api/repl fields themselves: handlers resolve the
+// current corpusAPI per request (see currentAPI), so a follower
+// re-bootstrap can swap in a fresh store and distributor atomically.
 type server struct {
-	api corpusAPI
-	obs *serverObs
+	swapMu  sync.RWMutex
+	api     corpusAPI
+	repl    *cluster.Leader
+	obs     *serverObs
+	role    string
+	mode    engine.Mode
+	walOpts wal.Options
+	// follower is non-nil when this server replicates from a leader; it
+	// is set once at startup and never swapped.
+	follower *cluster.Follower
 }
 
-func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode, workers int) (*server, error) {
+// buildDistributor assembles the engine state over a (possibly
+// recovered) log: corpus registration, then — in online mode — the
+// admission-cache warm-up so the first issuance pays no replay.
+func buildDistributor(corpus *license.Corpus, store logstore.Durable, mode engine.Mode) (*engine.Distributor, error) {
 	d := engine.NewDistributor("drmserver", corpus.Schema(), mode, store)
 	for _, l := range corpus.Licenses() {
 		cp := *l
@@ -441,12 +528,17 @@ func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode,
 		}
 	}
 	if mode == engine.ModeOnline {
-		// Recovery warm-up: build the admission cache from the recovered
-		// log (snapshot + tail for a WAL) before serving, so the first
-		// issuance pays no replay.
 		if err := d.WarmHeadroom(context.Background()); err != nil {
 			return nil, err
 		}
+	}
+	return d, nil
+}
+
+func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode, workers int) (*server, error) {
+	d, err := buildDistributor(corpus, store, mode)
+	if err != nil {
+		return nil, err
 	}
 	o := newServerObs(func() error {
 		if corpus.Len() == 0 {
@@ -455,23 +547,43 @@ func newServer(corpus *license.Corpus, store logstore.Durable, mode engine.Mode,
 		return nil
 	})
 	ws, _ := store.(*wal.Store)
+	srv := &server{
+		api:  corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers, wal: ws},
+		obs:  o,
+		role: cluster.RoleStandalone,
+		mode: mode,
+	}
+	if ws != nil {
+		srv.repl = cluster.NewLeader(ws, 0)
+	}
 	o.info = func() serviceStatus {
+		api := srv.currentAPI()
+		logLen := store.Len()
+		if api.wal != nil {
+			// Read the log length through the swap-aware handle: a
+			// follower re-bootstrap replaces the WAL store.
+			logLen = api.wal.Len()
+		}
 		return serviceStatus{
 			Name:       "drmserver",
 			Mode:       mode.String(),
 			Entries:    1,
 			Licenses:   corpus.Len(),
-			Groups:     d.NumGroups(),
-			LogRecords: store.Len(),
+			Groups:     api.dist.NumGroups(),
+			LogRecords: logLen,
 		}
 	}
 	if ws != nil {
-		o.walBacklog = ws.Backlog
+		o.walBacklog = func() int64 {
+			if w := srv.currentAPI().wal; w != nil {
+				return w.Backlog()
+			}
+			return 0
+		}
 	}
-	return &server{
-		api: corpusAPI{mu: &sync.RWMutex{}, corpus: corpus, dist: d, workers: workers, wal: ws},
-		obs: o,
-	}, nil
+	o.roleInfo = srv.roleInfo
+	o.repl = srv.replicationStatus
+	return srv, nil
 }
 
 func (s *server) routes() http.Handler {
@@ -479,18 +591,26 @@ func (s *server) routes() http.Handler {
 	s.obs.mountCommon(mux)
 	// Single-corpus mode has one catalog entry; track it under "corpus"
 	// so /v1/slo and /v1/status expose the same entry-scoped windows the
-	// catalog mode does.
+	// catalog mode does. Handlers resolve the current corpusAPI per
+	// request through s.entry, so a follower re-bootstrap's store swap
+	// is visible without remounting.
 	entry := s.obs.slo.Entry("corpus")
-	s.obs.wrap(mux, "GET /v1/corpus", s.api.handleCorpus)
-	s.obs.wrap(mux, "GET /v1/groups", s.api.handleGroups)
-	s.obs.wrap(mux, "POST /v1/issue", entryObserved(entry, s.api.handleIssue))
-	s.obs.wrap(mux, "POST /v1/revoke", entryObserved(entry, s.api.handleRevoke))
-	s.obs.wrap(mux, "POST /v1/transfer", entryObserved(entry, s.api.handleTransfer))
-	s.obs.wrap(mux, "POST /v1/expire", entryObserved(entry, s.api.handleExpire))
-	s.obs.wrap(mux, "GET /v1/audit", entryObserved(entry, s.api.handleAudit))
-	s.obs.wrap(mux, "GET /v1/stats", s.api.handleStats)
-	s.obs.wrap(mux, "GET /v1/headroom", s.obs.drainGuard(s.api.handleHeadroom))
-	s.obs.wrap(mux, "POST /v1/snapshot", s.api.handleSnapshot)
+	s.obs.wrap(mux, "GET /v1/corpus", s.entry(corpusAPI.handleCorpus))
+	s.obs.wrap(mux, "GET /v1/groups", s.entry(corpusAPI.handleGroups))
+	s.obs.wrap(mux, "POST /v1/issue", entryObserved(entry, s.entry(corpusAPI.handleIssue)))
+	s.obs.wrap(mux, "POST /v1/revoke", entryObserved(entry, s.entry(corpusAPI.handleRevoke)))
+	s.obs.wrap(mux, "POST /v1/transfer", entryObserved(entry, s.entry(corpusAPI.handleTransfer)))
+	s.obs.wrap(mux, "POST /v1/expire", entryObserved(entry, s.entry(corpusAPI.handleExpire)))
+	s.obs.wrap(mux, "GET /v1/audit", entryObserved(entry, s.entry(corpusAPI.handleAudit)))
+	s.obs.wrap(mux, "GET /v1/stats", s.entry(corpusAPI.handleStats))
+	s.obs.wrap(mux, "GET /v1/headroom", s.obs.drainGuard(s.entry(corpusAPI.handleHeadroom)))
+	s.obs.wrap(mux, "POST /v1/snapshot", s.entry(corpusAPI.handleSnapshot))
+	// Replication: the serving side any WAL-backed server exposes, plus
+	// the follower's promotion trigger. Untracked like the health probes
+	// — a follower's poll loop must not burn the SLO budget.
+	s.obs.wrapUntracked(mux, "GET /v1/repl/wal", s.handleReplWAL)
+	s.obs.wrapUntracked(mux, "GET /v1/repl/snapshot", s.handleReplSnapshot)
+	s.obs.wrap(mux, "POST /v1/promote", s.handlePromote)
 	return mux
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/drmerr"
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -65,6 +66,12 @@ type serverObs struct {
 	// walBacklog sums the fsync backlog over the mode's WAL-backed logs
 	// (nil when none).
 	walBacklog func() int64
+	// roleInfo answers the cluster role probe (GET /v1/repl/role); nil
+	// defaults to a ready standalone, which is also what pre-cluster
+	// peers effectively report (routers treat a 404 probe the same way).
+	roleInfo func() cluster.RoleInfo
+	// repl supplies the replication block of /v1/status (nil omits it).
+	repl func() *replicationStatus
 }
 
 func newServerObs(ready func() error) *serverObs {
@@ -255,6 +262,21 @@ func (o *serverObs) mountCommon(mux *http.ServeMux) {
 	o.wrap(mux, "GET /v1/slo", o.drainGuard(o.handleSLO))
 	o.wrapUntracked(mux, "GET /v1/healthz", o.handleHealthz)
 	o.wrapUntracked(mux, "GET /v1/readyz", o.handleReadyz)
+	o.wrapUntracked(mux, "GET /v1/repl/role", o.handleRole)
+}
+
+// handleRole is the cluster role probe routers and operators poll: the
+// instance's role, readiness, durable sequence, and — for followers —
+// replication lag and leader.
+func (o *serverObs) handleRole(w http.ResponseWriter, r *http.Request) {
+	if o.roleInfo != nil {
+		writeJSON(w, http.StatusOK, o.roleInfo())
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.RoleInfo{
+		Role:  cluster.RoleStandalone,
+		Ready: o.ready() == nil && !o.draining.Load(),
+	})
 }
 
 // metricsHandler refreshes the drm_slo_* gauges before every scrape so
@@ -286,9 +308,17 @@ func (o *serverObs) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: 200 once the corpus/catalog is loaded.
+// handleReadyz is readiness: 200 once the corpus/catalog is loaded —
+// and, on a follower, once replication lag is inside -max-lag. Errors
+// in the drmerr taxonomy (a lagging replica's KindReplicaLag, say)
+// answer with the typed {error, kind} body so orchestrators can
+// distinguish "still catching up" from "corpus missing".
 func (o *serverObs) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if err := o.ready(); err != nil {
+		if drmerr.KindOf(err) != drmerr.KindUnknown {
+			writeJSON(w, http.StatusServiceUnavailable, body(r.Context(), err))
+			return
+		}
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]string{"status": "unready", "reason": err.Error()})
 		return

@@ -56,7 +56,11 @@ type exemplarRef struct {
 // telemetry, trace-ring state, and the exemplar links into
 // /debug/traces.
 type statusResponse struct {
-	Service      serviceStatus       `json:"service"`
+	Service serviceStatus `json:"service"`
+	// Replication is the cluster-role block: role, readiness, durable
+	// sequence, and — on followers — lag against the leader. Omitted by
+	// servers constructed before the role wiring runs (tests).
+	Replication  *replicationStatus  `json:"replication,omitempty"`
 	SLO          slo.Status          `json:"slo"`
 	HeavyHitters slo.HittersSnapshot `json:"heavy_hitters"`
 	Runtime      obs.RuntimeSample   `json:"runtime"`
@@ -147,6 +151,9 @@ func (o *serverObs) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Traces:       o.traceStatus(),
 		Exemplars:    o.exemplarRefs(),
 	}
+	if o.repl != nil {
+		resp.Replication = o.repl()
+	}
 	if r.URL.Query().Get("format") == "text" ||
 		strings.HasPrefix(r.Header.Get("Accept"), "text/plain") {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -173,6 +180,16 @@ func renderStatusText(s statusResponse) string {
 		s.Service.Draining)
 	fmt.Fprintf(&b, "entries %d, licenses %d, groups %d, log records %d\n",
 		s.Service.Entries, s.Service.Licenses, s.Service.Groups, s.Service.LogRecords)
+	if r := s.Replication; r != nil {
+		fmt.Fprintf(&b, "replication: role %s, ready %v, seq %d", r.Role, r.Ready, r.Seq)
+		if r.Role == "follower" {
+			fmt.Fprintf(&b, ", leader %s, lag %d seqs (%.2fs)", r.Leader, r.LagSeqs, r.LagSeconds)
+		}
+		if r.Promoted {
+			b.WriteString(", promoted")
+		}
+		b.WriteByte('\n')
+	}
 
 	b.WriteString("\nSLO objectives\n")
 	if len(s.SLO.Objectives) == 0 {

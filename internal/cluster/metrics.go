@@ -1,0 +1,82 @@
+package cluster
+
+import "repro/internal/obs"
+
+// M holds the package's metric hooks, nil until Instrument is called;
+// obs metric methods are no-ops on nil receivers, so uninstrumented
+// clusters record nothing.
+var M Metrics
+
+// Metrics are the replication and routing signals.
+type Metrics struct {
+	// Leader side: frames (records) and raw bytes shipped to followers,
+	// bootstrap documents served, and per-fetch serve latency — the
+	// histogram retains exemplars linking buckets to repl.ship spans.
+	ShippedFrames    *obs.Counter
+	ShippedBytes     *obs.Counter
+	BootstrapsServed *obs.Counter
+	ShipSeconds      *obs.Histogram
+	// Follower side: fetch round-trips and failures, round-trip latency,
+	// records applied, re-bootstraps after compaction outran the cursor,
+	// and the current lag gauges.
+	Fetches        *obs.Counter
+	FetchErrors    *obs.Counter
+	FetchSeconds   *obs.Histogram
+	AppliedRecords *obs.Counter
+	Rebootstraps   *obs.Counter
+	LagSeqs        *obs.Gauge
+	LagSeconds     *obs.FloatGauge
+	// Promotions counts follower→leader flips.
+	Promotions *obs.Counter
+	// Router side: proxied and redirected requests, proxy transport
+	// errors, requests with no eligible peer, and probe outcomes.
+	RouterForwards  *obs.Counter
+	RouterRedirects *obs.Counter
+	RouterErrors    *obs.Counter
+	RouterNoPeer    *obs.Counter
+	Probes          *obs.Counter
+	ProbeFailures   *obs.Counter
+}
+
+// Instrument registers the cluster metric families on reg and points
+// the hooks at them.
+func Instrument(reg *obs.Registry) {
+	M = Metrics{
+		ShippedFrames: reg.Counter("drm_repl_shipped_frames_total",
+			"WAL records shipped to followers."),
+		ShippedBytes: reg.Counter("drm_repl_shipped_bytes_total",
+			"Raw WAL segment bytes shipped to followers."),
+		BootstrapsServed: reg.Counter("drm_repl_bootstraps_served_total",
+			"Bootstrap documents (snapshot + watermark prefix) served."),
+		ShipSeconds: reg.Histogram("drm_repl_ship_seconds",
+			"Leader-side wall time of one WAL fetch (exemplars link to repl.ship spans).", nil),
+		Fetches: reg.Counter("drm_repl_fetch_total",
+			"Follower fetch round-trips."),
+		FetchErrors: reg.Counter("drm_repl_fetch_errors_total",
+			"Follower fetch round-trips that failed."),
+		FetchSeconds: reg.Histogram("drm_repl_fetch_seconds",
+			"Follower-side wall time of one fetch round-trip.", nil),
+		AppliedRecords: reg.Counter("drm_repl_applied_records_total",
+			"Shipped records ingested and applied by this follower."),
+		Rebootstraps: reg.Counter("drm_repl_rebootstrap_total",
+			"Follower re-bootstraps after leader compaction outran the cursor."),
+		LagSeqs: reg.Gauge("drm_repl_lag_seqs",
+			"Replication lag in sequence numbers (leader durable - local durable)."),
+		LagSeconds: reg.FloatGauge("drm_repl_lag_seconds",
+			"Seconds since the follower's last successful fetch."),
+		Promotions: reg.Counter("drm_repl_promotions_total",
+			"Follower-to-leader promotions."),
+		RouterForwards: reg.Counter("drm_router_forward_total",
+			"Requests proxied to their owning shard."),
+		RouterRedirects: reg.Counter("drm_router_redirect_total",
+			"Requests answered with a 307 to their owning shard."),
+		RouterErrors: reg.Counter("drm_router_proxy_errors_total",
+			"Proxy round-trips that failed after routing."),
+		RouterNoPeer: reg.Counter("drm_router_no_peer_total",
+			"Requests refused because no eligible peer was routable."),
+		Probes: reg.Counter("drm_router_probe_total",
+			"Peer health probes issued."),
+		ProbeFailures: reg.Counter("drm_router_probe_failures_total",
+			"Peer health probes that failed."),
+	}
+}

@@ -1,0 +1,118 @@
+// Replication wire protocol: the leader exposes three read-only HTTP
+// endpoints a follower polls —
+//
+//	GET /v1/repl/wal?segment=S&offset=O&seq=Q[&max_bytes=N]
+//	    → ShipResponse: the next window of durable WAL frames past the
+//	      (segment, offset, seq) watermark, raw segment bytes base64'd
+//	      by encoding/json, plus the leader's durable seq for lag math.
+//	      410 Gone when the cursor fell below the snapshot watermark
+//	      (segments compacted away): re-bootstrap.
+//	GET /v1/repl/snapshot
+//	    → wal.BootstrapDoc: snapshot JSON + watermark segment prefix,
+//	      everything a fresh follower needs to start tailing.
+//	GET /v1/repl/role
+//	    → RoleInfo: which role this peer plays and, for followers, how
+//	      far behind it is. Routers probe this; a 404 means a peer
+//	      predating the cluster subsystem, treated as a ready leader.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/drmerr"
+	"repro/internal/wal"
+)
+
+// Role names for RoleInfo.Role.
+const (
+	RoleLeader     = "leader"
+	RoleFollower   = "follower"
+	RoleRouter     = "router"
+	RoleStandalone = "standalone"
+)
+
+// ShipResponse is one WAL fetch round-trip: the frame window and the
+// leader's durable sequence number at serve time (the follower's lag
+// reference).
+type ShipResponse struct {
+	Batch     wal.Batch `json:"batch"`
+	LeaderSeq uint64    `json:"leader_seq"`
+}
+
+// RoleInfo is the role-probe body every cluster peer serves at
+// /v1/repl/role.
+type RoleInfo struct {
+	// Role is one of the Role* constants.
+	Role string `json:"role"`
+	// Ready mirrors /v1/readyz: followers beyond their lag bound and
+	// draining peers report false.
+	Ready bool `json:"ready"`
+	// Seq is the peer's durable WAL sequence number (0 without a WAL).
+	Seq uint64 `json:"seq"`
+	// LagSeqs / LagSeconds quantify a follower's distance behind its
+	// leader: sequence numbers not yet applied, and wall time since the
+	// last successful fetch.
+	LagSeqs    int64   `json:"lag_seqs,omitempty"`
+	LagSeconds float64 `json:"lag_seconds,omitempty"`
+	// Leader is the follower's leader URL (empty on other roles).
+	Leader string `json:"leader,omitempty"`
+}
+
+// errBody matches the server's structured error shape: a message plus
+// the drmerr taxonomy kind when the error carries one.
+type errBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps err to its HTTP status — 410 Gone for wal.ErrCompacted
+// (the re-bootstrap signal), the drmerr taxonomy mapping otherwise —
+// with a structured body.
+func writeErr(w http.ResponseWriter, err error) {
+	status := drmerr.HTTPStatus(err)
+	if errors.Is(err, wal.ErrCompacted) {
+		status = http.StatusGone
+	}
+	b := errBody{Error: err.Error()}
+	if k := drmerr.KindOf(err); k != drmerr.KindUnknown {
+		b.Kind = k.String()
+	}
+	writeJSON(w, status, b)
+}
+
+// decodeBody decodes a JSON response body into v and closes it.
+func decodeBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// parseCursor decodes the watermark query parameters of a WAL fetch.
+func parseCursor(r *http.Request) (wal.Cursor, error) {
+	q := r.URL.Query()
+	seg, err := strconv.ParseUint(q.Get("segment"), 10, 64)
+	if err != nil {
+		return wal.Cursor{}, drmerr.New(drmerr.KindInvalidInput, "cluster.ship",
+			"cluster: bad segment %q", q.Get("segment"))
+	}
+	off, err := strconv.ParseInt(q.Get("offset"), 10, 64)
+	if err != nil {
+		return wal.Cursor{}, drmerr.New(drmerr.KindInvalidInput, "cluster.ship",
+			"cluster: bad offset %q", q.Get("offset"))
+	}
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		return wal.Cursor{}, drmerr.New(drmerr.KindInvalidInput, "cluster.ship",
+			"cluster: bad seq %q", q.Get("seq"))
+	}
+	return wal.Cursor{Segment: seg, Offset: off, Seq: seq}, nil
+}

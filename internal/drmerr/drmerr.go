@@ -72,6 +72,13 @@ const (
 	// outstanding credits. Like KindViolation it is a well-formed request
 	// the current ledger state refuses, so it maps to 409.
 	KindLedgerUnsound
+	// KindReadOnly marks mutations refused because this instance is a
+	// replication follower: writes must go to the leader. Maps to 403.
+	KindReadOnly
+	// KindReplicaLag marks a follower whose replication lag exceeds its
+	// configured bound; load balancers should stop routing reads to it
+	// until it catches up. Maps to 503.
+	KindReplicaLag
 )
 
 // String returns the kind's wire name (the "kind" field of HTTP error
@@ -102,6 +109,10 @@ func (k Kind) String() string {
 		return "unavailable"
 	case KindLedgerUnsound:
 		return "ledger_unsound"
+	case KindReadOnly:
+		return "read_only"
+	case KindReplicaLag:
+		return "replica_lag"
 	default:
 		return "unknown"
 	}
@@ -145,6 +156,8 @@ var (
 	ErrHeadroomDiverge = Sentinel(KindHeadroomDivergence, "drm: headroom cache diverges from log")
 	ErrUnavailable     = Sentinel(KindUnavailable, "drm: service unavailable")
 	ErrLedgerUnsound   = Sentinel(KindLedgerUnsound, "drm: lifecycle ledger unsound")
+	ErrReadOnly        = Sentinel(KindReadOnly, "drm: instance is a read-only replica")
+	ErrReplicaLag      = Sentinel(KindReplicaLag, "drm: replica lag exceeds bound")
 )
 
 // Error is a classified pipeline error: the Kind for dispatch, the
@@ -262,8 +275,10 @@ func IsCancellation(err error) bool {
 //	invalid input     → 400 Bad Request
 //	not found         → 404 Not Found
 //	cancelled         → 499 (client closed request)
+//	read only         → 403 Forbidden (writes belong on the leader)
 //	store corrupt     → 503 Service Unavailable
 //	unavailable       → 503 Service Unavailable (drain window)
+//	replica lag       → 503 Service Unavailable (follower behind bound)
 //	incomplete        → 504 Gateway Timeout
 //	headroom diverged → 500 Internal Server Error (integrity failure)
 //	anything else     → 500 Internal Server Error
@@ -279,7 +294,9 @@ func HTTPStatus(err error) int {
 		return http.StatusNotFound
 	case KindCancelled:
 		return StatusClientClosedRequest
-	case KindStoreCorrupt, KindUnavailable:
+	case KindReadOnly:
+		return http.StatusForbidden
+	case KindStoreCorrupt, KindUnavailable, KindReplicaLag:
 		return http.StatusServiceUnavailable
 	case KindIncomplete:
 		return http.StatusGatewayTimeout

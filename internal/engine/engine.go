@@ -147,6 +147,10 @@ type Distributor struct {
 	// online path, against totals that survive log compaction.
 	transferCap atomic.Int64
 
+	// readOnly gates every mutation while the distributor serves a
+	// replication mirror; see replica.go.
+	readOnly atomic.Bool
+
 	issued            atomic.Int64
 	issuedCounts      atomic.Int64
 	rejectedInstance  atomic.Int64
@@ -359,6 +363,9 @@ func (d *Distributor) recordHitter(set bitset.Mask, start time.Time, rejected bo
 func (d *Distributor) issueContext(ctx context.Context, kind license.Kind, rect geometry.Rect, count, expiry int64, start time.Time) (*license.License, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, drmerr.Wrap(drmerr.KindCancelled, "engine.issue", err)
+	}
+	if err := d.readOnlyErr("engine.issue"); err != nil {
+		return nil, err
 	}
 	if d.corpus.Len() == 0 {
 		return nil, fmt.Errorf("%w: distributor %s holds no redistribution licenses", ErrInstanceInvalid, d.name)

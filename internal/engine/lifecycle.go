@@ -83,6 +83,9 @@ func (d *Distributor) debitContext(ctx context.Context, kind logstore.Kind, rect
 	if err := ctx.Err(); err != nil {
 		return 0, drmerr.Wrap(drmerr.KindCancelled, "engine.lifecycle", err)
 	}
+	if err := d.readOnlyErr("engine.lifecycle"); err != nil {
+		return 0, err
+	}
 	if d.corpus.Len() == 0 {
 		return 0, drmerr.New(drmerr.KindInstanceInvalid, "engine.lifecycle",
 			"engine: distributor %s holds no redistribution licenses", d.name)
@@ -181,6 +184,9 @@ func (d *Distributor) transferContext(ctx context.Context, rect geometry.Rect, c
 	if err := ctx.Err(); err != nil {
 		return 0, drmerr.Wrap(drmerr.KindCancelled, "engine.transfer", err)
 	}
+	if err := d.readOnlyErr("engine.transfer"); err != nil {
+		return 0, err
+	}
 	if d.corpus.Len() == 0 {
 		return 0, drmerr.New(drmerr.KindInstanceInvalid, "engine.transfer",
 			"engine: distributor %s holds no redistribution licenses", d.name)
@@ -272,6 +278,9 @@ func (d *Distributor) expireSweep(ctx context.Context, now time.Time) (SweepResu
 	defer d.sweepMu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return SweepResult{}, drmerr.Wrap(drmerr.KindCancelled, "engine.expire", err)
+	}
+	if err := d.readOnlyErr("engine.expire"); err != nil {
+		return SweepResult{}, err
 	}
 	lr, ok := d.log.(logstore.LedgerReader)
 	if !ok {

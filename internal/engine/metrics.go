@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/headroom"
 	"repro/internal/logstore"
@@ -86,9 +87,9 @@ func Instrument(reg *obs.Registry) {
 }
 
 // InstrumentAll wires every instrumentable package below the engine —
-// vtree, core, logstore, wal, headroom, and the engine itself — to one
-// registry. Callers (drmserver, drmaudit, drmbench) do this once at
-// startup, before any concurrent use.
+// vtree, core, logstore, wal, headroom, cluster, and the engine itself
+// — to one registry. Callers (drmserver, drmaudit, drmbench) do this
+// once at startup, before any concurrent use.
 func InstrumentAll(reg *obs.Registry) {
 	vtree.Instrument(reg)
 	core.Instrument(reg)
@@ -96,5 +97,6 @@ func InstrumentAll(reg *obs.Registry) {
 	wal.Instrument(reg)
 	trace.Instrument(reg)
 	headroom.Instrument(reg)
+	cluster.Instrument(reg)
 	Instrument(reg)
 }

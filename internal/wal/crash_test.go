@@ -83,8 +83,8 @@ func (c *crashFile) Sync() error {
 
 func (c *crashFile) Close() error { return c.f.Close() }
 
-func crashHook(b *crashBudget) func(string, int) (segFile, error) {
-	return func(path string, flag int) (segFile, error) {
+func crashHook(b *crashBudget) func(string, int) (SegFile, error) {
+	return func(path string, flag int) (SegFile, error) {
 		f, err := os.OpenFile(path, flag, 0o644)
 		if err != nil {
 			return nil, err
@@ -156,7 +156,7 @@ func runToCrash(t *testing.T, dir string, opts Options, records []logstore.Recor
 func measureWrittenBytes(t *testing.T, opts Options, records []logstore.Record) int64 {
 	t.Helper()
 	b := &crashBudget{remaining: math.MaxInt64}
-	opts.openSegFile = crashHook(b)
+	opts.OpenSegFile = crashHook(b)
 	s, err := Open(t.TempDir(), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 		dir := filepath.Join(root, fmt.Sprintf("crash-%06d", off))
 		b := &crashBudget{remaining: off}
 		inj := opts
-		inj.openSegFile = crashHook(b)
+		inj.OpenSegFile = crashHook(b)
 		acked, attempted := runToCrash(t, dir, inj, records)
 
 		s, err := Open(dir, opts) // clean reopen: the restart after the crash
@@ -264,7 +264,7 @@ func TestCrashRecoveryWithSnapshots(t *testing.T) {
 		dir := filepath.Join(root, fmt.Sprintf("crash-%06d", off))
 		b := &crashBudget{remaining: off}
 		inj := opts
-		inj.openSegFile = crashHook(b)
+		inj.OpenSegFile = crashHook(b)
 		acked, attempted := runToCrash(t, dir, inj, records)
 
 		s, err := Open(dir, opts)
@@ -326,7 +326,7 @@ func TestCrashRecoveryFailedFsync(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "wal")
 		b := &syncBudget{remaining: k}
 		inj := opts
-		inj.openSegFile = func(path string, flag int) (segFile, error) {
+		inj.OpenSegFile = func(path string, flag int) (SegFile, error) {
 			f, err := os.OpenFile(path, flag, 0o644)
 			if err != nil {
 				return nil, err

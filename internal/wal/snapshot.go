@@ -66,16 +66,22 @@ func (d *snapshotDoc) crcOf() uint32 {
 // store has none.
 func loadSnapshot(dir string) (*snapshotDoc, error) {
 	path := filepath.Join(dir, snapshotFile)
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("wal: open snapshot: %w", err)
 	}
-	defer f.Close()
+	return decodeSnapshot(data, path)
+}
+
+// decodeSnapshot verifies and decodes raw snapshot document bytes; path
+// only labels errors. InstallBootstrap validates shipped snapshots with
+// the same code that guards local recovery.
+func decodeSnapshot(data []byte, path string) (*snapshotDoc, error) {
 	var doc snapshotDoc
-	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, drmerr.Wrapf(drmerr.KindStoreCorrupt, "wal.snapshot", err,
 			"wal: %s: undecodable snapshot", path)
 	}
@@ -174,6 +180,7 @@ func (s *Store) snapshotLocked(ctx context.Context) (SnapshotInfo, error) {
 	s.ledger = *logstore.LedgerOf(merged)
 	s.snapSeq = s.seq
 	s.snapSeg = s.segIdx
+	s.snapOff = s.size
 	s.sinceSnap = 0
 	s.lastSnap = time.Now()
 	info := SnapshotInfo{

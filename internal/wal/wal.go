@@ -129,14 +129,16 @@ type Options struct {
 	// that many appends since the last one. 0 = snapshot only on demand.
 	SnapshotEvery int
 
-	// openSegFile lets tests substitute a failing writer to inject
-	// crashes at arbitrary byte offsets; nil means os.OpenFile.
-	openSegFile func(path string, flag int) (segFile, error)
+	// OpenSegFile lets tests substitute a failing writer to inject
+	// crashes at arbitrary byte offsets (the crash-injection harness and
+	// the cluster failover property test both use it); nil means
+	// os.OpenFile.
+	OpenSegFile func(path string, flag int) (SegFile, error)
 }
 
-// segFile is the writable handle of the active segment; the indirection
+// SegFile is the writable handle of the active segment; the indirection
 // exists for crash injection.
-type segFile interface {
+type SegFile interface {
 	io.Writer
 	io.Closer
 	Sync() error
@@ -149,8 +151,8 @@ func (o Options) withDefaults() Options {
 	if o.Interval <= 0 {
 		o.Interval = 50 * time.Millisecond
 	}
-	if o.openSegFile == nil {
-		o.openSegFile = func(path string, flag int) (segFile, error) {
+	if o.OpenSegFile == nil {
+		o.OpenSegFile = func(path string, flag int) (SegFile, error) {
 			return os.OpenFile(path, flag, 0o644)
 		}
 	}
@@ -180,19 +182,21 @@ type Store struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex
-	f      segFile
-	size   int64  // active segment size, bytes (header included)
-	segIdx uint64 // active segment index
-	seq    uint64 // records appended over the store's lifetime
-	synced uint64 // records covered by a completed fsync
-	dirty  bool   // unsynced bytes in the active segment
-	failed error  // sticky: a failed write, sync, or snapshot poisons the store
-	closed bool
+	mu         sync.Mutex
+	f          SegFile
+	size       int64  // active segment size, bytes (header included)
+	segIdx     uint64 // active segment index
+	seq        uint64 // records appended over the store's lifetime
+	synced     uint64 // records covered by a completed fsync
+	syncedSize int64  // active segment bytes covered by a completed fsync
+	dirty      bool   // unsynced bytes in the active segment
+	failed     error  // sticky: a failed write, sync, or snapshot poisons the store
+	closed     bool
 
 	snap      []logstore.Record // compacted records covered by the snapshot
 	snapSeq   uint64            // watermark: records snap aggregates
 	snapSeg   uint64            // watermark segment of the installed snapshot
+	snapOff   int64             // watermark byte offset of the installed snapshot
 	tail      []logstore.Record // records appended after the watermark
 	ledger    logstore.Ledger   // lifecycle state over snap+tail, checked on append
 	sinceSnap int               // appends since the last snapshot
@@ -253,6 +257,7 @@ func (s *Store) recover() error {
 		s.seq = uint64(doc.Seq)
 		s.snapSeq = uint64(doc.Seq)
 		s.snapSeg = doc.Segment
+		s.snapOff = doc.Offset
 		s.rec.SnapshotRecords = len(doc.Records)
 	}
 	segs, err := listSegments(s.dir)
@@ -305,12 +310,13 @@ func (s *Store) recover() error {
 		return s.createSegmentLocked(1)
 	}
 	// Resume appending to the recovered last segment.
-	f, err := s.opts.openSegFile(segmentPath(s.dir, s.segIdx), os.O_WRONLY|os.O_APPEND)
+	f, err := s.opts.OpenSegFile(segmentPath(s.dir, s.segIdx), os.O_WRONLY|os.O_APPEND)
 	if err != nil {
 		return fmt.Errorf("wal: reopening segment %d: %w", s.segIdx, err)
 	}
 	s.f = f
 	s.synced = s.seq // everything recovered came off durable media
+	s.syncedSize = s.size
 	return nil
 }
 
@@ -444,7 +450,7 @@ func truncateSegment(path string, size int64) error {
 // creation durable, installing it as the active segment.
 func (s *Store) createSegmentLocked(idx uint64) error {
 	path := segmentPath(s.dir, idx)
-	f, err := s.opts.openSegFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+	f, err := s.opts.OpenSegFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment %d: %w", idx, err)
 	}
@@ -463,6 +469,7 @@ func (s *Store) createSegmentLocked(idx uint64) error {
 	s.f = f
 	s.segIdx = idx
 	s.size = segmentHeaderSize
+	s.syncedSize = segmentHeaderSize
 	s.dirty = false
 	return nil
 }
@@ -634,6 +641,7 @@ func (s *Store) commitLocked(ctx context.Context) error {
 func (s *Store) syncLocked(ctx context.Context) error {
 	if !s.dirty {
 		s.synced = s.seq
+		s.syncedSize = s.size
 		return nil
 	}
 	_, sp := trace.Start(ctx, "wal.fsync")
@@ -652,6 +660,7 @@ func (s *Store) syncLocked(ctx context.Context) error {
 	sp.End()
 	s.dirty = false
 	s.synced = s.seq
+	s.syncedSize = s.size
 	return nil
 }
 
