@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/logstore"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -36,6 +37,9 @@ type clusterFlags struct {
 	fetchInterval time.Duration
 	probeInterval time.Duration
 	redirect      bool
+	// peerTimeout bounds each per-peer call of a router fleet fan-out
+	// (/v1/cluster/status, /v1/cluster/traces).
+	peerTimeout time.Duration
 	// fetchBytes bounds one replication fetch (0 = the cluster
 	// package's default); tests shrink it to observe partial catch-up.
 	fetchBytes int
@@ -207,6 +211,9 @@ func (s *server) startFollower(cf clusterFlags) (stop func(), err error) {
 		OnError: func(err error) {
 			logger.Warn("replication fetch failed", "err", err)
 		},
+		// Fetch round-trips root "repl.fetch" spans whose IDs the leader's
+		// ship spans continue, so replication is traceable end to end.
+		Tracer: tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -238,6 +245,11 @@ func runRouter(addr string, cf clusterFlags) error {
 		Peers:         peers,
 		ProbeInterval: cf.probeInterval,
 		Redirect:      cf.redirect,
+		FanoutTimeout: cf.peerTimeout,
+		LocalName:     cluster.RoleRouter,
+		// The router's own fragment of a distributed trace joins the
+		// merged /v1/cluster/traces/{id} document (nil-safe when off).
+		LocalTrace: func(id string) *trace.TraceRecord { return tracer.Get(id) },
 	})
 	if err != nil {
 		return err
@@ -260,9 +272,13 @@ func runRouter(addr string, cf clusterFlags) error {
 	mux := http.NewServeMux()
 	o.mountCommon(mux)
 	o.wrap(mux, "GET /v1/cluster", rt.HandleCluster)
+	o.wrap(mux, "GET /v1/cluster/status", rt.HandleClusterStatus)
+	o.wrap(mux, "GET /v1/cluster/traces/{id}", rt.HandleClusterTrace)
 	// Everything else is someone else's request: forward it to the
-	// owning shard (or 307 there with -redirect).
-	mux.Handle("/", rt)
+	// owning shard (or 307 there with -redirect). The empty pattern
+	// names each root span "METHOD /path" so the router's fragment of a
+	// forwarded request lines up with the peer's root by name.
+	mux.Handle("/", traced("", o.httpm.Wrap("proxy", http.Handler(rt))))
 	mode := "proxy"
 	if cf.redirect {
 		mode = "redirect"

@@ -130,6 +130,8 @@ func run() error {
 			"router peer role-probe interval")
 		redirect = flag.Bool("redirect", false,
 			"router answers 307 redirects to the owning shard instead of proxying")
+		peerTimeout = flag.Duration("peer-timeout", cluster.DefaultFanoutTimeout,
+			"router per-peer timeout for fleet fan-outs (/v1/cluster/status, /v1/cluster/traces)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -157,6 +159,7 @@ func run() error {
 		fetchInterval: *fetchInterval,
 		probeInterval: *probeInterval,
 		redirect:      *redirect,
+		peerTimeout:   *peerTimeout,
 	}
 	if clf.role == cluster.RoleFollower && clf.leader == "" {
 		return fmt.Errorf("role follower needs -leader")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -210,14 +211,34 @@ func (w *traceStatusWriter) Write(b []byte) (int, error) {
 
 // traced starts a root span named by the route pattern around next, so
 // every layer below (engine, core, vtree, logstore, wal) hangs its spans
-// off this request's trace. After the handler returns it marks error
-// status (>= 400 — tail-sampling then always retains the trace), ends
-// the root, and emits the request log line with the span-carrying
-// context, so the line and any error body share one trace_id. With
-// tracing off it is a pass-through.
+// off this request's trace. An incoming traceparent header (a request
+// forwarded by the router, or a follower's replication fetch) is
+// extracted first: the root then continues the upstream trace ID
+// instead of minting one, which is what lets /v1/cluster/traces/{id}
+// merge the per-process fragments. An empty pattern (the router's
+// catch-all proxy route) names the root "METHOD /path" per request, so
+// router roots line up with the leader roots they forward to. After the
+// handler returns it marks error status (>= 400 — tail-sampling then
+// always retains the trace), ends the root, and emits the request log
+// line with the span-carrying context, so the line and any error body
+// share one trace_id. With tracing off it is a pass-through.
 func traced(pattern string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, sp := tracer.Root(r.Context(), pattern)
+		if tracer == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		name := pattern
+		if name == "" {
+			name = r.Method + " " + r.URL.Path
+		}
+		var ctx context.Context
+		var sp *trace.Span
+		if rp, ok := trace.Extract(r.Header); ok {
+			ctx, sp = tracer.RootRemote(r.Context(), name, rp)
+		} else {
+			ctx, sp = tracer.Root(r.Context(), name)
+		}
 		if sp == nil {
 			next.ServeHTTP(w, r)
 			return

@@ -292,3 +292,70 @@ func TestTraceSlowPolicyDropsFast(t *testing.T) {
 		t.Fatalf("error trace %s not in ring", e.TraceID)
 	}
 }
+
+// TestMiddlewareExtractsTraceparent: a request arriving with a valid
+// traceparent header (as the router stamps on forwards) continues the
+// upstream trace — the server's root adopts the upstream trace ID and
+// records the remote parent — while a garbage header falls back to a
+// locally minted root.
+func TestMiddlewareExtractsTraceparent(t *testing.T) {
+	tr, _ := installTestTracer(t)
+	ts, ex, _ := newWALTestServer(t)
+
+	const upstreamID = "0123456789abcdef"
+	const upstreamSpan = "00000000000000aa"
+	body, err := json.Marshal(issueRequest{Values: usageValues(ex), Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/issue", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, "00-0000000000000000"+upstreamID+"-"+upstreamSpan+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("issue status = %d", resp.StatusCode)
+	}
+
+	rec := tr.Get(upstreamID)
+	if rec == nil {
+		t.Fatalf("trace %s not retained under the upstream id", upstreamID)
+	}
+	if !rec.Remote || rec.RemoteParent != upstreamSpan {
+		t.Fatalf("record remote=%v remote_parent=%q, want true/%s", rec.Remote, rec.RemoteParent, upstreamSpan)
+	}
+	if !spanTreeReaches(rec, "wal.append") {
+		t.Fatalf("remote-rooted trace never reached wal.append: %+v", rec.Spans)
+	}
+
+	// A malformed header must not break the request or adopt garbage.
+	req2, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/issue", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(trace.Header, "garbage")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("issue with bad header status = %d", resp2.StatusCode)
+	}
+	var local *trace.TraceRecord
+	for _, r := range tr.Snapshot() {
+		if r.ID != upstreamID {
+			local = r
+		}
+	}
+	if local == nil || local.Remote {
+		t.Fatalf("malformed header did not fall back to a local root: %+v", local)
+	}
+}

@@ -1,16 +1,22 @@
 // Command tracecheck validates Chrome Trace Event JSON files written by
-// drmaudit/drmbench -trace (or GET /debug/traces?format=chrome), using
-// the same decoder the packages test against — no third-party schema
-// tooling. It prints the duration-event count per file and exits
+// drmaudit/drmbench -trace (or GET /debug/traces?format=chrome, or the
+// router's merged GET /v1/cluster/traces/{id}), using the same decoder
+// the packages test against — no third-party schema tooling. It prints
+// the duration-event and process-lane counts per file and exits
 // non-zero on the first invalid one, so CI can gate on trace-export
 // well-formedness before uploading the artifact.
 //
 // Usage:
 //
-//	tracecheck trace.json [more.json ...]
+//	tracecheck [-min-procs N] trace.json [more.json ...]
+//
+// -min-procs asserts every file carries at least N distinct process
+// lanes — the check that a merged distributed trace really contains
+// fragments from multiple processes, not one node's view relabelled.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -24,24 +30,36 @@ func main() {
 	}
 }
 
-func run(paths []string) error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	minProcs := fs.Int("min-procs", 0,
+		"fail unless each file has at least this many distinct process lanes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
 	if len(paths) == 0 {
-		return fmt.Errorf("usage: tracecheck trace.json [more.json ...]")
+		return fmt.Errorf("usage: tracecheck [-min-procs N] trace.json [more.json ...]")
 	}
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		n, err := trace.DecodeChrome(f)
+		stats, err := trace.DecodeChromeStats(f)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		if n == 0 {
+		if stats.DurationEvents == 0 {
 			return fmt.Errorf("%s: no duration events", path)
 		}
-		fmt.Printf("%s: ok (%d duration events)\n", path, n)
+		if stats.Processes < *minProcs {
+			return fmt.Errorf("%s: %d process lanes, want >= %d",
+				path, stats.Processes, *minProcs)
+		}
+		fmt.Printf("%s: ok (%d duration events, %d processes)\n",
+			path, stats.DurationEvents, stats.Processes)
 	}
 	return nil
 }

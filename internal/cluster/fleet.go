@@ -1,0 +1,389 @@
+// Fleet aggregation: the router is the one process that knows every
+// peer, so it serves the two cluster-wide operator views —
+//
+//	GET /v1/cluster/traces/{id}   every process's fragment of one
+//	                              distributed trace, merged into a
+//	                              single Chrome Trace Event document
+//	                              with one lane per process
+//	GET /v1/cluster/status        every peer's /v1/status, folded into
+//	                              one topology + SLO + lag pane
+//	                              (?format=text for the terminal)
+//
+// Both fan out concurrently with a per-peer timeout and degrade rather
+// than fail: an unreachable peer becomes a reported error row (status)
+// or a peer_errors entry (traces), never a 5xx for the whole sweep.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/drmerr"
+	"repro/internal/trace"
+)
+
+// fanout runs call once per ring peer, concurrently, each under its own
+// FanoutTimeout-bounded context, and waits for all of them.
+func (rt *Router) fanout(ctx context.Context, call func(ctx context.Context, peer string)) {
+	M.Fanouts.Inc()
+	var wg sync.WaitGroup
+	for _, p := range rt.ring.Peers() {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.FanoutTimeout)
+			defer cancel()
+			call(pctx, peer)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// fetchTrace pulls one peer's retained fragment of trace id. A 404 is
+// not an error — most traces touch a subset of the fleet — it just
+// means this peer holds no fragment.
+func (rt *Router) fetchTrace(ctx context.Context, peer, id string) (*trace.TraceRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/debug/traces/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rec trace.TraceRecord
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			return nil, fmt.Errorf("decoding trace fragment: %w", err)
+		}
+		return &rec, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("peer answered %s", resp.Status)
+	}
+}
+
+// HandleClusterTrace merges every process's fragment of one distributed
+// trace. The router's own ring is consulted via cfg.LocalTrace, every
+// peer via GET /debug/traces/{id}. The default response is a merged
+// Chrome Trace Event document (one pid lane per process, loadable in
+// Perfetto); ?format=json returns the raw fragments plus any per-peer
+// fan-out errors instead.
+func (rt *Router) HandleClusterTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeErr(r.Context(), w, drmerr.New(drmerr.KindInvalidInput, "cluster.fleet",
+			"cluster: trace id missing"))
+		return
+	}
+
+	localName := rt.cfg.LocalName
+	if localName == "" {
+		localName = RoleRouter
+	}
+	var frags []trace.ProcessTrace
+	if rt.cfg.LocalTrace != nil {
+		if rec := rt.cfg.LocalTrace(id); rec != nil {
+			frags = append(frags, trace.ProcessTrace{Process: localName, Trace: rec})
+		}
+	}
+
+	var mu sync.Mutex
+	var remote []trace.ProcessTrace
+	peerErrs := map[string]string{}
+	rt.fanout(r.Context(), func(ctx context.Context, peer string) {
+		rec, err := rt.fetchTrace(ctx, peer, id)
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err != nil:
+			M.FanoutPeerErrors.Inc()
+			peerErrs[peer] = err.Error()
+		case rec != nil:
+			remote = append(remote, trace.ProcessTrace{Process: peer, Trace: rec})
+		}
+	})
+	// Fan-out completion order is racy; fix the lane order (local first,
+	// then peers by address) so repeated fetches render identically.
+	sort.Slice(remote, func(i, j int) bool { return remote[i].Process < remote[j].Process })
+	frags = append(frags, remote...)
+
+	if len(frags) == 0 {
+		writeJSON(w, http.StatusNotFound, struct {
+			Error      string            `json:"error"`
+			Kind       string            `json:"kind"`
+			PeerErrors map[string]string `json:"peer_errors,omitempty"`
+		}{
+			Error:      fmt.Sprintf("cluster: trace %s retained by no reachable process", id),
+			Kind:       drmerr.KindNotFound.String(),
+			PeerErrors: peerErrs,
+		})
+		return
+	}
+
+	if r.URL.Query().Get("format") == "json" {
+		type fragmentDoc struct {
+			Process string             `json:"process"`
+			Trace   *trace.TraceRecord `json:"trace"`
+		}
+		out := struct {
+			TraceID    string            `json:"trace_id"`
+			Fragments  []fragmentDoc     `json:"fragments"`
+			PeerErrors map[string]string `json:"peer_errors,omitempty"`
+		}{TraceID: id, PeerErrors: peerErrs}
+		for _, f := range frags {
+			out.Fragments = append(out.Fragments, fragmentDoc{Process: f.Process, Trace: f.Trace})
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf(`attachment; filename="trace-%s.json"`, id))
+	_ = trace.WriteChromeProcesses(w, frags)
+}
+
+// FleetPeer is one peer's row of the fleet status pane: reachability,
+// role topology, replication lag, and the peer's worst SLO signals.
+type FleetPeer struct {
+	Addr      string `json:"addr"`
+	Reachable bool   `json:"reachable"`
+	// Error explains an unreachable peer; the role fields then fall back
+	// to the prober's last view rather than vanishing.
+	Error         string  `json:"error,omitempty"`
+	Role          string  `json:"role,omitempty"`
+	Ready         bool    `json:"ready"`
+	Draining      bool    `json:"draining,omitempty"`
+	Mode          string  `json:"mode,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	LogRecords    int     `json:"log_records,omitempty"`
+	Seq           uint64  `json:"seq,omitempty"`
+	LagSeqs       int64   `json:"lag_seqs,omitempty"`
+	LagSeconds    float64 `json:"lag_seconds,omitempty"`
+	Promoted      bool    `json:"promoted,omitempty"`
+	// WorstBurnRate is the peer's maximum SLO burn rate across all
+	// objectives and windows; MinBudgetRemaining the scarcest budget.
+	WorstBurnRate      float64  `json:"worst_burn_rate,omitempty"`
+	MinBudgetRemaining *float64 `json:"min_budget_remaining,omitempty"`
+	// FiringAlerts lists "objective/severity" for every firing rule.
+	FiringAlerts []string `json:"firing_alerts,omitempty"`
+}
+
+// FleetSummary is the one-line rollup over all peers.
+type FleetSummary struct {
+	Peers         int     `json:"peers"`
+	Reachable     int     `json:"reachable"`
+	Leaders       int     `json:"leaders"`
+	Followers     int     `json:"followers"`
+	Ready         int     `json:"ready"`
+	MaxLagSeqs    int64   `json:"max_lag_seqs"`
+	WorstBurnRate float64 `json:"worst_burn_rate"`
+	FiringAlerts  int     `json:"firing_alerts"`
+}
+
+// FleetStatus is the /v1/cluster/status body.
+type FleetStatus struct {
+	Role    string       `json:"role"`
+	Summary FleetSummary `json:"summary"`
+	Peers   []FleetPeer  `json:"peers"`
+}
+
+// peerStatusDoc decodes the slice of a peer's /v1/status the fleet view
+// aggregates; unknown fields are ignored so peers can grow their status
+// body without breaking older routers.
+type peerStatusDoc struct {
+	Service struct {
+		Mode          string  `json:"mode"`
+		Draining      bool    `json:"draining"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		LogRecords    int     `json:"log_records"`
+	} `json:"service"`
+	Replication *struct {
+		Role       string  `json:"role"`
+		Ready      bool    `json:"ready"`
+		Seq        uint64  `json:"seq"`
+		LagSeqs    int64   `json:"lag_seqs"`
+		LagSeconds float64 `json:"lag_seconds"`
+		Promoted   bool    `json:"promoted"`
+	} `json:"replication"`
+	SLO struct {
+		Objectives []struct {
+			Name            string  `json:"name"`
+			BudgetRemaining float64 `json:"budget_remaining"`
+			Windows         []struct {
+				Window   string  `json:"window"`
+				BurnRate float64 `json:"burn_rate"`
+			} `json:"windows"`
+			Alerts []struct {
+				Severity string `json:"severity"`
+				Firing   bool   `json:"firing"`
+			} `json:"alerts"`
+		} `json:"objectives"`
+	} `json:"slo"`
+}
+
+// fetchPeerStatus builds one peer's fleet row. An unreachable peer is a
+// row with Reachable=false and the prober's last role view, never an
+// error for the sweep.
+func (rt *Router) fetchPeerStatus(ctx context.Context, peer string) FleetPeer {
+	fp := FleetPeer{Addr: peer}
+	fill := func(reason string) {
+		fp.Error = reason
+		rt.mu.RLock()
+		if st, ok := rt.state[peer]; ok {
+			fp.Role, fp.Ready = st.Role, st.Ready
+			fp.Seq, fp.LagSeqs = st.Seq, st.LagSeqs
+		}
+		rt.mu.RUnlock()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/status", nil)
+	if err != nil {
+		fill(err.Error())
+		return fp
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		M.FanoutPeerErrors.Inc()
+		fill(err.Error())
+		return fp
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		M.FanoutPeerErrors.Inc()
+		fill("status answered " + resp.Status)
+		return fp
+	}
+	var doc peerStatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		M.FanoutPeerErrors.Inc()
+		fill(err.Error())
+		return fp
+	}
+
+	fp.Reachable = true
+	fp.Mode = doc.Service.Mode
+	fp.Draining = doc.Service.Draining
+	fp.UptimeSeconds = doc.Service.UptimeSeconds
+	fp.LogRecords = doc.Service.LogRecords
+	if rep := doc.Replication; rep != nil {
+		fp.Role, fp.Ready = rep.Role, rep.Ready
+		fp.Seq, fp.LagSeqs, fp.LagSeconds = rep.Seq, rep.LagSeqs, rep.LagSeconds
+		fp.Promoted = rep.Promoted
+	} else {
+		// A peer predating the role wiring: treat like the prober does.
+		fp.Role, fp.Ready = RoleStandalone, !doc.Service.Draining
+	}
+	for _, o := range doc.SLO.Objectives {
+		b := o.BudgetRemaining
+		if fp.MinBudgetRemaining == nil || b < *fp.MinBudgetRemaining {
+			fp.MinBudgetRemaining = &b
+		}
+		for _, w := range o.Windows {
+			if w.BurnRate > fp.WorstBurnRate {
+				fp.WorstBurnRate = w.BurnRate
+			}
+		}
+		for _, a := range o.Alerts {
+			if a.Firing {
+				fp.FiringAlerts = append(fp.FiringAlerts, o.Name+"/"+a.Severity)
+			}
+		}
+	}
+	return fp
+}
+
+// FleetView sweeps every peer's /v1/status and folds the rows (in ring
+// order) into one FleetStatus.
+func (rt *Router) FleetView(ctx context.Context) FleetStatus {
+	var mu sync.Mutex
+	rows := map[string]FleetPeer{}
+	rt.fanout(ctx, func(ctx context.Context, peer string) {
+		fp := rt.fetchPeerStatus(ctx, peer)
+		mu.Lock()
+		rows[peer] = fp
+		mu.Unlock()
+	})
+
+	st := FleetStatus{Role: RoleRouter}
+	for _, p := range rt.ring.Peers() {
+		fp := rows[p]
+		st.Peers = append(st.Peers, fp)
+		st.Summary.Peers++
+		if fp.Reachable {
+			st.Summary.Reachable++
+		}
+		switch fp.Role {
+		case RoleLeader, RoleStandalone:
+			st.Summary.Leaders++
+		case RoleFollower:
+			st.Summary.Followers++
+		}
+		if fp.Ready {
+			st.Summary.Ready++
+		}
+		if fp.LagSeqs > st.Summary.MaxLagSeqs {
+			st.Summary.MaxLagSeqs = fp.LagSeqs
+		}
+		if fp.WorstBurnRate > st.Summary.WorstBurnRate {
+			st.Summary.WorstBurnRate = fp.WorstBurnRate
+		}
+		st.Summary.FiringAlerts += len(fp.FiringAlerts)
+	}
+	return st
+}
+
+// HandleClusterStatus serves the fleet pane: JSON by default,
+// ?format=text (or an Accept preferring text/plain) for the terminal.
+func (rt *Router) HandleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	st := rt.FleetView(r.Context())
+	if r.URL.Query().Get("format") == "text" ||
+		strings.HasPrefix(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, renderFleetText(st))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// renderFleetText is the terminal rendering of the fleet pane.
+func renderFleetText(st FleetStatus) string {
+	var b strings.Builder
+	s := st.Summary
+	fmt.Fprintf(&b, "fleet: %d peers (%d reachable), %d leaders, %d followers, %d ready\n",
+		s.Peers, s.Reachable, s.Leaders, s.Followers, s.Ready)
+	fmt.Fprintf(&b, "worst burn %.2f, firing alerts %d, max lag %d seqs\n\n",
+		s.WorstBurnRate, s.FiringAlerts, s.MaxLagSeqs)
+	fmt.Fprintf(&b, "  %-28s %-11s %-5s %8s %8s %6s  %s\n",
+		"PEER", "ROLE", "READY", "SEQ", "LAG", "BURN", "NOTES")
+	for _, p := range st.Peers {
+		ready := "no"
+		if p.Ready {
+			ready = "yes"
+		}
+		var notes []string
+		if !p.Reachable {
+			notes = append(notes, "UNREACHABLE: "+p.Error)
+		}
+		if p.Draining {
+			notes = append(notes, "draining")
+		}
+		if p.Promoted {
+			notes = append(notes, "promoted")
+		}
+		notes = append(notes, p.FiringAlerts...)
+		fmt.Fprintf(&b, "  %-28s %-11s %-5s %8d %8d %6.2f  %s\n",
+			p.Addr, p.Role, ready, p.Seq, p.LagSeqs, p.WorstBurnRate,
+			strings.Join(notes, ", "))
+	}
+	return b.String()
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/drmerr"
 	"repro/internal/logstore"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -58,6 +59,10 @@ type FollowerConfig struct {
 	Reset func(ctx context.Context, doc *wal.BootstrapDoc) (*wal.Store, error)
 	// OnError observes fetch-loop errors (nil ignores them).
 	OnError func(err error)
+	// Tracer, when set, roots a "repl.fetch" span around each fetch
+	// round-trip and injects it into the leader calls, so the leader's
+	// repl.ship/repl.bootstrap spans join the follower's trace ID.
+	Tracer *trace.Tracer
 }
 
 // Lag is a follower's distance behind its leader.
@@ -184,11 +189,22 @@ func (f *Follower) Promoted() bool { return f.promoted.Load() }
 
 // FetchOnce runs one fetch round-trip: at most one window of frames is
 // ingested and applied. It returns the number of records ingested; 0
-// with a nil error means caught up.
+// with a nil error means caught up. With a Tracer configured, the
+// round-trip runs under a "repl.fetch" root span whose context getJSON
+// injects into the leader calls — the root lives here, not in
+// fetchLocked, so a 410-triggered re-bootstrap plus the retry fetch
+// stay one trace.
 func (f *Follower) FetchOnce(ctx context.Context) (int, error) {
 	f.fetchMu.Lock()
 	defer f.fetchMu.Unlock()
-	return f.fetchLocked(ctx)
+	ctx, sp := f.cfg.Tracer.Root(ctx, "repl.fetch")
+	n, err := f.fetchLocked(ctx)
+	if sp != nil {
+		sp.SetInt("records", int64(n))
+		sp.Fail(err)
+		sp.End()
+	}
+	return n, err
 }
 
 func (f *Follower) fetchLocked(ctx context.Context) (int, error) {
@@ -359,6 +375,7 @@ func (f *Follower) getJSON(ctx context.Context, url string, v any) (int, error) 
 	if err != nil {
 		return 0, err
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := f.cfg.Client.Do(req)
 	if err != nil {
 		return 0, err

@@ -54,7 +54,7 @@ func (l *Leader) HandleWAL(w http.ResponseWriter, r *http.Request) {
 			sp.Fail(err)
 			sp.End()
 		}
-		writeErr(w, err)
+		writeErr(ctx, w, err)
 		return
 	}
 	maxBytes := l.maxBytes
@@ -72,7 +72,7 @@ func (l *Leader) HandleWAL(w http.ResponseWriter, r *http.Request) {
 		sp.End()
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(ctx, w, err)
 		return
 	}
 	M.ShippedFrames.Add(int64(batch.Records))
@@ -86,14 +86,14 @@ func (l *Leader) HandleWAL(w http.ResponseWriter, r *http.Request) {
 // HandleSnapshot serves the bootstrap document a fresh (or compacted-
 // past) follower installs before tailing.
 func (l *Leader) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
-	_, sp := trace.Start(r.Context(), "repl.bootstrap")
+	ctx, sp := trace.Start(r.Context(), "repl.bootstrap")
 	doc, err := l.store.Bootstrap()
 	if sp != nil {
 		sp.Fail(err)
 		sp.End()
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(ctx, w, err)
 		return
 	}
 	M.BootstrapsServed.Inc()

@@ -29,13 +29,17 @@ type Metrics struct {
 	// Promotions counts follower→leader flips.
 	Promotions *obs.Counter
 	// Router side: proxied and redirected requests, proxy transport
-	// errors, requests with no eligible peer, and probe outcomes.
-	RouterForwards  *obs.Counter
-	RouterRedirects *obs.Counter
-	RouterErrors    *obs.Counter
-	RouterNoPeer    *obs.Counter
-	Probes          *obs.Counter
-	ProbeFailures   *obs.Counter
+	// errors by peer, requests with no eligible peer, and probe outcomes.
+	RouterForwards    *obs.Counter
+	RouterRedirects   *obs.Counter
+	RouterProxyErrors *obs.CounterVec
+	RouterNoPeer      *obs.Counter
+	Probes            *obs.Counter
+	ProbeFailures     *obs.Counter
+	// Fleet fan-out: /v1/cluster/{status,traces} aggregation sweeps and
+	// the per-peer calls within them that failed.
+	Fanouts          *obs.Counter
+	FanoutPeerErrors *obs.Counter
 }
 
 // Instrument registers the cluster metric families on reg and points
@@ -70,13 +74,17 @@ func Instrument(reg *obs.Registry) {
 			"Requests proxied to their owning shard."),
 		RouterRedirects: reg.Counter("drm_router_redirect_total",
 			"Requests answered with a 307 to their owning shard."),
-		RouterErrors: reg.Counter("drm_router_proxy_errors_total",
-			"Proxy round-trips that failed after routing."),
+		RouterProxyErrors: reg.CounterVec("drm_router_proxy_errors_total",
+			"Proxy round-trips that failed after routing, by peer.", "peer"),
 		RouterNoPeer: reg.Counter("drm_router_no_peer_total",
 			"Requests refused because no eligible peer was routable."),
 		Probes: reg.Counter("drm_router_probe_total",
 			"Peer health probes issued."),
 		ProbeFailures: reg.Counter("drm_router_probe_failures_total",
 			"Peer health probes that failed."),
+		Fanouts: reg.Counter("drm_router_fanout_total",
+			"Fleet aggregation sweeps (/v1/cluster/status, /v1/cluster/traces)."),
+		FanoutPeerErrors: reg.Counter("drm_router_fanout_peer_errors_total",
+			"Per-peer calls within a fleet fan-out that failed."),
 	}
 }

@@ -17,12 +17,14 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
 
 	"repro/internal/drmerr"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -61,11 +63,14 @@ type RoleInfo struct {
 	Leader string `json:"leader,omitempty"`
 }
 
-// errBody matches the server's structured error shape: a message plus
-// the drmerr taxonomy kind when the error carries one.
+// errBody matches the server's structured error shape: a message, the
+// drmerr taxonomy kind when the error carries one, and the request's
+// trace ID when tracing is on — the handle a caller quotes against
+// /debug/traces/{id} (or /v1/cluster/traces/{id} for routed requests).
 type errBody struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"`
+	Error   string `json:"error"`
+	Kind    string `json:"kind,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // writeJSON writes v as a JSON response with the given status.
@@ -77,13 +82,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeErr maps err to its HTTP status — 410 Gone for wal.ErrCompacted
 // (the re-bootstrap signal), the drmerr taxonomy mapping otherwise —
-// with a structured body.
-func writeErr(w http.ResponseWriter, err error) {
+// with a structured body stamped with ctx's trace ID.
+func writeErr(ctx context.Context, w http.ResponseWriter, err error) {
 	status := drmerr.HTTPStatus(err)
 	if errors.Is(err, wal.ErrCompacted) {
 		status = http.StatusGone
 	}
-	b := errBody{Error: err.Error()}
+	b := errBody{Error: err.Error(), TraceID: trace.IDFromContext(ctx)}
 	if k := drmerr.KindOf(err); k != drmerr.KindUnknown {
 		b.Kind = k.String()
 	}

@@ -19,7 +19,12 @@ import (
 	"time"
 
 	"repro/internal/drmerr"
+	"repro/internal/trace"
 )
+
+// DefaultFanoutTimeout bounds each per-peer call inside a fleet
+// aggregation sweep when the config does not.
+const DefaultFanoutTimeout = 2 * time.Second
 
 // RouterConfig wires a router to its peer set.
 type RouterConfig struct {
@@ -33,6 +38,18 @@ type RouterConfig struct {
 	ProbeInterval time.Duration
 	// Redirect answers 307 with the owner's URL instead of proxying.
 	Redirect bool
+	// FanoutTimeout bounds each per-peer call of a fleet aggregation
+	// sweep — /v1/cluster/status and /v1/cluster/traces degrade to
+	// reporting a peer unreachable instead of hanging on it
+	// (DefaultFanoutTimeout when <= 0).
+	FanoutTimeout time.Duration
+	// LocalName labels the router's own trace fragment in merged
+	// cross-process documents ("router" is a good choice).
+	LocalName string
+	// LocalTrace looks a trace up in the router's own retained ring so
+	// the router's fragment joins the merged document; nil routers merge
+	// peer fragments only.
+	LocalTrace func(id string) *trace.TraceRecord
 }
 
 // PeerStatus is one row of the router's health view (the /v1/cluster
@@ -75,6 +92,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 2 * time.Second
 	}
+	if cfg.FanoutTimeout <= 0 {
+		cfg.FanoutTimeout = DefaultFanoutTimeout
+	}
 	rt := &Router{
 		cfg:     cfg,
 		ring:    NewRing(cfg.Vnodes),
@@ -93,9 +113,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		rt.ring.Add(p)
 		rt.state[p] = &PeerStatus{Addr: p}
 		proxy := httputil.NewSingleHostReverseProxy(u)
+		peer := p
 		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
-			M.RouterErrors.Inc()
-			writeErr(w, drmerr.Wrap(drmerr.KindUnavailable, "cluster.router", err))
+			// Resolved lazily: Instrument may run after NewRouter.
+			M.RouterProxyErrors.With(peer).Inc()
+			werr := drmerr.Wrap(drmerr.KindUnavailable, "cluster.router", err)
+			// r is the outbound clone, so its context still carries the
+			// forward span minted in ServeHTTP.
+			trace.SpanFromContext(r.Context()).Fail(werr)
+			writeErr(r.Context(), w, werr)
 		}
 		rt.proxies[p] = proxy
 	}
@@ -149,17 +175,28 @@ func (rt *Router) Route(r *http.Request) (string, bool) {
 }
 
 // ServeHTTP forwards the request to its owner (proxy or 307), answering
-// a typed 503 when no eligible peer exists.
+// a typed 503 when no eligible peer exists. When the request is traced,
+// a "router.forward" child span covers the round-trip and its context is
+// injected as a traceparent header — onto the forwarded request when
+// proxying, onto the response when redirecting — so the downstream
+// fragment continues this trace ID.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	peer, ok := rt.Route(r)
 	if !ok {
 		M.RouterNoPeer.Inc()
-		writeErr(w, drmerr.New(drmerr.KindUnavailable, "cluster.router",
+		writeErr(r.Context(), w, drmerr.New(drmerr.KindUnavailable, "cluster.router",
 			"cluster: no healthy peer for %s %s", r.Method, r.URL.Path))
 		return
 	}
+	ctx, sp := trace.Start(r.Context(), "router.forward")
+	sp.SetAttr("peer", peer)
+	if key := KeyForPath(r.URL.Path); key != "" {
+		sp.SetAttr("key", key)
+	}
 	if rt.cfg.Redirect {
 		M.RouterRedirects.Inc()
+		trace.Inject(ctx, w.Header())
+		sp.End()
 		http.Redirect(w, r, peer+r.URL.RequestURI(), http.StatusTemporaryRedirect)
 		return
 	}
@@ -167,7 +204,12 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.mu.RLock()
 	proxy := rt.proxies[peer]
 	rt.mu.RUnlock()
+	if sp != nil {
+		r = r.WithContext(ctx)
+	}
+	trace.Inject(ctx, r.Header)
 	proxy.ServeHTTP(w, r)
+	sp.End()
 }
 
 // Peers returns the current health view, in ring-membership order.

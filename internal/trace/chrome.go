@@ -35,15 +35,47 @@ type chromeDoc struct {
 }
 
 // WriteChrome writes the traces as a Chrome Trace Event Format JSON
-// document.
+// document, one process lane per trace.
 func WriteChrome(w io.Writer, traces []*TraceRecord) error {
+	pts := make([]ProcessTrace, len(traces))
+	for i, tr := range traces {
+		pts[i] = ProcessTrace{Trace: tr}
+	}
+	return WriteChromeProcesses(w, pts)
+}
+
+// ProcessTrace is one fragment of a (possibly distributed) trace: the
+// span tree one process retained, tagged with that process's name so the
+// merged document shows which node each lane belongs to.
+type ProcessTrace struct {
+	// Process names the node the fragment came from ("router",
+	// "leader:9090", ...). Empty means unlabelled — the lane is named by
+	// the fragment's root span alone, preserving WriteChrome's output.
+	Process string
+	Trace   *TraceRecord
+}
+
+// WriteChromeProcesses writes trace fragments as one Chrome Trace Event
+// Format document with one process lane (pid) per fragment. For a
+// distributed trace the fragments share a trace ID but come from
+// different processes; Perfetto then renders router/leader/follower as
+// separate named lanes on a single timeline.
+func WriteChromeProcesses(w io.Writer, fragments []ProcessTrace) error {
 	doc := chromeDoc{TraceEvents: []chromeEvent{}}
-	for pid, tr := range traces {
+	for pid, pt := range fragments {
+		tr := pt.Trace
+		if tr == nil {
+			continue
+		}
+		name := fmt.Sprintf("%s trace=%s", tr.Name, tr.ID)
+		if pt.Process != "" {
+			name = fmt.Sprintf("%s %s trace=%s", pt.Process, tr.Name, tr.ID)
+		}
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name:  "process_name",
 			Phase: "M",
 			PID:   pid,
-			Args:  map[string]string{"name": fmt.Sprintf("%s trace=%s", tr.Name, tr.ID)},
+			Args:  map[string]string{"name": name},
 		})
 		lanes := assignLanes(tr.Spans)
 		for i, sp := range tr.Spans {
@@ -119,15 +151,32 @@ func assignLanes(spans []SpanRecord) []int {
 	return lanes
 }
 
+// ChromeStats summarises a validated Chrome Trace Event document.
+type ChromeStats struct {
+	// DurationEvents is the number of "X" (complete) events.
+	DurationEvents int
+	// Processes is the number of distinct pid lanes — for a merged
+	// distributed trace, the number of contributing processes.
+	Processes int
+}
+
 // DecodeChrome validates that r contains a parseable Chrome Trace Event
 // Format document and returns the number of duration ("X") events. It is
 // the CI validator for -trace output files: zero third-party tools, just
 // shape checks — an object with a traceEvents array whose entries carry
 // name/ph/pid, with ts/dur/tid present on every X event.
 func DecodeChrome(r io.Reader) (int, error) {
+	stats, err := DecodeChromeStats(r)
+	return stats.DurationEvents, err
+}
+
+// DecodeChromeStats is DecodeChrome plus lane accounting: it also counts
+// the distinct pid values so callers can assert a merged document really
+// carries fragments from multiple processes.
+func DecodeChromeStats(r io.Reader) (ChromeStats, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return 0, fmt.Errorf("trace: read chrome file: %w", err)
+		return ChromeStats{}, fmt.Errorf("trace: read chrome file: %w", err)
 	}
 	var doc struct {
 		TraceEvents []struct {
@@ -140,30 +189,33 @@ func DecodeChrome(r io.Reader) (int, error) {
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return 0, fmt.Errorf("trace: not a chrome trace document: %w", err)
+		return ChromeStats{}, fmt.Errorf("trace: not a chrome trace document: %w", err)
 	}
 	if doc.TraceEvents == nil {
-		return 0, fmt.Errorf("trace: chrome document missing traceEvents array")
+		return ChromeStats{}, fmt.Errorf("trace: chrome document missing traceEvents array")
 	}
-	nx := 0
+	var stats ChromeStats
+	pids := make(map[int]struct{})
 	for i, ev := range doc.TraceEvents {
 		if ev.Name == nil || ev.Phase == nil || ev.PID == nil {
-			return 0, fmt.Errorf("trace: event %d missing name/ph/pid", i)
+			return ChromeStats{}, fmt.Errorf("trace: event %d missing name/ph/pid", i)
 		}
+		pids[*ev.PID] = struct{}{}
 		switch *ev.Phase {
 		case "X":
 			if ev.TS == nil || ev.Dur == nil || ev.TID == nil {
-				return 0, fmt.Errorf("trace: X event %d (%s) missing ts/dur/tid", i, *ev.Name)
+				return ChromeStats{}, fmt.Errorf("trace: X event %d (%s) missing ts/dur/tid", i, *ev.Name)
 			}
 			if *ev.Dur < 0 {
-				return 0, fmt.Errorf("trace: X event %d (%s) has negative dur", i, *ev.Name)
+				return ChromeStats{}, fmt.Errorf("trace: X event %d (%s) has negative dur", i, *ev.Name)
 			}
-			nx++
+			stats.DurationEvents++
 		case "M":
 			// metadata: name/ph/pid suffice
 		default:
-			return 0, fmt.Errorf("trace: event %d has unsupported phase %q", i, *ev.Phase)
+			return ChromeStats{}, fmt.Errorf("trace: event %d has unsupported phase %q", i, *ev.Phase)
 		}
 	}
-	return nx, nil
+	stats.Processes = len(pids)
+	return stats, nil
 }

@@ -94,6 +94,62 @@ func TestDecodeChromeRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestWriteChromeProcessesMergesFragments(t *testing.T) {
+	// Two fragments of one distributed trace: the router's and the
+	// leader's, sharing a trace ID, merged into one doc with one pid
+	// lane per process.
+	router := New(Options{Capacity: 4})
+	_, rroot := router.Root(context.Background(), "POST /v1/issue")
+	rroot.End()
+	id := rroot.TraceID()
+
+	leader := New(Options{Capacity: 4})
+	rp, ok := ParseTraceparent("00-0000000000000000" + id + "-0000000000000001-01")
+	if !ok {
+		t.Fatal("test traceparent invalid")
+	}
+	lctx, lroot := leader.RootRemote(context.Background(), "POST /v1/issue", rp)
+	_, child := Start(lctx, "engine.issue")
+	child.End()
+	lroot.End()
+
+	var buf bytes.Buffer
+	err := WriteChromeProcesses(&buf, []ProcessTrace{
+		{Process: "router", Trace: router.Get(id)},
+		{Process: "leader", Trace: leader.Get(id)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := DecodeChromeStats(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("merged doc invalid: %v\n%s", err, buf.String())
+	}
+	if stats.Processes != 2 {
+		t.Fatalf("merged doc has %d process lanes, want 2", stats.Processes)
+	}
+	if stats.DurationEvents != 3 {
+		t.Fatalf("merged doc has %d X events, want 3", stats.DurationEvents)
+	}
+	out := buf.String()
+	for _, want := range []string{"router", "leader", id} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged doc missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeProcessesSkipsNilFragments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeProcesses(&buf, []ProcessTrace{{Process: "ghost"}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := DecodeChromeStats(bytes.NewReader(buf.Bytes()))
+	if err != nil || stats.DurationEvents != 0 || stats.Processes != 0 {
+		t.Fatalf("nil fragment leaked events: %+v err=%v", stats, err)
+	}
+}
+
 func TestChromeEventArgsCarryAttrsAndError(t *testing.T) {
 	rec := &TraceRecord{
 		ID: "00000000000000aa", Name: "r", Spans: []SpanRecord{

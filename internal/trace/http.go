@@ -2,9 +2,35 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
+
+	"repro/internal/drmerr"
 )
+
+// httpError is the standard typed error body every endpoint in this
+// repo returns: {error, kind, trace_id}. The trace handler adds ring
+// accounting to 404s so a caller can tell an evicted trace from one
+// that was never sampled.
+type httpError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+	// TraceID is empty here: debug-plane requests are not themselves
+	// traced, and the looked-up ID already appears in Error.
+	TraceID string `json:"trace_id,omitempty"`
+	// Evicted/Sampled snapshot the ring counters on a 404. If
+	// Evicted is 0 the ID was never sampled; otherwise it may have
+	// been sampled and then overwritten by newer traces.
+	Evicted *int64 `json:"ring_evictions_total,omitempty"`
+	Sampled *int64 `json:"traces_sampled_total,omitempty"`
+}
+
+func writeHTTPError(w http.ResponseWriter, status int, body httpError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
 
 // Handler serves the retained-trace ring over HTTP:
 //
@@ -21,11 +47,16 @@ import (
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if t == nil {
-			http.Error(w, "tracing disabled", http.StatusNotFound)
+			writeHTTPError(w, http.StatusNotFound, httpError{
+				Error: "tracing disabled",
+				Kind:  drmerr.KindNotFound.String(),
+			})
 			return
 		}
 		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeHTTPError(w, http.StatusMethodNotAllowed, httpError{
+				Error: "method not allowed",
+			})
 			return
 		}
 		rest := strings.TrimPrefix(r.URL.Path, "/debug/traces")
@@ -52,7 +83,17 @@ func (t *Tracer) Handler() http.Handler {
 		default:
 			rec := t.Get(rest)
 			if rec == nil {
-				http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+				evicted, sampled := t.Evictions(), t.Sampled()
+				reason := "never sampled"
+				if evicted > 0 {
+					reason = "evicted or never sampled"
+				}
+				writeHTTPError(w, http.StatusNotFound, httpError{
+					Error:   fmt.Sprintf("trace %s not retained (%s)", rest, reason),
+					Kind:    drmerr.KindNotFound.String(),
+					Evicted: &evicted,
+					Sampled: &sampled,
+				})
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,147 @@
+// Cross-process context propagation: the W3C Trace Context traceparent
+// header carries one trace's identity over HTTP, so a request routed
+// through the cluster (router → leader, follower → leader) produces one
+// span tree per process that all share a single trace ID instead of a
+// disconnected tree per hop.
+//
+// The wire format is the W3C one —
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// — with this package's 64-bit trace IDs occupying the low half of the
+// 128-bit field (the high half is zero on inject and ignored on
+// extract). Parsing is strict: wrong length, non-lowercase-hex fields,
+// a zero trace or span ID, or the reserved version ff are all rejected
+// and counted in drm_trace_remote_malformed_total.
+//
+// Like everything in this package, propagation is nil-safe and free on
+// the untraced path: Inject on a context without a span and Extract on
+// a request without the header are single map lookups that allocate
+// nothing.
+package trace
+
+import (
+	"context"
+	"net/http"
+)
+
+// Header is the propagation header name as sent on the wire.
+const Header = "traceparent"
+
+// canonicalHeader is the net/http canonical form — incoming request
+// headers are stored under it, so direct map access skips the
+// CanonicalMIMEHeaderKey allocation Get would pay for a lowercase name.
+const canonicalHeader = "Traceparent"
+
+// RemoteParent is the identity extracted from an upstream traceparent:
+// the trace to continue and the span the local root hangs under
+// (logically — the link is recorded as the root's remote_parent
+// attribute, since the upstream span lives in another process's ring).
+type RemoteParent struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// FormatTraceparent renders the span's identity as a traceparent value
+// ("" on nil — untraced requests propagate nothing).
+func FormatTraceparent(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	return "00-0000000000000000" + formatTraceID(s.b.id) + "-" + formatTraceID(s.id) + "-01"
+}
+
+// Inject stamps the active span's traceparent onto h (a request or
+// response header). Untraced contexts inject nothing and allocate
+// nothing.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(canonicalHeader, FormatTraceparent(s))
+	M.RemoteInjected.Inc()
+}
+
+// Extract reads and validates the traceparent header from h. A missing
+// header reports false without counting anything (the common untraced
+// case, allocation-free); a present-but-malformed one counts in
+// drm_trace_remote_malformed_total and also reports false, so a bad
+// upstream degrades to a locally rooted trace instead of an error.
+func Extract(h http.Header) (RemoteParent, bool) {
+	vals := h[canonicalHeader]
+	if len(vals) == 0 {
+		return RemoteParent{}, false
+	}
+	rp, ok := ParseTraceparent(vals[0])
+	if !ok {
+		M.RemoteMalformed.Inc()
+		return RemoteParent{}, false
+	}
+	M.RemoteExtracted.Inc()
+	return rp, true
+}
+
+// ParseTraceparent validates s against the W3C grammar and returns the
+// embedded identity. Beyond the spec it requires the low 64 bits of the
+// trace ID to be non-zero — that half is this package's whole trace
+// identity, and an all-zero ID would alias every untraced request.
+func ParseTraceparent(s string) (RemoteParent, bool) {
+	// 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-xxxxxxxxxxxxxxxx-xx
+	// 0  3                                36               53
+	const fixedLen = 55
+	if len(s) < fixedLen {
+		return RemoteParent{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return RemoteParent{}, false
+	}
+	version, ok := parseHex(s[0:2])
+	if !ok || version == 0xff {
+		return RemoteParent{}, false
+	}
+	switch {
+	case version == 0 && len(s) != fixedLen:
+		// Version 00 has no trailing fields.
+		return RemoteParent{}, false
+	case version != 0 && len(s) > fixedLen && s[fixedLen] != '-':
+		// Future versions may append "-<extra>"; anything else is junk.
+		return RemoteParent{}, false
+	}
+	if _, ok := parseHex(s[3:19]); !ok { // high 64 bits: validated, ignored
+		return RemoteParent{}, false
+	}
+	traceID, ok := parseHex(s[19:35])
+	if !ok || traceID == 0 {
+		return RemoteParent{}, false
+	}
+	spanID, ok := parseHex(s[36:52])
+	if !ok || spanID == 0 {
+		return RemoteParent{}, false
+	}
+	if _, ok := parseHex(s[53:55]); !ok { // flags: validated, ignored
+		return RemoteParent{}, false
+	}
+	return RemoteParent{TraceID: traceID, SpanID: spanID}, true
+}
+
+// parseHex decodes up to 16 lowercase hex digits without allocating.
+// Uppercase is rejected: the W3C grammar is lowercase-only.
+func parseHex(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}

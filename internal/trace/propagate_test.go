@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Options{Capacity: 8})
+	ctx, root := tr.Root(context.Background(), "req")
+	_, child := Start(ctx, "phase")
+	cctx := context.WithValue(ctx, spanKey{}, child)
+
+	h := http.Header{}
+	Inject(cctx, h)
+	v := h.Get(Header)
+	if v == "" {
+		t.Fatal("Inject set no traceparent")
+	}
+	if want := FormatTraceparent(child); v != want {
+		t.Fatalf("header %q, want %q", v, want)
+	}
+	if len(v) != 55 {
+		t.Fatalf("traceparent %q not 55 chars", v)
+	}
+
+	rp, ok := Extract(h)
+	if !ok {
+		t.Fatalf("Extract rejected %q", v)
+	}
+	if got := formatTraceID(rp.TraceID); got != root.TraceID() {
+		t.Fatalf("extracted trace %s, want %s", got, root.TraceID())
+	}
+	if got := formatTraceID(rp.SpanID); got != formatTraceID(child.id) {
+		t.Fatalf("extracted span %s, want the injecting span %s", got, formatTraceID(child.id))
+	}
+	child.End()
+	root.End()
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-00000000000000000123456789abcdef-00000000000000ab-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("valid header %q rejected", valid)
+	}
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short", valid[:54]},
+		{"version 00 with trailing field", valid + "-extra"},
+		{"bad dash positions", strings.ReplaceAll(valid, "-", "_")},
+		{"uppercase hex", strings.ToUpper(valid)},
+		{"non-hex trace id", "00-0000000000000000012345678gabcdef-00000000000000ab-01"},
+		{"non-hex span id", "00-00000000000000000123456789abcdef-000000000000zzab-01"},
+		{"non-hex version", "zz-00000000000000000123456789abcdef-00000000000000ab-01"},
+		{"non-hex flags", "00-00000000000000000123456789abcdef-00000000000000ab-0x"},
+		{"non-hex high half", "00-zzzzzzzzzzzzzzzz0123456789abcdef-00000000000000ab-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-00000000000000ab-01"},
+		{"zero low half", "00-01234567890000000000000000000000-00000000000000ab-01"},
+		{"zero span id", "00-00000000000000000123456789abcdef-0000000000000000-01"},
+		{"reserved version ff", "ff-00000000000000000123456789abcdef-00000000000000ab-01"},
+		{"future version bad suffix", "01-00000000000000000123456789abcdef-00000000000000ab-01x"},
+	}
+	for _, c := range cases {
+		if rp, ok := ParseTraceparent(c.in); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted as %+v", c.name, c.in, rp)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Future versions may carry extra dash-separated fields past the
+	// fixed prefix; the fixed prefix still parses.
+	in := "01-00000000000000000123456789abcdef-00000000000000ab-01-futurefield"
+	rp, ok := ParseTraceparent(in)
+	if !ok {
+		t.Fatalf("future-version header %q rejected", in)
+	}
+	if formatTraceID(rp.TraceID) != "0123456789abcdef" || formatTraceID(rp.SpanID) != "00000000000000ab" {
+		t.Fatalf("parsed %+v", rp)
+	}
+	// The high 64 bits are ignored but must still be hex.
+	in2 := "00-deadbeefdeadbeef0123456789abcdef-00000000000000ab-01"
+	if rp2, ok := ParseTraceparent(in2); !ok || rp2.TraceID != rp.TraceID {
+		t.Fatalf("high-half bits changed the parse: %+v ok=%v", rp2, ok)
+	}
+}
+
+func TestRootRemoteContinuesTrace(t *testing.T) {
+	tr := New(Options{Capacity: 8})
+	rp := RemoteParent{TraceID: 0xabc123, SpanID: 0x77}
+	ctx, root := tr.RootRemote(context.Background(), "POST /v1/issue", rp)
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	if got, want := root.TraceID(), formatTraceID(rp.TraceID); got != want {
+		t.Fatalf("trace id %s, want upstream %s", got, want)
+	}
+	_, child := Start(ctx, "engine.issue")
+	child.End()
+	root.End()
+
+	rec := tr.Get(formatTraceID(rp.TraceID))
+	if rec == nil {
+		t.Fatal("remote-rooted trace not retained")
+	}
+	if !rec.Remote {
+		t.Fatal("record not marked remote")
+	}
+	if want := formatTraceID(rp.SpanID); rec.RemoteParent != want {
+		t.Fatalf("remote parent %q, want %q", rec.RemoteParent, want)
+	}
+	var attrs map[string]string
+	for _, sp := range rec.Spans {
+		if sp.ID == 1 {
+			attrs = map[string]string{}
+			for _, a := range sp.Attrs {
+				attrs[a.Key] = a.Value
+			}
+		}
+	}
+	if attrs["remote"] != "true" || attrs["remote_parent"] != formatTraceID(rp.SpanID) {
+		t.Fatalf("root attrs %v missing remote/remote_parent", attrs)
+	}
+}
+
+func TestRootRemoteZeroTraceIDFallsBackToLocal(t *testing.T) {
+	tr := New(Options{Capacity: 8})
+	_, root := tr.RootRemote(context.Background(), "req", RemoteParent{})
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	root.End()
+	rec := tr.Get(root.TraceID())
+	if rec == nil || rec.Remote {
+		t.Fatalf("zero remote parent must mint a local root, got %+v", rec)
+	}
+}
+
+func TestPropagationMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer func() { M = Metrics{} }()
+
+	tr := New(Options{Capacity: 8})
+	ctx, root := tr.Root(context.Background(), "req")
+	h := http.Header{}
+	Inject(ctx, h)
+	if _, ok := Extract(h); !ok {
+		t.Fatal("round-trip extract failed")
+	}
+	h.Set(Header, "garbage")
+	if _, ok := Extract(h); ok {
+		t.Fatal("garbage extracted")
+	}
+	root.End()
+
+	if got := M.RemoteInjected.Value(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+	if got := M.RemoteExtracted.Value(); got != 1 {
+		t.Errorf("extracted = %d, want 1", got)
+	}
+	if got := M.RemoteMalformed.Value(); got != 1 {
+		t.Errorf("malformed = %d, want 1", got)
+	}
+}
+
+// TestUntracedPropagationZeroAlloc pins the invariant that untraced
+// request paths pay nothing: Inject on a spanless context and Extract
+// on a header without a traceparent allocate zero.
+func TestUntracedPropagationZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		Inject(ctx, h)
+		if _, ok := Extract(h); ok {
+			t.Fatal("extracted from empty header")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("untraced Inject+Extract allocate %v per run, want 0", allocs)
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-00000000000000000123456789abcdef-00000000000000ab-01")
+	f.Add("00-0000000000000000ffffffffffffffff-ffffffffffffffff-00")
+	f.Add("01-00000000000000000123456789abcdef-00000000000000ab-01-x")
+	f.Add("ff-00000000000000000123456789abcdef-00000000000000ab-01")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		rp, ok := ParseTraceparent(s)
+		if !ok {
+			return
+		}
+		if rp.TraceID == 0 || rp.SpanID == 0 {
+			t.Fatalf("accepted zero ids from %q: %+v", s, rp)
+		}
+		// Every accepted value re-formats to a header that parses to the
+		// same identity (the high half and flags are normalised away).
+		canon := "00-0000000000000000" + formatTraceID(rp.TraceID) + "-" + formatTraceID(rp.SpanID) + "-01"
+		rp2, ok2 := ParseTraceparent(canon)
+		if !ok2 || rp2 != rp {
+			t.Fatalf("canonical re-parse of %q → %q gave %+v ok=%v", s, canon, rp2, ok2)
+		}
+	})
+}

@@ -60,12 +60,18 @@ type SpanRecord struct {
 // TraceRecord is one completed, retained trace: the root's identity plus
 // every recorded span in end order (the root is always last).
 type TraceRecord struct {
-	ID       string       `json:"trace_id"`
-	Name     string       `json:"name"`
-	Start    int64        `json:"start_unix_ns"`
-	Duration int64        `json:"duration_ns"`
-	Error    bool         `json:"error"`
-	Spans    []SpanRecord `json:"spans"`
+	ID       string `json:"trace_id"`
+	Name     string `json:"name"`
+	Start    int64  `json:"start_unix_ns"`
+	Duration int64  `json:"duration_ns"`
+	Error    bool   `json:"error"`
+	// Remote marks a trace whose ID was extracted from an upstream
+	// traceparent header rather than minted here: this record is one
+	// process's fragment of a distributed trace, and RemoteParent is the
+	// upstream span (hex) the local root logically hangs under.
+	Remote       bool         `json:"remote,omitempty"`
+	RemoteParent string       `json:"remote_parent,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
 	// Truncated counts spans dropped by the per-trace cap (0 normally).
 	Truncated int `json:"truncated_spans,omitempty"`
 }
@@ -166,6 +172,31 @@ func (t *Tracer) Root(ctx context.Context, name string) (context.Context, *Span)
 	b := &builder{t: t, id: t.mintTraceID(), start: time.Now()}
 	b.nextSpan = 1
 	s := &Span{b: b, id: 1, name: name, start: b.start}
+	M.SpansStarted.Inc()
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// RootRemote starts a root span that continues an upstream trace: the
+// trace ID comes from the extracted traceparent instead of being minted
+// locally, so the fragments retained on both sides of the wire share
+// one ID and can be merged into a single cross-process document. The
+// root records remote=true and the upstream span ID (the parent link
+// lives in another process's ring, so it is an attribute, not a Parent
+// field — every span's Parent still resolves locally). A zero remote
+// trace ID falls back to a locally minted root.
+func (t *Tracer) RootRemote(ctx context.Context, name string, rp RemoteParent) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if rp.TraceID == 0 {
+		return t.Root(ctx, name)
+	}
+	b := &builder{t: t, id: rp.TraceID, start: time.Now(), remote: true, remoteParent: rp.SpanID}
+	b.nextSpan = 1
+	s := &Span{b: b, id: 1, name: name, start: b.start}
+	s.attrs = append(s.attrs,
+		Attr{Key: "remote", Value: "true"},
+		Attr{Key: "remote_parent", Value: formatTraceID(rp.SpanID)})
 	M.SpansStarted.Inc()
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -303,6 +334,11 @@ type builder struct {
 	id    uint64
 	start time.Time
 
+	// remote / remoteParent carry the RootRemote provenance into the
+	// finalised TraceRecord; set once at construction, never mutated.
+	remote       bool
+	remoteParent uint64
+
 	mu        sync.Mutex
 	nextSpan  uint64
 	spans     []SpanRecord
@@ -377,15 +413,20 @@ func (b *builder) record(s *Span, d time.Duration) {
 	}
 	t.sampled.Add(1)
 	M.TracesSampled.Inc()
-	t.retain(&TraceRecord{
+	trec := &TraceRecord{
 		ID:        formatTraceID(b.id),
 		Name:      s.name,
 		Start:     b.start.UnixNano(),
 		Duration:  d.Nanoseconds(),
 		Error:     isErr,
+		Remote:    b.remote,
 		Spans:     spans,
 		Truncated: truncated,
-	})
+	}
+	if b.remote {
+		trec.RemoteParent = formatTraceID(b.remoteParent)
+	}
+	t.retain(trec)
 }
 
 // Sampled returns the number of traces retained so far (0 on nil).

@@ -396,11 +396,29 @@ func TestHTTPHandler(t *testing.T) {
 		}
 	})
 
-	t.Run("missing id 404s", func(t *testing.T) {
+	t.Run("missing id 404s with typed body", func(t *testing.T) {
 		rr := httptest.NewRecorder()
 		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces/deadbeefdeadbeef", nil))
 		if rr.Code != 404 {
 			t.Fatalf("status %d, want 404", rr.Code)
+		}
+		var body struct {
+			Error   string `json:"error"`
+			Kind    string `json:"kind"`
+			Evicted *int64 `json:"ring_evictions_total"`
+			Sampled *int64 `json:"traces_sampled_total"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("404 body not JSON: %v\n%s", err, rr.Body.String())
+		}
+		if body.Kind != "not_found" {
+			t.Fatalf("kind %q, want not_found", body.Kind)
+		}
+		if !strings.Contains(body.Error, "never sampled") {
+			t.Fatalf("error %q should say never sampled (no evictions yet)", body.Error)
+		}
+		if body.Evicted == nil || *body.Evicted != 0 || body.Sampled == nil || *body.Sampled != 1 {
+			t.Fatalf("ring accounting missing: %+v", body)
 		}
 	})
 
